@@ -1,0 +1,253 @@
+"""Shared benchmark fixtures: datasets and pre-trained models.
+
+Every table/figure benchmark reproduces the *rows* of its paper counterpart
+on CPU-feasible stand-ins: the same architectures at reduced width, the
+synthetic dataset instead of CIFAR10, and short fine-tuning budgets. The
+``REPRO_BENCH_PRESET`` environment variable selects the scale:
+
+- ``smoke`` (default): minutes on a laptop CPU; qualitative shape only.
+- ``full``: closer to the paper's budgets (hours); same code paths.
+
+Model preparation (FP pre-training + quantization stage) is session-scoped
+so the per-table benchmarks time only the experiment itself.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from dataclasses import dataclass
+
+import pytest
+
+from repro.data import make_synthetic_cifar
+from repro.models import mobilenetv2, resnet20, resnet32
+from repro.pipeline import quantization_stage
+from repro.train import TrainConfig, cross_entropy_loss, train_model
+
+
+@dataclass(frozen=True)
+class BenchPreset:
+    """Scale knobs shared by all table/figure benchmarks."""
+
+    name: str
+    width_mult: float
+    image_size: int
+    num_train: int
+    num_test: int
+    noise: float
+    fp_epochs: int
+    quant_epochs: int
+    approx_epochs: int
+    batch_size: int          # FP pre-training batch
+    quant_batch_size: int    # quantization-stage fine-tuning batch
+    approx_batch_size: int   # approximation-stage fine-tuning batch
+    fp_lr: float
+    quant_lr: float
+    approx_lr: float
+    grad_clip: float
+
+
+# A shallow MobileNetV2 stack used only at smoke scale: same inverted-
+# residual structure, fewer repeats per stage (the full 17-block model is
+# CPU-prohibitive inside the integer simulation loop).
+SMOKE_MBV2_CONFIG = (
+    (1, 16, 1, 1),
+    (6, 24, 1, 1),
+    (6, 32, 1, 1),
+    (6, 64, 2, 2),
+    (6, 96, 1, 1),
+    (6, 160, 1, 2),
+    (6, 320, 1, 1),
+)
+
+PRESETS = {
+    "smoke": BenchPreset(
+        name="smoke",
+        width_mult=0.25,
+        image_size=16,
+        num_train=480,
+        num_test=200,
+        noise=0.4,
+        fp_epochs=12,
+        quant_epochs=2,
+        approx_epochs=4,
+        batch_size=64,
+        quant_batch_size=48,
+        approx_batch_size=16,  # small batches -> more STE steps per epoch
+        fp_lr=0.05,
+        quant_lr=0.005,
+        approx_lr=0.01,
+        grad_clip=1.0,
+    ),
+    "full": BenchPreset(
+        name="full",
+        width_mult=1.0,
+        image_size=32,
+        num_train=4000,
+        num_test=1000,
+        noise=0.7,
+        fp_epochs=30,
+        quant_epochs=10,
+        approx_epochs=30,
+        batch_size=128,
+        quant_batch_size=128,
+        approx_batch_size=64,
+        fp_lr=0.05,
+        quant_lr=0.002,
+        approx_lr=0.005,
+        grad_clip=1.0,
+    ),
+}
+
+
+def get_preset() -> BenchPreset:
+    name = os.environ.get("REPRO_BENCH_PRESET", "smoke")
+    if name not in PRESETS:
+        raise KeyError(f"unknown REPRO_BENCH_PRESET={name!r}; options: {sorted(PRESETS)}")
+    return PRESETS[name]
+
+
+@pytest.fixture(scope="session")
+def preset() -> BenchPreset:
+    return get_preset()
+
+
+@pytest.fixture(scope="session")
+def bench_dataset(preset):
+    return make_synthetic_cifar(
+        num_train=preset.num_train,
+        num_test=preset.num_test,
+        image_size=preset.image_size,
+        noise=preset.noise,
+        seed=42,
+    )
+
+
+def _pretrain(model, dataset, preset):
+    config = TrainConfig(
+        epochs=preset.fp_epochs,
+        batch_size=preset.batch_size,
+        lr=preset.fp_lr,
+        momentum=0.9,
+        seed=0,
+    )
+    train_model(model, dataset, cross_entropy_loss(), config)
+    model.eval()
+    return model
+
+
+def _quantize(fp_model, dataset, preset, fold_bn=True):
+    config = TrainConfig(
+        epochs=preset.quant_epochs,
+        batch_size=preset.quant_batch_size,
+        lr=preset.quant_lr,
+        momentum=0.9,
+        grad_clip=preset.grad_clip,
+        seed=0,
+    )
+    model, result = quantization_stage(
+        fp_model, dataset, train_config=config, temperature=1.0, fold_bn=fold_bn
+    )
+    model.eval()
+    return model, result
+
+
+@pytest.fixture(scope="session")
+def fp_resnet20(bench_dataset, preset):
+    return _pretrain(resnet20(width_mult=preset.width_mult, rng=0), bench_dataset, preset)
+
+
+@pytest.fixture(scope="session")
+def quant_resnet20(fp_resnet20, bench_dataset, preset):
+    model, _ = _quantize(fp_resnet20, bench_dataset, preset)
+    return model
+
+
+@pytest.fixture(scope="session")
+def fp_resnet32(bench_dataset, preset):
+    return _pretrain(resnet32(width_mult=preset.width_mult, rng=0), bench_dataset, preset)
+
+
+@pytest.fixture(scope="session")
+def quant_resnet32(fp_resnet32, bench_dataset, preset):
+    model, _ = _quantize(fp_resnet32, bench_dataset, preset)
+    return model
+
+
+@pytest.fixture(scope="session")
+def fp_mobilenetv2(bench_dataset, preset):
+    kwargs = {}
+    if preset.name == "smoke":
+        kwargs["inverted_residual_config"] = SMOKE_MBV2_CONFIG
+    return _pretrain(
+        mobilenetv2(width_mult=preset.width_mult, rng=0, **kwargs),
+        bench_dataset,
+        preset,
+    )
+
+
+@pytest.fixture(scope="session")
+def quant_mobilenetv2(fp_mobilenetv2, bench_dataset, preset):
+    # The paper keeps BN layers in MobileNetV2 (section IV).
+    model, _ = _quantize(fp_mobilenetv2, bench_dataset, preset, fold_bn=False)
+    return model
+
+
+@pytest.fixture(scope="session")
+def approx_train_config(preset):
+    return TrainConfig(
+        epochs=preset.approx_epochs,
+        batch_size=preset.approx_batch_size,
+        lr=preset.approx_lr,
+        momentum=0.9,
+        lr_decay=0.1,
+        lr_decay_every=15,
+        grad_clip=preset.grad_clip,
+        seed=0,
+    )
+
+
+# Regenerated paper tables are buffered here and flushed to the terminal
+# after pytest's capture ends (see pytest_terminal_summary below), so they
+# appear in plain ``pytest benchmarks/ --benchmark-only`` output.
+_REPORT_LINES: list[str] = []
+
+
+def becho(*lines) -> None:
+    """Record benchmark report lines for the end-of-run summary.
+
+    Also prints immediately (visible under ``-s``); the terminal-summary
+    hook replays everything for captured runs.
+    """
+    for line in lines:
+        for part in str(line).split("\n"):
+            _REPORT_LINES.append(part)
+            print(part)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config) -> None:
+    if not _REPORT_LINES:
+        return
+    terminalreporter.section("regenerated paper tables and figures")
+    for line in _REPORT_LINES:
+        terminalreporter.write_line(line)
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Render one paper-style table to the real stdout."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    becho(f"\n=== {title} ===", line, "-" * len(line))
+    for row in str_rows:
+        becho("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)

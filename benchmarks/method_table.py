@@ -1,0 +1,174 @@
+"""Shared runner for the method-comparison tables (paper Tables V-VII).
+
+Reproduces the paper's experimental protocol:
+
+- Fine-tune only multipliers whose initial accuracy degradation exceeds 1%
+  w.r.t. the reference (exact-execution) accuracy; mild multipliers are
+  reported with their initial accuracy only, like the "-" rows in Table V.
+- For unbiased (EvoApprox) multipliers the fitted error model is constant,
+  so GE is *identical* to the STE: the ``ge`` and ``approxkd_ge`` columns
+  reuse the ``normal`` and ``approxkd`` runs — exactly the equality noted in
+  section IV-B ("fine-tuning with ApproxKD and ApproxKD+GE delivers the same
+  results").
+- Temperatures follow the Table III policy (``recommended_t2`` on the
+  measured MRE), optionally shifted (+1 tier) for MobileNetV2 as in the
+  paper's Table VII setup.
+- The fine-tuning learning rate adapts to the severity of the initial
+  degradation, mirroring the paper's per-scenario choice between 1e-4 and
+  1e-5: recovering from a collapse uses the preset rate, while multipliers
+  that start close to the reference accuracy fine-tune gently so the short
+  smoke-scale budget cannot destroy an already-good model
+  (:func:`adaptive_train_config`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.approx import get_multiplier, mean_relative_error, paper_mre
+from repro.data.synthetic_cifar import Dataset
+from repro.distill import recommended_t2
+from repro.ge import estimate_error_model
+from repro.nn.module import Module
+from repro.pipeline import approximation_stage
+from repro.sim import approximate_execution, evaluate_accuracy
+from repro.train import TrainConfig
+
+DEGRADATION_THRESHOLD = 0.01  # paper: fine-tune if degradation > 1%
+# Initial degradation below which fine-tuning switches to the gentle rate
+# (the paper's 1e-5 tier vs its 1e-4 tier).
+GENTLE_LR_THRESHOLD = 0.30
+GENTLE_LR_FACTOR = 0.2
+
+
+def adaptive_train_config(
+    train_config: TrainConfig,
+    initial_accuracy: float,
+    reference_accuracy: float,
+) -> TrainConfig:
+    """Pick the fine-tuning rate from the severity of the degradation.
+
+    Mirrors the paper's per-scenario learning-rate choice: collapsed models
+    need the full rate to recover within the budget; mildly degraded models
+    fine-tune at a fraction of it so short runs cannot regress them.
+    """
+    if reference_accuracy - initial_accuracy >= GENTLE_LR_THRESHOLD:
+        return train_config
+    return replace(train_config, lr=train_config.lr * GENTLE_LR_FACTOR)
+
+
+@dataclass
+class MethodTableRow:
+    """One multiplier's row in a Table V-style comparison."""
+
+    multiplier: str
+    mre: float
+    paper_mre: float | None
+    savings: float
+    initial_accuracy: float
+    fine_tuned: bool
+    final: dict[str, float] = field(default_factory=dict)
+    ge_equals_normal: bool = False
+
+
+def run_method_table(
+    quant_model: Module,
+    dataset: Dataset,
+    multipliers: list[str],
+    methods: tuple[str, ...],
+    train_config: TrainConfig,
+    temperature_shift: float = 0.0,
+    rng: int = 0,
+) -> list[MethodTableRow]:
+    """Run the approximation-stage comparison for every multiplier."""
+    reference_acc = evaluate_accuracy(quant_model, dataset.test_x, dataset.test_y)
+    rows = []
+    for name in multipliers:
+        mult = get_multiplier(name)
+        mre = mean_relative_error(mult)
+        with approximate_execution(quant_model, mult):
+            initial = evaluate_accuracy(quant_model, dataset.test_x, dataset.test_y)
+        row = MethodTableRow(
+            multiplier=name,
+            mre=mre,
+            paper_mre=paper_mre(name),
+            savings=mult.energy_savings,
+            initial_accuracy=initial,
+            fine_tuned=initial < reference_acc - DEGRADATION_THRESHOLD,
+        )
+        if row.fine_tuned:
+            temperature = _shift_temperature(recommended_t2(mre), temperature_shift)
+            ge_is_ste = estimate_error_model(mult, rng=rng).is_constant
+            row.ge_equals_normal = ge_is_ste
+            config = adaptive_train_config(train_config, initial, reference_acc)
+            for method in methods:
+                source = _reuse_source(method, ge_is_ste)
+                if source is not None and source in row.final:
+                    row.final[method] = row.final[source]
+                    continue
+                _, result = approximation_stage(
+                    quant_model,
+                    dataset,
+                    mult,
+                    method=method,
+                    train_config=config,
+                    temperature=temperature,
+                    rng=rng,
+                )
+                row.final[method] = result.accuracy_after
+        rows.append(row)
+    return rows
+
+
+def _shift_temperature(temperature: float, shift: float) -> float:
+    """Shift within the paper's temperature grid (used for Table VII's
+    "increase T2 by one tier" rule)."""
+    if shift == 0.0:
+        return temperature
+    grid = [1.0, 2.0, 5.0, 10.0]
+    index = min(len(grid) - 1, grid.index(temperature) + int(shift))
+    return grid[index]
+
+
+def _reuse_source(method: str, ge_is_ste: bool) -> str | None:
+    """When GE degenerates to STE, GE-methods are identical reruns."""
+    if not ge_is_ste:
+        return None
+    if method == "ge":
+        return "normal"
+    if method == "approxkd_ge":
+        return "approxkd"
+    return None
+
+
+def format_rows(rows: list[MethodTableRow], methods: tuple[str, ...]) -> list[list[str]]:
+    """Render rows for :func:`benchmarks.conftest.print_table`."""
+    out = []
+    for row in rows:
+        cells = [
+            row.multiplier,
+            f"{100 * row.mre:.1f}",
+            f"{100 * (row.paper_mre or 0):.1f}",
+            f"{100 * row.savings:.0f}",
+            f"{100 * row.initial_accuracy:.2f}",
+        ]
+        for method in methods:
+            if not row.fine_tuned:
+                cells.append("-")
+            elif method in ("ge", "approxkd_ge") and row.ge_equals_normal:
+                cells.append(f"{100 * row.final[method]:.2f}*")
+            else:
+                cells.append(f"{100 * row.final.get(method, float('nan')):.2f}")
+        out.append(cells)
+    return out
+
+
+def table_headers(methods: tuple[str, ...]) -> list[str]:
+    return [
+        "Multiplier",
+        "MRE[%]",
+        "paperMRE[%]",
+        "Sav[%]",
+        "Initial[%]",
+        *[f"Final {m}" for m in methods],
+    ]

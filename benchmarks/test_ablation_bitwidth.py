@@ -1,0 +1,59 @@
+"""Ablation — bit-width sweep (the paper's outlook: "extended for lower
+bitwidth quantization").
+
+Quantizes the same trained FP ResNet20 at several weight bit-widths (8-bit
+activations throughout, per the paper's 8AxW setting) and reports accuracy
+before fine-tuning. Shape criterion: accuracy is monotone non-decreasing in
+weight bits, with 8A8W ≈ FP (the well-known lossless-8-bit result [1], [2])
+and a sharp drop somewhere below 4 bits.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.data.dataloader import iterate_batches
+from repro.distill import clone_model
+from repro.quant import QConfig, calibrate_model, quantize_model
+from repro.sim import evaluate_accuracy
+
+WEIGHT_BITS = (2, 3, 4, 6, 8)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_weight_bitwidth(benchmark, fp_resnet20, bench_dataset, preset):
+    def run():
+        accs = {}
+        for bits in WEIGHT_BITS:
+            model = quantize_model(
+                clone_model(fp_resnet20), qconfig=QConfig(weight_bits=bits)
+            )
+            calibrate_model(
+                model,
+                iterate_batches(
+                    bench_dataset.train_x,
+                    bench_dataset.train_y,
+                    preset.batch_size,
+                    shuffle=False,
+                ),
+                max_batches=4,
+            )
+            accs[bits] = evaluate_accuracy(
+                model, bench_dataset.test_x, bench_dataset.test_y
+            )
+        return accs
+
+    accs = benchmark.pedantic(run, rounds=1, iterations=1)
+    fp_acc = evaluate_accuracy(fp_resnet20, bench_dataset.test_x, bench_dataset.test_y)
+    print_table(
+        "Ablation: weight bit-width at 8-bit activations (before FT)",
+        ["Config", "Acc[%]"],
+        [[f"8A{bits}W", 100 * acc] for bits, acc in accs.items()]
+        + [["FP reference", 100 * fp_acc]],
+    )
+
+    # 8A8W matches FP closely without fine-tuning (the [1], [2] result).
+    assert accs[8] >= fp_acc - 0.05
+    # More weight bits never hurt much (allow small evaluation noise).
+    ordered = [accs[b] for b in WEIGHT_BITS]
+    for lower, higher in zip(ordered, ordered[1:]):
+        assert higher >= lower - 0.05

@@ -1,0 +1,93 @@
+"""Figures 2 and 3 — estimated approximation-error functions.
+
+- Fig. 2: error of *truncated multiplier 5* vs the exact GEMM output — a
+  biased error with a clearly negative slope, fitted as
+  ``f(y) = min(a, max(k·y + c, b))`` with ``k < 0``.
+- Fig. 3: error of *EvoApprox 228* — unbiased, fitted only as a constant,
+  hence ``∂f/∂y = 0`` and GE degenerates to the STE.
+
+The benchmark prints an ASCII rendering of the binned error profile plus the
+fitted parameters, and asserts the qualitative shapes.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import becho
+
+from repro.approx import get_multiplier
+from repro.ge import fit_error_model, profile_multiplier_error
+
+
+def _binned_profile(profile, bins=13):
+    edges = np.linspace(profile.y.min(), profile.y.max(), bins + 1)
+    centers, means = [], []
+    for lo, hi in zip(edges, edges[1:]):
+        mask = (profile.y >= lo) & (profile.y < hi)
+        if mask.sum() < 10:
+            continue
+        centers.append(0.5 * (lo + hi))
+        means.append(profile.eps[mask].mean())
+    return np.array(centers), np.array(means)
+
+
+def _ascii_plot(centers, means, model, width=52):
+    lo, hi = min(means.min(), model.lower), max(means.max(), model.upper)
+    span = hi - lo or 1.0
+    lines = []
+    for c, m in zip(centers, means):
+        pos = int((m - lo) / span * (width - 1))
+        fit = int((model(np.array([c]))[0] - lo) / span * (width - 1))
+        row = [" "] * width
+        row[fit] = "-"
+        row[pos] = "*"
+        lines.append(f"y={c:9.1f} |{''.join(row)}|")
+    return "\n".join(lines)
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_truncated5_error_function(benchmark):
+    mult = get_multiplier("truncated5")
+
+    def run():
+        profile = profile_multiplier_error(mult, num_simulations=50, rng=0)
+        model = fit_error_model(profile.y, profile.eps)
+        return profile, model
+
+    profile, model = benchmark.pedantic(run, rounds=1, iterations=1)
+    centers, means = _binned_profile(profile)
+    becho("\n=== Fig. 2: error of truncated multiplier 5 (binned mean *, fit -) ===")
+    becho(_ascii_plot(centers, means, model))
+    becho(
+        f"fit: f(y) = min({model.upper:.1f}, max({model.k:.4f}*y + {model.c:.2f}, "
+        f"{model.lower:.1f}))"
+    )
+
+    # Shape criteria from the paper: biased error, negative slope.
+    assert model.k < 0
+    assert not model.is_constant
+    assert profile.eps.mean() == pytest.approx(0.0, abs=abs(profile.eps).max())
+    # The binned means themselves must trend downward in y.
+    slope = np.polyfit(centers, means, 1)[0]
+    assert slope < 0
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_evoapprox228_error_function(benchmark):
+    mult = get_multiplier("evoapprox228")
+
+    def run():
+        profile = profile_multiplier_error(mult, num_simulations=50, rng=0)
+        model = fit_error_model(profile.y, profile.eps)
+        return profile, model
+
+    profile, model = benchmark.pedantic(run, rounds=1, iterations=1)
+    centers, means = _binned_profile(profile)
+    becho("\n=== Fig. 3: error of EvoApprox 228 (binned mean *, fit -) ===")
+    becho(_ascii_plot(centers, means, model))
+    becho(f"fit: constant f(y) = {model.c:.2f}  (∂f/∂y = {model.k})")
+
+    # Shape criteria: unbiased error -> constant fit -> GE == STE.
+    assert model.is_constant
+    # Binned means stay near zero relative to the error spread.
+    assert np.abs(means).max() < 0.2 * profile.eps.std() + 1e-9

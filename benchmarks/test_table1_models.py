@@ -1,0 +1,73 @@
+"""Table I — evaluated CNNs: #params, #MAC ops, FP accuracy.
+
+Paper values (CIFAR10, 32x32):
+
+    CNN          #Params(x10^6)  #MACs(x10^9)  FP Acc [%]
+    ResNet20     0.3             0.041         91.04
+    ResNet32     0.5             0.069         91.88
+    MobileNetV2  2.2             0.296         94.89
+
+The parameter and MAC columns are reproduced *exactly* at full width; the
+accuracy column comes from the bench preset's scaled-down training run on
+the synthetic dataset (see conftest), so only its ordering is meaningful.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.models import mobilenetv2, resnet20, resnet32
+from repro.sim import count_macs, evaluate_accuracy
+
+PAPER_ROWS = {
+    "ResNet20": (0.3, 0.041, 91.04),
+    "ResNet32": (0.5, 0.069, 91.88),
+    "MobileNetV2": (2.2, 0.296, 94.89),
+}
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_model_inventory(
+    benchmark, fp_resnet20, fp_resnet32, fp_mobilenetv2, bench_dataset
+):
+    full_models = {
+        "ResNet20": resnet20(rng=0),
+        "ResNet32": resnet32(rng=0),
+        "MobileNetV2": mobilenetv2(rng=0),
+    }
+    bench_models = {
+        "ResNet20": fp_resnet20,
+        "ResNet32": fp_resnet32,
+        "MobileNetV2": fp_mobilenetv2,
+    }
+
+    def run():
+        rows = []
+        for name, model in full_models.items():
+            report = count_macs(model, (3, 32, 32))
+            acc = evaluate_accuracy(
+                bench_models[name], bench_dataset.test_x, bench_dataset.test_y
+            )
+            paper_params, paper_macs, paper_acc = PAPER_ROWS[name]
+            rows.append(
+                [
+                    name,
+                    f"{report.params / 1e6:.2f} (paper {paper_params})",
+                    f"{report.total_macs / 1e9:.3f} (paper {paper_macs})",
+                    f"{100 * acc:.2f} (paper {paper_acc})",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Table I: Evaluated CNNs",
+        ["CNN", "#Params(x1e6)", "#MACs(x1e9)", "Acc[%] (bench-scale)"],
+        rows,
+    )
+
+    # Shape criteria: params and MACs must match the paper at full width.
+    for name, model in full_models.items():
+        report = count_macs(model, (3, 32, 32))
+        paper_params, paper_macs, _ = PAPER_ROWS[name]
+        assert report.params / 1e6 == pytest.approx(paper_params, rel=0.15)
+        assert report.total_macs / 1e9 == pytest.approx(paper_macs, rel=0.05)

@@ -1,0 +1,67 @@
+"""Table VI — comparison of retraining methods on approximate ResNet32.
+
+Same protocol and hyperparameters as Table V, on the deeper ResNet32 and
+the multiplier set the paper lists for this table (truncated 1-5 and
+EvoApprox 29/111/104/469/228/145). The paper observes "the same tendency of
+ApproxKD+GE outperforming the other fine-tuning approaches".
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from benchmarks.conftest import becho, print_table
+from benchmarks.method_table import format_rows, run_method_table, table_headers
+from repro.approx import TABLE6_MULTIPLIERS
+from repro.pipeline import METHODS
+
+
+@pytest.mark.benchmark(group="table6")
+def test_table6_method_comparison_resnet32(
+    benchmark, quant_resnet32, bench_dataset, approx_train_config, preset
+):
+    # ResNet32 runs ~1.6x slower per step than ResNet20; a slightly larger
+    # batch keeps this table's wall time in line with Table V at smoke scale.
+    config = (
+        replace(approx_train_config, batch_size=24)
+        if preset.name == "smoke"
+        else approx_train_config
+    )
+    rows = benchmark.pedantic(
+        lambda: run_method_table(
+            quant_resnet32,
+            bench_dataset,
+            TABLE6_MULTIPLIERS,
+            METHODS,
+            config,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        f"Table VI: retraining methods, approximate ResNet32 ({preset.name})",
+        table_headers(METHODS),
+        format_rows(rows, METHODS),
+    )
+    becho("(*) GE column reuses the STE run: constant error model (section IV-B)")
+
+    tuned = [r for r in rows if r.fine_tuned]
+    assert tuned, "at least some multipliers must need fine-tuning"
+
+    # Same tendency as Table V: the proposal is near-best on most rows
+    # (wide margin — smoke-scale runs have tens of SGD steps).
+    wins = sum(
+        1 for r in tuned if r.final["approxkd_ge"] >= max(r.final.values()) - 0.08
+    )
+    assert wins >= 0.5 * len(tuned)
+
+    # GE degenerates to STE on every EvoApprox row.
+    for r in tuned:
+        if r.multiplier.startswith("evoapprox"):
+            assert r.final["ge"] == r.final["normal"]
+            assert r.final["approxkd_ge"] == r.final["approxkd"]
+
+    # Fine-tuning recovers accuracy: the best method always improves on the
+    # initial accuracy (allowing small evaluation noise).
+    for r in tuned:
+        assert max(r.final.values()) >= r.initial_accuracy - 0.02

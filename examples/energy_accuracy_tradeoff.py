@@ -1,0 +1,63 @@
+"""Energy/accuracy trade-off sweep across every multiplier in the registry.
+
+Quantizes a trained CNN to 8A4W and evaluates it with each approximate
+multiplier the paper uses — *without* fine-tuning — then prints the
+accuracy/energy-savings trade-off table (the raw material of the paper's
+Pareto selection). Multipliers whose error is too large to be usable
+without retraining (e.g. EvoApprox 249) are clearly visible.
+
+Run:  python examples/energy_accuracy_tradeoff.py
+"""
+
+from repro.approx import (
+    available_multipliers,
+    get_multiplier,
+    mean_relative_error,
+    network_energy,
+)
+from repro.data import iterate_batches, make_synthetic_cifar
+from repro.models import simplecnn
+from repro.quant import calibrate_model, quantize_model
+from repro.sim import approximate_execution, count_macs, evaluate_accuracy
+from repro.train import TrainConfig, cross_entropy_loss, train_model
+
+
+def main() -> None:
+    data = make_synthetic_cifar(num_train=600, num_test=300, image_size=16, seed=1)
+    model = simplecnn(base_width=8, rng=0)
+    train_model(
+        model,
+        data,
+        cross_entropy_loss(),
+        TrainConfig(epochs=8, batch_size=64, lr=0.05, momentum=0.9, seed=0),
+    )
+
+    quant = quantize_model(model)
+    calibrate_model(
+        quant,
+        iterate_batches(data.train_x, data.train_y, 64, shuffle=False),
+        max_batches=4,
+    )
+    macs = count_macs(quant, data.image_shape).total_macs
+    base_acc = evaluate_accuracy(quant, data.test_x, data.test_y)
+    print(f"8A4W exact accuracy: {100 * base_acc:.2f}%  ({macs / 1e6:.1f}M MACs)\n")
+
+    print(f"{'multiplier':14s} {'MRE[%]':>7s} {'savings[%]':>10s} {'acc[%]':>7s} {'drop[%]':>8s}")
+    print("-" * 52)
+    for name in available_multipliers():
+        mult = get_multiplier(name)
+        with approximate_execution(quant, mult):
+            acc = evaluate_accuracy(quant, data.test_x, data.test_y)
+        savings = network_energy(macs, mult).savings_percent
+        print(
+            f"{name:14s} {100 * mean_relative_error(mult):7.1f} {savings:10.0f} "
+            f"{100 * acc:7.2f} {100 * (base_acc - acc):8.2f}"
+        )
+    print(
+        "\nMultipliers with large drops need the fine-tuning stage "
+        "(see examples/quickstart.py); EvoApprox 249 cannot recover at all."
+    )
+
+
+if __name__ == "__main__":
+    main()

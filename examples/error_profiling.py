@@ -1,0 +1,58 @@
+"""Monte-Carlo error profiling of approximate multipliers (paper Figs. 2/3).
+
+Profiles the GEMM-level approximation error of one biased (truncated) and
+one unbiased (EvoApprox) multiplier, fits the paper's piecewise-linear
+error function to each, and renders the profiles as ASCII scatter plots.
+The truncated multiplier shows a clear negative slope (its gradient feeds
+Eq. 12's ``(1 + K)`` correction); the EvoApprox error only fits a constant,
+so gradient estimation degenerates to the straight-through estimator.
+
+Run:  python examples/error_profiling.py
+"""
+
+import numpy as np
+
+from repro.approx import get_multiplier, mean_relative_error
+from repro.ge import fit_error_model, profile_multiplier_error
+
+
+def ascii_profile(profile, model, bins: int = 15, width: int = 56) -> str:
+    edges = np.linspace(profile.y.min(), profile.y.max(), bins + 1)
+    rows = []
+    lo = min(profile.eps.min(), model.lower)
+    hi = max(profile.eps.max(), model.upper)
+    span = hi - lo or 1.0
+    for a, b in zip(edges, edges[1:]):
+        mask = (profile.y >= a) & (profile.y < b)
+        if mask.sum() < 5:
+            continue
+        mean_eps = profile.eps[mask].mean()
+        center = 0.5 * (a + b)
+        line = [" "] * width
+        fit_pos = int((model(np.array([center]))[0] - lo) / span * (width - 1))
+        mean_pos = int((mean_eps - lo) / span * (width - 1))
+        line[fit_pos] = "-"
+        line[mean_pos] = "*"
+        rows.append(f"  y={center:9.1f} |{''.join(line)}|")
+    return "\n".join(rows)
+
+
+def main() -> None:
+    for name in ("truncated5", "evoapprox228"):
+        mult = get_multiplier(name)
+        profile = profile_multiplier_error(mult, num_simulations=50, rng=0)
+        model = fit_error_model(profile.y, profile.eps)
+        print(f"\n=== {name} (MRE {100 * mean_relative_error(mult):.1f}%) ===")
+        print(ascii_profile(profile, model))
+        if model.is_constant:
+            print(f"  fit: constant f(y) = {model.c:.2f}  ->  GE == STE")
+        else:
+            print(
+                f"  fit: f(y) = min({model.upper:.1f}, "
+                f"max({model.k:.4f}*y + {model.c:.2f}, {model.lower:.1f}))"
+            )
+            print(f"  gradient scale in linear region: 1 + k = {1 + model.k:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Weight-memory fault sensitivity of a quantized CNN.
+
+Sweeps stuck-bit error rates over the 4-bit weight store of an 8A4W model
+and reports accuracy — the reliability counterpart to designed
+approximation error, and a common analysis in approximate-computing
+deployments (cheap, lower-voltage memories trade bit errors for energy).
+
+Run:  python examples/fault_tolerance.py
+"""
+
+from repro.data import iterate_batches, make_synthetic_cifar
+from repro.models import simplecnn
+from repro.quant import calibrate_model, quantize_model
+from repro.sim import evaluate_accuracy, fault_sensitivity_sweep
+from repro.train import TrainConfig, cross_entropy_loss, train_model
+
+
+def main() -> None:
+    data = make_synthetic_cifar(num_train=600, num_test=300, image_size=16, seed=1)
+    model = simplecnn(base_width=8, rng=0)
+    train_model(
+        model,
+        data,
+        cross_entropy_loss(),
+        TrainConfig(epochs=8, batch_size=64, lr=0.05, momentum=0.9, seed=0),
+    )
+    quant = quantize_model(model)
+    calibrate_model(
+        quant,
+        iterate_batches(data.train_x, data.train_y, 64, shuffle=False),
+        max_batches=4,
+    )
+    clean = evaluate_accuracy(quant, data.test_x, data.test_y)
+    print(f"clean 8A4W accuracy: {100 * clean:.2f}%\n")
+
+    rates = [0.0, 0.001, 0.005, 0.02, 0.05, 0.1, 0.2]
+    reports = fault_sensitivity_sweep(
+        quant, data.test_x, data.test_y, bit_error_rates=rates, trials=3, rng=0
+    )
+    print(f"{'BER':>8s} {'acc[%]':>8s} {'drop[%]':>8s}")
+    print("-" * 28)
+    for report in reports:
+        print(
+            f"{report.bit_error_rate:8.3f} {100 * report.accuracy:8.2f} "
+            f"{100 * (clean - report.accuracy):8.2f}"
+        )
+    print(
+        f"\n({reports[-1].total_bits} weight bits per model; accuracies are "
+        "means over 3 fault patterns)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Quickstart: the full optimization flow of the paper in ~2 minutes on CPU.
+
+Steps (Algorithm 1 of the paper):
+
+1. Train a small full-precision CNN on the synthetic 10-class dataset.
+2. Quantization stage: convert to 8A4W, calibrate with MinPropQE, fine-tune
+   with knowledge distillation from the FP teacher (T1 = 1).
+3. Approximation stage: execute all GEMMs through an approximate multiplier
+   (truncated-4) and recover the lost accuracy with ApproxKD + gradient
+   estimation (T2 = 5).
+4. Report the energy savings of the final approximate network.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.approx import get_multiplier, network_energy
+from repro.data import make_synthetic_cifar
+from repro.models import simplecnn
+from repro.pipeline import approximation_stage, quantization_stage
+from repro.sim import count_macs, evaluate_accuracy
+from repro.train import TrainConfig, cross_entropy_loss, train_model
+
+MULTIPLIER = "truncated4"
+
+
+def main() -> None:
+    print("== 1. data + full-precision training ==")
+    data = make_synthetic_cifar(num_train=600, num_test=300, image_size=16, seed=1)
+    model = simplecnn(base_width=8, rng=0)
+    fp_config = TrainConfig(epochs=8, batch_size=64, lr=0.05, momentum=0.9, seed=0)
+    train_model(model, data, cross_entropy_loss(), fp_config)
+    fp_acc = evaluate_accuracy(model, data.test_x, data.test_y)
+    print(f"full-precision accuracy: {100 * fp_acc:.2f}%")
+
+    print("\n== 2. quantization stage (8A4W + KD, T1=1) ==")
+    ft_config = TrainConfig(epochs=3, batch_size=64, lr=0.02, momentum=0.9, seed=0)
+    quant_model, quant_result = quantization_stage(
+        model, data, train_config=ft_config, temperature=1.0
+    )
+    print(f"accuracy after quantization, before FT: {100 * quant_result.accuracy_before:.2f}%")
+    print(f"accuracy after KD fine-tuning:          {100 * quant_result.accuracy_after:.2f}%")
+
+    print(f"\n== 3. approximation stage ({MULTIPLIER} + ApproxKD + GE, T2=5) ==")
+    approx_model, approx_result = approximation_stage(
+        quant_model,
+        data,
+        MULTIPLIER,
+        method="approxkd_ge",
+        train_config=ft_config,
+        temperature=5.0,
+    )
+    print(f"accuracy with approximate multipliers, before FT: "
+          f"{100 * approx_result.accuracy_before:.2f}%")
+    print(f"accuracy after ApproxKD+GE fine-tuning:           "
+          f"{100 * approx_result.accuracy_after:.2f}%")
+
+    print("\n== 4. energy report ==")
+    macs = count_macs(approx_model, data.image_shape).total_macs
+    report = network_energy(macs, get_multiplier(MULTIPLIER))
+    print(
+        f"{macs / 1e6:.1f}M MACs/inference on {MULTIPLIER}: "
+        f"{report.savings_percent:.0f}% multiplier energy saved "
+        f"at {100 * (fp_acc - approx_result.accuracy_after):.2f}% accuracy cost vs FP"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Algorithm 1 end-to-end on a width-scaled ResNet20, comparing all five
+fine-tuning methods — a miniature of paper Table V on one multiplier.
+
+This is the heaviest example (~5-10 minutes on a laptop CPU). Pass a
+multiplier name to change the approximation (default truncated5).
+
+Run:  python examples/resnet_pipeline.py [multiplier]
+"""
+
+import sys
+
+from repro.approx import get_multiplier, mean_relative_error, network_energy
+from repro.data import make_synthetic_cifar
+from repro.distill import recommended_t2
+from repro.models import resnet20
+from repro.pipeline import METHODS, approximation_stage, quantization_stage
+from repro.sim import count_macs, evaluate_accuracy
+from repro.train import TrainConfig, cross_entropy_loss, train_model
+
+
+def main(multiplier_name: str = "truncated5") -> None:
+    mult = get_multiplier(multiplier_name)
+    mre = mean_relative_error(mult)
+    temperature = recommended_t2(mre)
+
+    data = make_synthetic_cifar(num_train=320, num_test=200, image_size=16, seed=42, noise=0.4)
+    model = resnet20(width_mult=0.25, rng=0)
+    print("training full-precision ResNet20 (width 0.25)...")
+    train_model(
+        model,
+        data,
+        cross_entropy_loss(),
+        TrainConfig(epochs=12, batch_size=64, lr=0.05, momentum=0.9, seed=0),
+    )
+    fp_acc = evaluate_accuracy(model, data.test_x, data.test_y)
+    print(f"FP accuracy: {100 * fp_acc:.2f}%")
+
+    ft_config = TrainConfig(epochs=2, batch_size=64, lr=0.02, momentum=0.9, seed=0)
+    quant_model, quant_result = quantization_stage(
+        model, data, train_config=ft_config, temperature=1.0
+    )
+    print(
+        f"8A4W: {100 * quant_result.accuracy_before:.2f}% -> "
+        f"{100 * quant_result.accuracy_after:.2f}% after KD fine-tuning"
+    )
+
+    print(
+        f"\napproximating with {mult.name} "
+        f"(MRE {100 * mre:.1f}%, T2 = {temperature:g}):"
+    )
+    for method in METHODS:
+        _, result = approximation_stage(
+            quant_model,
+            data,
+            mult,
+            method=method,
+            train_config=ft_config,
+            temperature=temperature,
+        )
+        print(
+            f"  {method:12s}: {100 * result.accuracy_before:6.2f}% -> "
+            f"{100 * result.accuracy_after:6.2f}%"
+        )
+
+    macs = count_macs(quant_model, data.image_shape).total_macs
+    print(
+        f"\nenergy: {network_energy(macs, mult).savings_percent:.0f}% of multiplier "
+        f"energy saved on {macs / 1e6:.1f}M MACs/inference"
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "truncated5")

@@ -1,0 +1,56 @@
+"""Run a multiplier × method sweep and export the results as JSON.
+
+Demonstrates the programmatic sweep harness (`repro.pipeline.run_sweep`)
+that the table benchmarks are built on: quantize a model once, sweep the
+approximation stage over a grid, inspect the result object, and persist it
+for downstream analysis.
+
+Run:  python examples/sweep_to_json.py [output.json]
+"""
+
+import sys
+
+from repro.data import make_synthetic_cifar
+from repro.models import simplecnn
+from repro.pipeline import quantization_stage, run_sweep
+from repro.train import TrainConfig, cross_entropy_loss, train_model
+
+
+def main(out_path: str = "sweep_results.json") -> None:
+    data = make_synthetic_cifar(num_train=600, num_test=300, image_size=16, seed=1)
+    model = simplecnn(base_width=8, rng=0)
+    train_model(
+        model,
+        data,
+        cross_entropy_loss(),
+        TrainConfig(epochs=8, batch_size=64, lr=0.05, momentum=0.9, seed=0),
+    )
+    ft = TrainConfig(epochs=2, batch_size=32, lr=0.01, momentum=0.9, grad_clip=1.0, seed=0)
+    quant_model, _ = quantization_stage(model, data, train_config=ft, temperature=1.0)
+
+    result = run_sweep(
+        quant_model,
+        data,
+        multipliers=["truncated3", "truncated4", "truncated5", "evoapprox228"],
+        methods=("normal", "approxkd_ge"),
+        train_config=ft,
+    )
+
+    print(f"{'multiplier':14s} {'method':12s} {'T2':>4s} {'init[%]':>8s} {'final[%]':>9s}")
+    print("-" * 52)
+    for p in result.points:
+        print(
+            f"{p.multiplier:14s} {p.method:12s} {p.temperature:4.0f} "
+            f"{100 * p.initial_accuracy:8.2f} {100 * p.final_accuracy:9.2f}"
+        )
+    best = result.best_point()
+    print(
+        f"\nbest cell: {best.multiplier} + {best.method} "
+        f"({100 * best.final_accuracy:.2f}% at {100 * best.energy_savings:.0f}% savings)"
+    )
+    result.to_json(out_path)
+    print(f"sweep written to {out_path}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "sweep_results.json")

@@ -1,0 +1,65 @@
+"""Distillation-temperature sweep (the experiment behind paper Table III).
+
+Fine-tunes the same quantized CNN under an aggressive approximate
+multiplier with ApproxKD at each temperature of the paper's grid
+{1, 2, 5, 10}, and reports the best/worst temperature. With a large-MRE
+multiplier, higher temperatures should win — the paper's central ablation
+finding.
+
+Run:  python examples/temperature_sweep.py [multiplier]
+      (default multiplier: truncated5)
+"""
+
+import sys
+
+from repro.approx import get_multiplier, mean_relative_error
+from repro.data import make_synthetic_cifar
+from repro.distill import TEMPERATURE_GRID, recommended_t2
+from repro.models import simplecnn
+from repro.pipeline import approximation_stage, quantization_stage
+from repro.train import TrainConfig, cross_entropy_loss, train_model
+
+
+def main(multiplier_name: str = "truncated5") -> None:
+    mult = get_multiplier(multiplier_name)
+    mre = mean_relative_error(mult)
+    print(f"multiplier: {mult.name}  (MRE {100 * mre:.1f}%)")
+
+    data = make_synthetic_cifar(num_train=600, num_test=300, image_size=16, seed=1)
+    model = simplecnn(base_width=8, rng=0)
+    train_model(
+        model,
+        data,
+        cross_entropy_loss(),
+        TrainConfig(epochs=8, batch_size=64, lr=0.05, momentum=0.9, seed=0),
+    )
+    ft_config = TrainConfig(epochs=3, batch_size=64, lr=0.02, momentum=0.9, seed=0)
+    quant_model, _ = quantization_stage(model, data, train_config=ft_config, temperature=1.0)
+
+    results = {}
+    for temp in TEMPERATURE_GRID:
+        _, result = approximation_stage(
+            quant_model,
+            data,
+            mult,
+            method="approxkd",
+            train_config=ft_config,
+            temperature=temp,
+        )
+        results[temp] = result
+        print(
+            f"T2 = {temp:5.1f}: initial {100 * result.accuracy_before:6.2f}%  "
+            f"final {100 * result.accuracy_after:6.2f}%"
+        )
+
+    best = max(results, key=lambda t: results[t].accuracy_after)
+    worst = min(results, key=lambda t: results[t].accuracy_after)
+    print(
+        f"\nbest T2 = {best:g} ({100 * results[best].accuracy_after:.2f}%), "
+        f"worst T2 = {worst:g} ({100 * results[worst].accuracy_after:.2f}%)"
+    )
+    print(f"paper's policy would pick T2 = {recommended_t2(mre):g} for this MRE")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "truncated5")

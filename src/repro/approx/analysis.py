@@ -1,0 +1,101 @@
+"""Statistical analysis of approximate-multiplier errors.
+
+Complements the scalar metrics in :mod:`repro.approx.metrics` with richer
+characterisations used by the examples and for multiplier selection:
+error histograms, per-operand-magnitude profiles, and a compact summary
+combining everything a designer looks at before picking a multiplier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.approx.metrics import (
+    error_bias_ratio,
+    max_absolute_error,
+    mean_error,
+    mean_relative_error,
+)
+from repro.approx.multiplier import Multiplier
+
+
+@dataclass(frozen=True)
+class MultiplierSummary:
+    """Everything the paper reports (or uses implicitly) per multiplier."""
+
+    name: str
+    mre: float
+    mean_error: float
+    max_abs_error: int
+    bias_ratio: float
+    energy_savings: float
+    error_free_fraction: float  # share of operand pairs computed exactly
+
+    @property
+    def is_biased(self) -> bool:
+        """One-sided error (truncation-like): bias ratio above 0.5."""
+        return self.bias_ratio > 0.5
+
+
+def summarize_multiplier(multiplier: Multiplier) -> MultiplierSummary:
+    """Compute the full characterisation of ``multiplier``."""
+    table = multiplier.error_table()
+    return MultiplierSummary(
+        name=multiplier.name,
+        mre=mean_relative_error(multiplier),
+        mean_error=mean_error(multiplier),
+        max_abs_error=max_absolute_error(multiplier),
+        bias_ratio=error_bias_ratio(multiplier),
+        energy_savings=multiplier.energy_savings,
+        error_free_fraction=float((table == 0).mean()),
+    )
+
+
+def error_histogram(
+    multiplier: Multiplier, bins: int = 21
+) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram of the signed error over the unsigned operand domain.
+
+    Returns ``(counts, bin_edges)`` like ``numpy.histogram``.
+    """
+    table = multiplier.error_table().reshape(-1)
+    lo, hi = table.min(), table.max()
+    if lo == hi:
+        lo, hi = lo - 0.5, hi + 0.5
+    return np.histogram(table, bins=bins, range=(float(lo), float(hi)))
+
+
+def error_by_operand_magnitude(
+    multiplier: Multiplier, num_bins: int = 8
+) -> list[tuple[float, float]]:
+    """Mean |relative error| binned by the activation operand's magnitude.
+
+    Returns ``[(bin_center, mean_relative_error), ...]``. Useful to see
+    whether a design concentrates its error on small or large operands —
+    e.g. DRUM is exact for small operands, truncation hurts them most.
+    """
+    a = np.arange(2**multiplier.x_bits, dtype=np.int64)[:, None]
+    b = np.arange(2**multiplier.w_bits, dtype=np.int64)[None, :]
+    exact = a * b
+    rel = np.abs(exact - multiplier.lut.astype(np.int64)) / np.maximum(exact, 1)
+    edges = np.linspace(0, 2**multiplier.x_bits, num_bins + 1)
+    profile = []
+    for lo, hi in zip(edges, edges[1:]):
+        mask = (a[:, 0] >= lo) & (a[:, 0] < hi)
+        if not mask.any():
+            continue
+        profile.append((float(0.5 * (lo + hi)), float(rel[mask].mean())))
+    return profile
+
+
+def compare_multipliers(names_or_multipliers) -> list[MultiplierSummary]:
+    """Summaries for a collection of multipliers, sorted by energy savings."""
+    from repro.approx.registry import get_multiplier
+
+    summaries = []
+    for item in names_or_multipliers:
+        mult = item if isinstance(item, Multiplier) else get_multiplier(item)
+        summaries.append(summarize_multiplier(mult))
+    return sorted(summaries, key=lambda s: s.energy_savings)

@@ -1,0 +1,54 @@
+"""Composing approximation techniques (the paper's outlook).
+
+The paper's conclusion proposes incorporating "more than one approximation
+technique into the CNN computation". This module composes a second
+approximation — truncated accumulation — on top of any multiplier:
+
+If the accumulator drops its ``t`` least-significant bits at every addition
+of a partial product, each product effectively enters the sum truncated to
+a multiple of ``2^t``. That elementwise effect composes into the
+multiplier's LUT, so the combined unit is itself a :class:`Multiplier` and
+every simulator/GE/KD path works on it unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.approx.multiplier import Multiplier
+from repro.errors import MultiplierError
+
+
+def compose_truncated_accumulation(
+    multiplier: Multiplier,
+    adder_lsbs: int,
+    extra_savings: float = 0.02,
+) -> Multiplier:
+    """Return ``multiplier`` followed by a ``t``-LSB truncating accumulator.
+
+    Parameters
+    ----------
+    adder_lsbs:
+        Number of least-significant bits the accumulator drops per addition.
+    extra_savings:
+        Additional fractional energy saved per truncated adder bit-slice
+        (accumulators are cheap relative to multipliers; the default is a
+        conservative 2% per composition, applied once).
+    """
+    if adder_lsbs < 0 or adder_lsbs >= multiplier.x_bits + multiplier.w_bits:
+        raise MultiplierError(
+            f"adder truncation depth {adder_lsbs} outside "
+            f"[0, {multiplier.x_bits + multiplier.w_bits - 1}]"
+        )
+    if adder_lsbs == 0:
+        return multiplier
+    mask = ~np.int64((1 << adder_lsbs) - 1)
+    lut = (multiplier.lut.astype(np.int64) & mask).astype(np.int32)
+    savings = min(0.95, multiplier.energy_savings + extra_savings)
+    return Multiplier(
+        f"{multiplier.name}+acc{adder_lsbs}",
+        lut,
+        multiplier.x_bits,
+        multiplier.w_bits,
+        energy_savings=savings,
+    )

@@ -1,0 +1,61 @@
+"""Static energy model for approximate CNN inference.
+
+Follows the paper's accounting: each multiplier design has a fixed relative
+energy (from [20], [21]); the energy of a network is the number of MAC
+operations times the per-MAC cost, and "savings" are reported relative to
+computing the same quantized network with exact multipliers. Adder energy
+can be included as a constant per-MAC overhead, which dilutes the savings
+exactly as it would on silicon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.approx.multiplier import Multiplier
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy of one network/multiplier pairing."""
+
+    macs: int
+    multiplier_name: str
+    multiplier_savings: float
+    adder_fraction: float
+    total_relative_energy: float  # vs. the exact-multiplier network
+
+    @property
+    def savings(self) -> float:
+        """Fractional energy saved vs. the exact design."""
+        return 1.0 - self.total_relative_energy
+
+    @property
+    def savings_percent(self) -> float:
+        return 100.0 * self.savings
+
+
+def network_energy(
+    macs: int,
+    multiplier: Multiplier,
+    adder_fraction: float = 0.0,
+) -> EnergyReport:
+    """Energy report for running ``macs`` MACs on ``multiplier``.
+
+    ``adder_fraction`` is the share of exact per-MAC energy spent in the
+    (unchanged) accumulator; 0 reproduces the paper's multiplier-only
+    accounting, where network savings equal the multiplier savings.
+    """
+    if not 0.0 <= adder_fraction < 1.0:
+        raise ValueError(f"adder_fraction must be in [0, 1), got {adder_fraction}")
+    if macs < 0:
+        raise ValueError(f"MAC count must be non-negative, got {macs}")
+    mult_fraction = 1.0 - adder_fraction
+    relative = adder_fraction + mult_fraction * (1.0 - multiplier.energy_savings)
+    return EnergyReport(
+        macs=macs,
+        multiplier_name=multiplier.name,
+        multiplier_savings=multiplier.energy_savings,
+        adder_fraction=adder_fraction,
+        total_relative_energy=relative,
+    )

@@ -1,0 +1,125 @@
+"""Approximate integer GEMM (Eq. 4 of the paper).
+
+Computes ``ỹ[i,j] = Σ_k g̃(A[i,k], B[k,j])`` where ``g̃`` is an approximate
+multiplication realised as a LUT. Signed operands are evaluated in
+sign-magnitude form.
+
+The engine exploits the small weight alphabet: a 4-bit symmetric weight only
+takes 15 values, so the GEMM decomposes as
+
+    ỹ = Σ_{v=1..whi} G_v (1[B = v] - 1[B = -v]),   G_v[i,k] = g̃(A[i,k], v)
+
+— one LUT gather plus one BLAS matmul per positive weight value (the v = -v
+term uses the sign-magnitude odd symmetry ``g̃(a, -v) = -g̃(a, v)``). All
+products and partial sums are integers far below 2^53, so float64 BLAS is
+exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.approx.multiplier import Multiplier
+from repro.errors import MultiplierError, ShapeError
+
+# Largest |product|·K for which float64 accumulation is provably exact.
+_EXACT_FLOAT64_BOUND = 2.0**52
+
+
+def exact_int_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Exact integer GEMM.
+
+    Uses float32/float64 BLAS — exact for the bounded operands produced by
+    the quantizer — and falls back to int64 accumulation for larger values.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.size and b.size:
+        max_sum = float(np.abs(a).max()) * float(np.abs(b).max()) * a.shape[1]
+        if max_sum < 2.0**23:
+            return np.rint(a.astype(np.float32) @ b.astype(np.float32)).astype(np.int64)
+        if max_sum < _EXACT_FLOAT64_BOUND:
+            return np.rint(a.astype(np.float64) @ b.astype(np.float64)).astype(np.int64)
+    return a.astype(np.int64) @ b.astype(np.int64)
+
+
+def approx_matmul(a: np.ndarray, b: np.ndarray, multiplier: Multiplier) -> np.ndarray:
+    """Approximate integer GEMM ``a @ b`` using ``multiplier`` elementwise.
+
+    Parameters
+    ----------
+    a:
+        Signed integer codes of shape (M, K); magnitudes must fit the
+        multiplier's ``x_bits`` unsigned domain.
+    b:
+        Signed integer codes of shape (K, N); magnitudes must fit the
+        multiplier's ``w_bits`` unsigned domain.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ShapeError(f"incompatible GEMM shapes {a.shape} x {b.shape}")
+    if a.dtype.kind not in "iu" or b.dtype.kind not in "iu":
+        raise MultiplierError("approx_matmul operates on integer codes")
+    if multiplier.is_exact:
+        return exact_int_matmul(a, b)
+
+    xhi = 2 ** (multiplier.x_bits - 1) - 1
+    whi = 2 ** (multiplier.w_bits - 1) - 1
+    _check_magnitude(a, xhi, multiplier.name, "a")
+    _check_magnitude(b, whi, multiplier.name, "b")
+
+    # float32 accumulation is exact while every partial sum of integer
+    # products stays below 2^24; fall back to float64 otherwise.
+    max_product = float(np.abs(multiplier.lut).max())
+    use_f32 = max_product * a.shape[1] < 2.0**23
+    lut = multiplier.signed_lut_f32() if use_f32 else multiplier.signed_lut().astype(np.float64)
+    dtype = np.float32 if use_f32 else np.float64
+
+    a_idx = (a.astype(np.intp) + xhi).ravel()
+    m, k = a.shape
+    n = b.shape[1]
+    gathered: list[np.ndarray] = []
+    masks: list[np.ndarray] = []
+    for v in range(1, whi + 1):
+        # v = 0 contributes g̃(a, 0) = 0 under sign-magnitude evaluation.
+        pos = b == v
+        neg = b == -v
+        any_pos, any_neg = pos.any(), neg.any()
+        if not (any_pos or any_neg):
+            continue
+        gathered.append(lut[:, whi + v].take(a_idx).reshape(m, k))
+        mask = pos.astype(dtype)
+        if any_neg:
+            mask -= neg
+        masks.append(mask)
+    if not gathered:
+        return np.zeros((m, n), dtype=np.int64)
+    # One fused BLAS call over all active weight values.
+    big_g = np.concatenate(gathered, axis=1)
+    big_h = np.concatenate(masks, axis=0)
+    return np.rint(big_g @ big_h).astype(np.int64)
+
+
+def _check_magnitude(codes: np.ndarray, bound: int, name: str, operand: str) -> None:
+    if codes.size:
+        mag = np.abs(codes).max()
+        if mag > bound:
+            raise MultiplierError(
+                f"{name}: magnitude of operand {operand} exceeds the symmetric "
+                f"range (max {int(mag)} > {bound}); quantize into the symmetric "
+                "range first"
+            )
+
+
+def approx_matmul_with_exact(
+    a: np.ndarray, b: np.ndarray, multiplier: Multiplier
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(ỹ, y)`` — approximate and exact GEMM on the same operands.
+
+    Used by gradient estimation, which needs the exact output ``y`` to decide
+    which entries fall in the linear region of the fitted error function.
+    """
+    exact = exact_int_matmul(a, b)
+    approx = approx_matmul(a, b, multiplier)
+    return approx, exact

@@ -1,0 +1,45 @@
+"""Error metrics for approximate multipliers (Eq. 14 of the paper)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.approx.multiplier import Multiplier
+
+
+def mean_relative_error(multiplier: Multiplier) -> float:
+    """Exhaustive Mean Relative Error over the unsigned domain (Eq. 14).
+
+    ``MRE = mean_{j,k} |g(j,k) - g̃(j,k)| / max(g(j,k), 1)`` over all
+    ``2^Nx × 2^Nw`` operand pairs.
+    """
+    a = np.arange(2**multiplier.x_bits, dtype=np.int64)[:, None]
+    b = np.arange(2**multiplier.w_bits, dtype=np.int64)[None, :]
+    exact = a * b
+    err = np.abs(exact - multiplier.lut.astype(np.int64))
+    return float(np.mean(err / np.maximum(exact, 1)))
+
+
+def mean_error(multiplier: Multiplier) -> float:
+    """Signed mean error (bias) of the multiplier over the unsigned domain."""
+    return float(multiplier.error_table().mean())
+
+
+def max_absolute_error(multiplier: Multiplier) -> int:
+    """Worst-case absolute error over the unsigned domain."""
+    return int(np.abs(multiplier.error_table()).max())
+
+
+def error_bias_ratio(multiplier: Multiplier) -> float:
+    """|mean error| / mean |error| — 1.0 for fully one-sided (biased) errors,
+    ~0 for symmetric (unbiased) errors.
+
+    Truncated multipliers score near 1 (their error is always ≤ 0);
+    EvoApprox-style multipliers score near 0. The gradient-estimation stage
+    uses the same distinction when deciding whether ``∂f/∂y`` is zero.
+    """
+    table = multiplier.error_table().astype(np.float64)
+    denom = np.abs(table).mean()
+    if denom == 0:
+        return 0.0
+    return float(abs(table.mean()) / denom)

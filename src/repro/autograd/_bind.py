@@ -1,0 +1,43 @@
+"""Attach operator overloads and convenience methods to :class:`Tensor`.
+
+Kept in its own module so :mod:`repro.autograd.tensor` stays free of import
+cycles with the op modules.
+"""
+
+from __future__ import annotations
+
+from repro.autograd import ops_activation, ops_basic, ops_matmul, ops_reduce, ops_shape
+from repro.autograd.tensor import Tensor
+
+
+def _bind() -> None:
+    Tensor.__add__ = lambda self, other: ops_basic.add(self, other)
+    Tensor.__radd__ = lambda self, other: ops_basic.add(other, self)
+    Tensor.__sub__ = lambda self, other: ops_basic.sub(self, other)
+    Tensor.__rsub__ = lambda self, other: ops_basic.sub(other, self)
+    Tensor.__mul__ = lambda self, other: ops_basic.mul(self, other)
+    Tensor.__rmul__ = lambda self, other: ops_basic.mul(other, self)
+    Tensor.__truediv__ = lambda self, other: ops_basic.div(self, other)
+    Tensor.__rtruediv__ = lambda self, other: ops_basic.div(other, self)
+    Tensor.__neg__ = lambda self: ops_basic.neg(self)
+    Tensor.__pow__ = lambda self, exponent: ops_basic.pow_scalar(self, exponent)
+    Tensor.__matmul__ = lambda self, other: ops_matmul.matmul(self, other)
+    Tensor.__getitem__ = lambda self, index: ops_shape.getitem(self, index)
+
+    Tensor.sum = lambda self, axis=None, keepdims=False: ops_reduce.sum_(self, axis, keepdims)
+    Tensor.mean = lambda self, axis=None, keepdims=False: ops_reduce.mean(self, axis, keepdims)
+    Tensor.max = lambda self, axis=None, keepdims=False: ops_reduce.max_(self, axis, keepdims)
+    Tensor.reshape = lambda self, *shape: ops_shape.reshape(
+        self, shape[0] if len(shape) == 1 and isinstance(shape[0], (tuple, list)) else shape
+    )
+    Tensor.transpose = lambda self, axes=None: ops_shape.transpose(self, axes)
+    Tensor.flatten = lambda self, start_axis=1: ops_shape.flatten(self, start_axis)
+    Tensor.exp = lambda self: ops_basic.exp(self)
+    Tensor.log = lambda self: ops_basic.log(self)
+    Tensor.sqrt = lambda self: ops_basic.sqrt(self)
+    Tensor.abs = lambda self: ops_basic.abs_(self)
+    Tensor.clip = lambda self, lo=None, hi=None: ops_basic.clip(self, lo, hi)
+    Tensor.relu = lambda self: ops_activation.relu(self)
+
+
+_bind()

@@ -1,0 +1,67 @@
+"""Differentiable operations as :class:`Function` subclasses.
+
+Each op implements ``forward`` on raw numpy arrays and ``backward`` mapping
+the upstream gradient to one gradient per parent (``None`` for
+non-differentiable or non-tensor parents). ``Function.apply`` wires results
+into the autograd graph when gradient recording is enabled.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.grad_mode import is_grad_enabled
+from repro.autograd.tensor import Tensor
+
+
+class Function:
+    """Base class for differentiable operations.
+
+    Subclasses override :meth:`forward` (numpy in / numpy out) and
+    :meth:`backward` (upstream gradient in / per-parent gradients out).
+    State needed by the backward pass is stashed on ``self`` during forward.
+    """
+
+    def __init__(self) -> None:
+        self.parents: tuple[Tensor | None, ...] = ()
+
+    # -- interface ------------------------------------------------------
+    def forward(self, *args, **kwargs) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray):
+        raise NotImplementedError
+
+    # -- graph wiring ----------------------------------------------------
+    @classmethod
+    def apply(cls, *args, **kwargs) -> Tensor:
+        """Run ``forward`` and, when recording, attach the node to the graph.
+
+        Tensor arguments become graph parents; all other arguments are passed
+        through to ``forward`` as plain values.
+        """
+        fn = cls()
+        raw_args = [a.data if isinstance(a, Tensor) else a for a in args]
+        out_data = fn.forward(*raw_args, **kwargs)
+        tensor_parents = [a for a in args if isinstance(a, Tensor)]
+        needs_grad = is_grad_enabled() and any(t.requires_grad for t in tensor_parents)
+        out = Tensor(out_data, requires_grad=needs_grad)
+        if needs_grad:
+            fn.parents = tuple(a if isinstance(a, Tensor) else None for a in args)
+            out.creator = fn
+        return out
+
+
+def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, inverting numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Remove leading broadcast axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum along axes that were broadcast from size 1.
+    axes = tuple(i for i, (g, s) in enumerate(zip(grad.shape, shape)) if s == 1 and g != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)

@@ -1,0 +1,67 @@
+"""Numerical gradient checking for autograd ops and custom Functions."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+def numerical_gradient(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    wrt: int,
+    eps: float = 1e-4,
+) -> np.ndarray:
+    """Central-difference gradient of ``fn(*inputs).sum()`` w.r.t. one input."""
+    target = inputs[wrt]
+    grad = np.zeros_like(target.data, dtype=np.float64)
+    flat = target.data.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = float(fn(*inputs).data.sum())
+        flat[i] = original - eps
+        minus = float(fn(*inputs).data.sum())
+        flat[i] = original
+        gflat[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def check_gradients(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    atol: float = 1e-3,
+    rtol: float = 1e-3,
+    eps: float = 1e-4,
+) -> None:
+    """Assert analytic gradients of ``fn`` match central differences.
+
+    ``fn`` must map the given tensors to a single output tensor; the check
+    backpropagates from ``output.sum()``. Inputs should be float64 for tight
+    tolerances.
+
+    Raises
+    ------
+    AssertionError
+        If any analytic gradient deviates from the numerical one.
+    """
+    for t in inputs:
+        t.zero_grad()
+    out = fn(*inputs)
+    out.backward(np.ones_like(out.data))
+    for i, t in enumerate(inputs):
+        if not t.requires_grad:
+            continue
+        assert t.grad is not None, f"input {i} received no gradient"
+        numeric = numerical_gradient(fn, inputs, i, eps=eps)
+        np.testing.assert_allclose(
+            t.grad,
+            numeric,
+            atol=atol,
+            rtol=rtol,
+            err_msg=f"analytic/numeric gradient mismatch for input {i}",
+        )

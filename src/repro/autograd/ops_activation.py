@@ -1,0 +1,82 @@
+"""Activation-function ops."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.function import Function
+from repro.autograd.tensor import Tensor, as_tensor
+
+
+class ReLU(Function):
+    def forward(self, a):
+        a = np.asarray(a)
+        self.mask = a > 0
+        return a * self.mask
+
+    def backward(self, grad_out):
+        return (grad_out * self.mask,)
+
+
+class ReLU6(Function):
+    """``min(max(x, 0), 6)`` — the clipped ReLU used by MobileNetV2."""
+
+    def forward(self, a):
+        a = np.asarray(a)
+        self.mask = (a > 0) & (a < 6.0)
+        return np.clip(a, 0.0, 6.0)
+
+    def backward(self, grad_out):
+        return (grad_out * self.mask,)
+
+
+class LeakyReLU(Function):
+    def forward(self, a, negative_slope: float = 0.01):
+        a = np.asarray(a)
+        self.slope = float(negative_slope)
+        self.mask = a > 0
+        return np.where(self.mask, a, a * self.slope)
+
+    def backward(self, grad_out):
+        return (np.where(self.mask, grad_out, grad_out * self.slope), None)
+
+
+class Sigmoid(Function):
+    def forward(self, a):
+        self.out = 1.0 / (1.0 + np.exp(-np.asarray(a)))
+        return self.out
+
+    def backward(self, grad_out):
+        return (grad_out * self.out * (1.0 - self.out),)
+
+
+class Tanh(Function):
+    def forward(self, a):
+        self.out = np.tanh(a)
+        return self.out
+
+    def backward(self, grad_out):
+        return (grad_out * (1.0 - self.out * self.out),)
+
+
+# ----------------------------------------------------------------------
+# functional wrappers
+# ----------------------------------------------------------------------
+def relu(a) -> Tensor:
+    return ReLU.apply(as_tensor(a))
+
+
+def relu6(a) -> Tensor:
+    return ReLU6.apply(as_tensor(a))
+
+
+def leaky_relu(a, negative_slope: float = 0.01) -> Tensor:
+    return LeakyReLU.apply(as_tensor(a), negative_slope)
+
+
+def sigmoid(a) -> Tensor:
+    return Sigmoid.apply(as_tensor(a))
+
+
+def tanh(a) -> Tensor:
+    return Tanh.apply(as_tensor(a))

@@ -1,0 +1,224 @@
+"""Matrix multiplication, linear, convolution and pooling ops."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.function import Function
+from repro.autograd.im2col import col2im, conv_out_size, im2col, sliding_windows
+from repro.autograd.tensor import Tensor, as_tensor
+from repro.errors import ShapeError
+
+
+class MatMul(Function):
+    def forward(self, a, b):
+        self.a, self.b = np.asarray(a), np.asarray(b)
+        return self.a @ self.b
+
+    def backward(self, grad_out):
+        grad_a = grad_out @ self.b.T
+        grad_b = self.a.T @ grad_out
+        return grad_a, grad_b
+
+
+class LinearOp(Function):
+    """Fused affine map ``x @ W.T + b`` with ``W`` of shape (out, in)."""
+
+    def forward(self, x, weight, bias):
+        self.x, self.weight = np.asarray(x), np.asarray(weight)
+        self.has_bias = bias is not None
+        out = self.x @ self.weight.T
+        if self.has_bias:
+            out = out + bias
+        return out
+
+    def backward(self, grad_out):
+        grad_x = grad_out @ self.weight
+        grad_w = grad_out.T @ self.x
+        grad_b = grad_out.sum(axis=0) if self.has_bias else None
+        return grad_x, grad_w, grad_b
+
+
+class Conv2dOp(Function):
+    """Float convolution computed as an im2col GEMM.
+
+    ``weight`` has shape ``(out_channels, in_channels/groups, kh, kw)``.
+    Grouped convolutions are supported; depthwise (groups == in_channels)
+    takes a fully vectorised windowed path.
+    """
+
+    def forward(self, x, weight, bias, stride: int = 1, padding: int = 0, groups: int = 1):
+        x, weight = np.asarray(x), np.asarray(weight)
+        n, c, h, w = x.shape
+        oc, cg, kh, kw = weight.shape
+        if c % groups or oc % groups:
+            raise ShapeError(f"channels ({c} in, {oc} out) not divisible by groups={groups}")
+        if cg != c // groups:
+            raise ShapeError(
+                f"weight expects {cg} input channels per group, input provides {c // groups}"
+            )
+        self.x_shape = x.shape
+        self.weight = weight
+        self.stride, self.padding, self.groups = stride, padding, groups
+        self.has_bias = bias is not None
+        oh = conv_out_size(h, kh, stride, padding)
+        ow = conv_out_size(w, kw, stride, padding)
+
+        if groups == 1:
+            cols, _ = im2col(x, (kh, kw), stride, padding)  # (N*OH*OW, C*KH*KW)
+            self.cols = cols
+            out = cols @ weight.reshape(oc, -1).T  # (N*OH*OW, OC)
+            out = out.reshape(n, oh, ow, oc).transpose(0, 3, 1, 2)
+        elif groups == c and cg == 1:
+            # Depthwise fast path: one filter (per output-channel multiplier m)
+            # slides over its own input channel.
+            m = oc // c
+            windows = sliding_windows(x, (kh, kw), stride, padding)  # (N,C,OH,OW,KH,KW)
+            self.windows = windows
+            wdw = weight.reshape(c, m, kh, kw)
+            # out[n, c, m, oh, ow] = sum_{kh,kw} windows * wdw
+            out = np.einsum("nchwij,cmij->ncmhw", windows, wdw, optimize=True)
+            out = out.reshape(n, oc, oh, ow)
+        else:
+            self.group_cols = []
+            outs = []
+            ocg = oc // groups
+            for g in range(groups):
+                xg = x[:, g * cg : (g + 1) * cg]
+                wg = weight[g * ocg : (g + 1) * ocg]
+                cols, _ = im2col(xg, (kh, kw), stride, padding)
+                self.group_cols.append(cols)
+                og = cols @ wg.reshape(ocg, -1).T
+                outs.append(og.reshape(n, oh, ow, ocg).transpose(0, 3, 1, 2))
+            out = np.concatenate(outs, axis=1)
+
+        if self.has_bias:
+            out = out + np.asarray(bias).reshape(1, oc, 1, 1)
+        self.out_spatial = (oh, ow)
+        return np.ascontiguousarray(out)
+
+    def backward(self, grad_out):
+        n, c, h, w = self.x_shape
+        oc, cg, kh, kw = self.weight.shape
+        stride, padding, groups = self.stride, self.padding, self.groups
+        oh, ow = self.out_spatial
+        grad_b = grad_out.sum(axis=(0, 2, 3)) if self.has_bias else None
+
+        if groups == 1:
+            g2 = grad_out.transpose(0, 2, 3, 1).reshape(n * oh * ow, oc)
+            grad_w = (g2.T @ self.cols).reshape(oc, cg, kh, kw)
+            grad_cols = g2 @ self.weight.reshape(oc, -1)
+            grad_x = col2im(grad_cols, self.x_shape, (kh, kw), stride, padding)
+        elif groups == c and cg == 1:
+            m = oc // c
+            g5 = grad_out.reshape(n, c, m, oh, ow)
+            grad_w = np.einsum("ncmhw,nchwij->cmij", g5, self.windows, optimize=True)
+            grad_w = grad_w.reshape(oc, 1, kh, kw)
+            wdw = self.weight.reshape(c, m, kh, kw)
+            # grad wrt windows, then fold back with col2im per channel.
+            grad_windows = np.einsum("ncmhw,cmij->nchwij", g5, wdw, optimize=True)
+            cols = grad_windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * oh * ow, c * kh * kw)
+            grad_x = col2im(cols, self.x_shape, (kh, kw), stride, padding)
+        else:
+            ocg = oc // groups
+            grad_w = np.empty_like(self.weight)
+            grad_x_parts = []
+            for g in range(groups):
+                gg = grad_out[:, g * ocg : (g + 1) * ocg]
+                g2 = gg.transpose(0, 2, 3, 1).reshape(n * oh * ow, ocg)
+                cols = self.group_cols[g]
+                grad_w[g * ocg : (g + 1) * ocg] = (g2.T @ cols).reshape(ocg, cg, kh, kw)
+                grad_cols = g2 @ self.weight[g * ocg : (g + 1) * ocg].reshape(ocg, -1)
+                grad_x_parts.append(
+                    col2im(grad_cols, (n, cg, h, w), (kh, kw), stride, padding)
+                )
+            grad_x = np.concatenate(grad_x_parts, axis=1)
+
+        return grad_x, grad_w, grad_b, None, None, None
+
+
+class AvgPool2d(Function):
+    def forward(self, x, kernel: int, stride: int | None = None):
+        x = np.asarray(x)
+        stride = stride or kernel
+        self.x_shape = x.shape
+        self.kernel, self.stride = kernel, stride
+        windows = sliding_windows(x, (kernel, kernel), stride, 0)
+        self.out_spatial = windows.shape[2:4]
+        return windows.mean(axis=(4, 5))
+
+    def backward(self, grad_out):
+        n, c, h, w = self.x_shape
+        k, s = self.kernel, self.stride
+        oh, ow = self.out_spatial
+        grad_x = np.zeros(self.x_shape, dtype=grad_out.dtype)
+        scaled = grad_out / (k * k)
+        for i in range(k):
+            for j in range(k):
+                grad_x[:, :, i : i + s * oh : s, j : j + s * ow : s] += scaled
+        return (grad_x, None, None)
+
+
+class MaxPool2d(Function):
+    def forward(self, x, kernel: int, stride: int | None = None):
+        x = np.asarray(x)
+        stride = stride or kernel
+        self.x_shape = x.shape
+        self.kernel, self.stride = kernel, stride
+        windows = sliding_windows(x, (kernel, kernel), stride, 0)
+        n, c, oh, ow = windows.shape[:4]
+        flat = windows.reshape(n, c, oh, ow, kernel * kernel)
+        self.argmax = flat.argmax(axis=-1)
+        self.out_spatial = (oh, ow)
+        return flat.max(axis=-1)
+
+    def backward(self, grad_out):
+        n, c, h, w = self.x_shape
+        k, s = self.kernel, self.stride
+        oh, ow = self.out_spatial
+        grad_x = np.zeros(self.x_shape, dtype=grad_out.dtype)
+        ki, kj = np.divmod(self.argmax, k)
+        ni, ci, oi, oj = np.indices((n, c, oh, ow), sparse=False)
+        np.add.at(grad_x, (ni, ci, oi * s + ki, oj * s + kj), grad_out)
+        return (grad_x, None, None)
+
+
+class GlobalAvgPool(Function):
+    """Average over all spatial positions, producing (N, C)."""
+
+    def forward(self, x):
+        x = np.asarray(x)
+        self.x_shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad_out):
+        n, c, h, w = self.x_shape
+        grad = np.broadcast_to(grad_out[:, :, None, None], self.x_shape) / (h * w)
+        return (np.ascontiguousarray(grad),)
+
+
+# ----------------------------------------------------------------------
+# functional wrappers
+# ----------------------------------------------------------------------
+def matmul(a, b) -> Tensor:
+    return MatMul.apply(as_tensor(a), as_tensor(b))
+
+
+def linear(x, weight, bias=None) -> Tensor:
+    return LinearOp.apply(as_tensor(x), as_tensor(weight), bias)
+
+
+def conv2d(x, weight, bias=None, stride: int = 1, padding: int = 0, groups: int = 1) -> Tensor:
+    return Conv2dOp.apply(as_tensor(x), as_tensor(weight), bias, stride, padding, groups)
+
+
+def avg_pool2d(x, kernel: int, stride: int | None = None) -> Tensor:
+    return AvgPool2d.apply(as_tensor(x), kernel, stride)
+
+
+def max_pool2d(x, kernel: int, stride: int | None = None) -> Tensor:
+    return MaxPool2d.apply(as_tensor(x), kernel, stride)
+
+
+def global_avg_pool(x) -> Tensor:
+    return GlobalAvgPool.apply(as_tensor(x))

@@ -1,0 +1,92 @@
+"""Reduction ops: sum, mean, max, and variance building blocks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.function import Function
+from repro.autograd.tensor import Tensor, as_tensor
+
+
+def _normalize_axis(axis, ndim: int):
+    if axis is None:
+        return None
+    if isinstance(axis, int):
+        axis = (axis,)
+    return tuple(a % ndim for a in axis)
+
+
+def _expand_reduced(grad: np.ndarray, in_shape, axis, keepdims: bool) -> np.ndarray:
+    """Reinsert reduced axes (as size-1) so grad broadcasts to ``in_shape``."""
+    if axis is None:
+        return np.broadcast_to(grad, in_shape)
+    if not keepdims:
+        grad = np.expand_dims(grad, axis)
+    return np.broadcast_to(grad, in_shape)
+
+
+class Sum(Function):
+    def forward(self, a, axis=None, keepdims: bool = False):
+        a = np.asarray(a)
+        self.in_shape = a.shape
+        self.axis = _normalize_axis(axis, a.ndim)
+        self.keepdims = keepdims
+        return np.asarray(a.sum(axis=self.axis, keepdims=keepdims))
+
+    def backward(self, grad_out):
+        grad = _expand_reduced(grad_out, self.in_shape, self.axis, self.keepdims)
+        return (np.ascontiguousarray(grad), None, None)
+
+
+class Mean(Function):
+    def forward(self, a, axis=None, keepdims: bool = False):
+        a = np.asarray(a)
+        self.in_shape = a.shape
+        self.axis = _normalize_axis(axis, a.ndim)
+        self.keepdims = keepdims
+        if self.axis is None:
+            self.count = a.size
+        else:
+            self.count = int(np.prod([a.shape[i] for i in self.axis]))
+        return np.asarray(a.mean(axis=self.axis, keepdims=keepdims))
+
+    def backward(self, grad_out):
+        grad = _expand_reduced(grad_out, self.in_shape, self.axis, self.keepdims)
+        return (np.ascontiguousarray(grad) / self.count, None, None)
+
+
+class Max(Function):
+    """Max reduction; gradient is split evenly among tied maxima."""
+
+    def forward(self, a, axis=None, keepdims: bool = False):
+        a = np.asarray(a)
+        self.a = a
+        self.axis = _normalize_axis(axis, a.ndim)
+        self.keepdims = keepdims
+        out = np.asarray(a.max(axis=self.axis, keepdims=True))
+        self.mask = (a == out).astype(a.dtype)
+        self.mask /= self.mask.sum(axis=self.axis, keepdims=True)
+        if not keepdims and self.axis is not None:
+            out = np.asarray(out.squeeze(self.axis))
+        elif not keepdims:
+            out = np.asarray(out.squeeze())
+        return out
+
+    def backward(self, grad_out):
+        grad = _expand_reduced(grad_out, self.a.shape, self.axis, self.keepdims)
+        return (grad * self.mask, None, None)
+
+
+# ----------------------------------------------------------------------
+# functional wrappers
+# ----------------------------------------------------------------------
+def sum_(a, axis=None, keepdims: bool = False) -> Tensor:
+    return Sum.apply(as_tensor(a), axis, keepdims)
+
+
+def mean(a, axis=None, keepdims: bool = False) -> Tensor:
+    return Mean.apply(as_tensor(a), axis, keepdims)
+
+
+def max_(a, axis=None, keepdims: bool = False) -> Tensor:
+    return Max.apply(as_tensor(a), axis, keepdims)

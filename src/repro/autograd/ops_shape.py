@@ -1,0 +1,124 @@
+"""Shape-manipulation ops: reshape, transpose, pad, slicing, concat."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.function import Function
+from repro.autograd.tensor import Tensor, as_tensor
+from repro.errors import ShapeError
+
+
+class Reshape(Function):
+    def forward(self, a, shape):
+        a = np.asarray(a)
+        self.in_shape = a.shape
+        return a.reshape(shape)
+
+    def backward(self, grad_out):
+        return (grad_out.reshape(self.in_shape), None)
+
+
+class Transpose(Function):
+    def forward(self, a, axes):
+        a = np.asarray(a)
+        self.axes = tuple(range(a.ndim))[::-1] if axes is None else tuple(axes)
+        return a.transpose(self.axes)
+
+    def backward(self, grad_out):
+        inverse = np.argsort(self.axes)
+        return (grad_out.transpose(inverse), None)
+
+
+class Pad2d(Function):
+    """Zero-pad the two trailing (spatial) axes of an NCHW tensor."""
+
+    def forward(self, a, padding: tuple[int, int]):
+        a = np.asarray(a)
+        if a.ndim != 4:
+            raise ShapeError(f"pad2d expects an NCHW tensor, got ndim={a.ndim}")
+        ph, pw = padding
+        self.ph, self.pw = ph, pw
+        if ph == 0 and pw == 0:
+            return a
+        return np.pad(a, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+
+    def backward(self, grad_out):
+        ph, pw = self.ph, self.pw
+        if ph == 0 and pw == 0:
+            return (grad_out, None)
+        h, w = grad_out.shape[2], grad_out.shape[3]
+        return (grad_out[:, :, ph : h - ph, pw : w - pw], None)
+
+
+class GetItem(Function):
+    def forward(self, a, index):
+        a = np.asarray(a)
+        self.in_shape = a.shape
+        self.index = index
+        return np.asarray(a[index])
+
+    def backward(self, grad_out):
+        grad = np.zeros(self.in_shape, dtype=grad_out.dtype)
+        np.add.at(grad, self.index, grad_out)
+        return (grad, None)
+
+
+class Concat(Function):
+    """Concatenate along ``axis``; only two operands are needed here."""
+
+    def forward(self, a, b, axis: int):
+        a, b = np.asarray(a), np.asarray(b)
+        self.axis = axis
+        self.split = a.shape[axis]
+        return np.concatenate([a, b], axis=axis)
+
+    def backward(self, grad_out):
+        grad_a, grad_b = np.split(grad_out, [self.split], axis=self.axis)
+        return (np.ascontiguousarray(grad_a), np.ascontiguousarray(grad_b), None)
+
+
+class BroadcastTo(Function):
+    def forward(self, a, shape):
+        a = np.asarray(a)
+        self.in_shape = a.shape
+        return np.broadcast_to(a, shape).copy()
+
+    def backward(self, grad_out):
+        from repro.autograd.function import unbroadcast
+
+        return (unbroadcast(grad_out, self.in_shape), None)
+
+
+# ----------------------------------------------------------------------
+# functional wrappers
+# ----------------------------------------------------------------------
+def reshape(a, shape) -> Tensor:
+    return Reshape.apply(as_tensor(a), tuple(shape))
+
+
+def flatten(a, start_axis: int = 1) -> Tensor:
+    """Flatten everything from ``start_axis`` onward into one axis."""
+    t = as_tensor(a)
+    lead = t.shape[:start_axis]
+    return reshape(t, lead + (-1,))
+
+
+def transpose(a, axes=None) -> Tensor:
+    return Transpose.apply(as_tensor(a), axes)
+
+
+def pad2d(a, padding: tuple[int, int]) -> Tensor:
+    return Pad2d.apply(as_tensor(a), padding)
+
+
+def getitem(a, index) -> Tensor:
+    return GetItem.apply(as_tensor(a), index)
+
+
+def concat(a, b, axis: int = 1) -> Tensor:
+    return Concat.apply(as_tensor(a), as_tensor(b), axis)
+
+
+def broadcast_to(a, shape) -> Tensor:
+    return BroadcastTo.apply(as_tensor(a), tuple(shape))

@@ -1,0 +1,335 @@
+"""Command-line interface for the reproduction pipeline.
+
+Subcommands mirror the stages of Algorithm 1 plus inspection utilities:
+
+- ``repro train``        — train a full-precision model on synthetic data.
+- ``repro quantize``     — 8A4W quantization stage (optionally with KD).
+- ``repro approximate``  — approximation stage with any fine-tuning method.
+- ``repro evaluate``     — accuracy of a checkpoint, optionally under an
+  approximate multiplier.
+- ``repro multipliers``  — list available multipliers with MRE and savings.
+- ``repro profile``      — Monte-Carlo error model of one multiplier.
+
+Model checkpoints are ``.npz`` files (see
+:mod:`repro.utils.serialization`) with a ``.meta.json`` sidecar recording
+the architecture so later stages can rebuild it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.approx import (
+    available_multipliers,
+    get_multiplier,
+    mean_relative_error,
+    network_energy,
+)
+from repro.data import make_synthetic_cifar
+from repro.errors import ReproError
+from repro.ge import estimate_error_model
+from repro.models import create_model
+from repro.pipeline import METHODS, approximation_stage, quantization_stage
+from repro.quant import quantize_model
+from repro.sim import attach_multiplier, count_macs, evaluate_accuracy
+from repro.train import TrainConfig, cross_entropy_loss, train_model
+from repro.utils.serialization import load_model, save_model
+
+
+def _add_data_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--num-train", type=int, default=600)
+    parser.add_argument("--num-test", type=int, default=300)
+    parser.add_argument("--image-size", type=int, default=16)
+    parser.add_argument("--noise", type=float, default=0.4)
+    parser.add_argument("--data-seed", type=int, default=42)
+
+
+def _add_model_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", default="simplecnn")
+    parser.add_argument("--width-mult", type=float, default=0.25)
+
+
+def _add_train_args(parser: argparse.ArgumentParser, default_lr: float) -> None:
+    parser.add_argument("--epochs", type=int, default=5)
+    parser.add_argument("--batch-size", type=int, default=64)
+    parser.add_argument("--lr", type=float, default=default_lr)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _dataset(args):
+    return make_synthetic_cifar(
+        num_train=args.num_train,
+        num_test=args.num_test,
+        image_size=args.image_size,
+        noise=args.noise,
+        seed=args.data_seed,
+    )
+
+
+def _train_config(args) -> TrainConfig:
+    return TrainConfig(
+        epochs=args.epochs,
+        batch_size=args.batch_size,
+        lr=args.lr,
+        momentum=0.9,
+        seed=args.seed,
+    )
+
+
+def _build_model(name: str, width_mult: float):
+    kwargs = {"rng": 0}
+    if name != "simplecnn":
+        kwargs["width_mult"] = width_mult
+    return create_model(name, **kwargs)
+
+
+def _meta_path(checkpoint: Path) -> Path:
+    return checkpoint.with_suffix(checkpoint.suffix + ".meta.json")
+
+
+def _save_checkpoint(model, path: Path, meta: dict) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    save_model(model, path)
+    _meta_path(path).write_text(json.dumps(meta, indent=2))
+
+
+def _load_checkpoint(path: Path):
+    meta_file = _meta_path(path)
+    if not meta_file.exists():
+        raise ReproError(f"missing checkpoint metadata: {meta_file}")
+    meta = json.loads(meta_file.read_text())
+    model = _build_model(meta["model"], meta["width_mult"])
+    if meta.get("quantized"):
+        quantize_model(model, fold_bn=meta.get("fold_bn", True))
+    load_model(model, path)
+    return model, meta
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+def cmd_train(args) -> int:
+    data = _dataset(args)
+    model = _build_model(args.model, args.width_mult)
+    history = train_model(model, data, cross_entropy_loss(), _train_config(args))
+    print(f"final accuracy: {100 * history.final_accuracy:.2f}%")
+    out = Path(args.out)
+    _save_checkpoint(
+        model,
+        out,
+        {"model": args.model, "width_mult": args.width_mult, "quantized": False},
+    )
+    print(f"saved: {out}")
+    return 0
+
+
+def cmd_quantize(args) -> int:
+    data = _dataset(args)
+    fp_model, meta = _load_checkpoint(Path(args.checkpoint))
+    fold_bn = not args.keep_bn
+    quant_model, result = quantization_stage(
+        fp_model,
+        data,
+        train_config=_train_config(args),
+        temperature=args.temperature,
+        use_kd=not args.no_kd,
+        fold_bn=fold_bn,
+    )
+    print(f"accuracy before FT: {100 * result.accuracy_before:.2f}%")
+    print(f"accuracy after FT:  {100 * result.accuracy_after:.2f}%")
+    out = Path(args.out)
+    _save_checkpoint(
+        quant_model,
+        out,
+        {**meta, "quantized": True, "fold_bn": fold_bn},
+    )
+    print(f"saved: {out}")
+    return 0
+
+
+def cmd_approximate(args) -> int:
+    data = _dataset(args)
+    quant_model, meta = _load_checkpoint(Path(args.checkpoint))
+    if not meta.get("quantized"):
+        raise ReproError("approximate requires a quantized checkpoint; run quantize first")
+    approx_model, result = approximation_stage(
+        quant_model,
+        data,
+        args.multiplier,
+        method=args.method,
+        train_config=_train_config(args),
+        temperature=args.temperature,
+    )
+    print(f"initial accuracy: {100 * result.accuracy_before:.2f}%")
+    print(f"final accuracy:   {100 * result.accuracy_after:.2f}%")
+    macs = count_macs(approx_model, data.image_shape).total_macs
+    report = network_energy(macs, get_multiplier(args.multiplier))
+    print(f"energy savings:   {report.savings_percent:.0f}%")
+    if args.out:
+        out = Path(args.out)
+        _save_checkpoint(approx_model, out, meta)
+        print(f"saved: {out}")
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    data = _dataset(args)
+    model, meta = _load_checkpoint(Path(args.checkpoint))
+    if args.multiplier:
+        if not meta.get("quantized"):
+            raise ReproError("--multiplier requires a quantized checkpoint")
+        attach_multiplier(model, args.multiplier)
+    acc = evaluate_accuracy(model, data.test_x, data.test_y)
+    print(f"accuracy: {100 * acc:.2f}%")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.pipeline import run_sweep
+
+    data = _dataset(args)
+    quant_model, meta = _load_checkpoint(Path(args.checkpoint))
+    if not meta.get("quantized"):
+        raise ReproError("sweep requires a quantized checkpoint; run quantize first")
+    result = run_sweep(
+        quant_model,
+        data,
+        multipliers=args.multipliers,
+        methods=tuple(args.methods),
+        train_config=_train_config(args),
+    )
+    print(f"{'multiplier':16s} {'method':12s} {'T2':>4s} {'init[%]':>8s} {'final[%]':>9s}")
+    for p in result.points:
+        print(
+            f"{p.multiplier:16s} {p.method:12s} {p.temperature:4.0f} "
+            f"{100 * p.initial_accuracy:8.2f} {100 * p.final_accuracy:9.2f}"
+        )
+    if args.out:
+        result.to_json(args.out)
+        print(f"saved: {args.out}")
+    return 0
+
+
+def cmd_resiliency(args) -> int:
+    from repro.sim import layer_resiliency
+
+    data = _dataset(args)
+    quant_model, meta = _load_checkpoint(Path(args.checkpoint))
+    if not meta.get("quantized"):
+        raise ReproError("resiliency requires a quantized checkpoint")
+    entries = layer_resiliency(quant_model, data.test_x, data.test_y, args.multiplier)
+    print(f"per-layer accuracy drop under {args.multiplier} (most resilient first):")
+    for entry in entries:
+        print(f"  {entry.layer_name:36s} {100 * entry.drop:7.2f}%")
+    return 0
+
+
+def cmd_multipliers(args) -> int:
+    names = available_multipliers()
+    if args.extended:
+        names += ["truncated4bc", "truncated5bc", "mitchell", "drum3", "drum4"]
+    print(f"{'name':16s} {'MRE[%]':>7s} {'savings[%]':>10s}")
+    for name in names:
+        mult = get_multiplier(name)
+        print(
+            f"{name:16s} {100 * mean_relative_error(mult):7.1f} "
+            f"{100 * mult.energy_savings:10.0f}"
+        )
+    return 0
+
+
+def cmd_profile(args) -> int:
+    mult = get_multiplier(args.multiplier)
+    model = estimate_error_model(mult, rng=args.seed)
+    print(f"multiplier: {mult.name} (MRE {100 * mean_relative_error(mult):.1f}%)")
+    if model.is_constant:
+        print(f"error model: constant f(y) = {model.c:.2f} -> GE degenerates to STE")
+    else:
+        print(
+            f"error model: f(y) = min({model.upper:.1f}, "
+            f"max({model.k:.4f}*y + {model.c:.2f}, {model.lower:.1f}))"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Approximate-CNN optimization flow (DATE 2021 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("train", help="train a full-precision model")
+    _add_model_args(p)
+    _add_data_args(p)
+    _add_train_args(p, default_lr=0.05)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser("quantize", help="8A4W quantization stage")
+    _add_data_args(p)
+    _add_train_args(p, default_lr=0.02)
+    p.add_argument("--checkpoint", required=True)
+    p.add_argument("--out", required=True)
+    p.add_argument("--temperature", type=float, default=1.0)
+    p.add_argument("--no-kd", action="store_true", help="plain fine-tuning instead of KD")
+    p.add_argument("--keep-bn", action="store_true", help="do not fold BatchNorm")
+    p.set_defaults(func=cmd_quantize)
+
+    p = sub.add_parser("approximate", help="approximation stage")
+    _add_data_args(p)
+    _add_train_args(p, default_lr=0.02)
+    p.add_argument("--checkpoint", required=True)
+    p.add_argument("--multiplier", required=True)
+    p.add_argument("--method", choices=METHODS, default="approxkd_ge")
+    p.add_argument("--temperature", type=float, default=5.0)
+    p.add_argument("--out")
+    p.set_defaults(func=cmd_approximate)
+
+    p = sub.add_parser("evaluate", help="evaluate a checkpoint")
+    _add_data_args(p)
+    p.add_argument("--checkpoint", required=True)
+    p.add_argument("--multiplier")
+    p.set_defaults(func=cmd_evaluate)
+
+    p = sub.add_parser("sweep", help="multiplier x method sweep on a quantized checkpoint")
+    _add_data_args(p)
+    _add_train_args(p, default_lr=0.02)
+    p.add_argument("--checkpoint", required=True)
+    p.add_argument("--multipliers", nargs="+", required=True)
+    p.add_argument("--methods", nargs="+", default=["normal", "approxkd_ge"], choices=METHODS)
+    p.add_argument("--out", help="write the sweep as JSON")
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("resiliency", help="per-layer resiliency analysis")
+    _add_data_args(p)
+    p.add_argument("--checkpoint", required=True)
+    p.add_argument("--multiplier", required=True)
+    p.set_defaults(func=cmd_resiliency)
+
+    p = sub.add_parser("multipliers", help="list available multipliers")
+    p.add_argument("--extended", action="store_true", help="include extension families")
+    p.set_defaults(func=cmd_multipliers)
+
+    p = sub.add_parser("profile", help="fit a multiplier's error model")
+    p.add_argument("--multiplier", required=True)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_profile)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,6 @@
+"""Synthetic CIFAR10-like data, loaders and augmentation."""
+
+from repro.data.dataloader import augment_batch, iterate_batches
+from repro.data.synthetic_cifar import Dataset, make_synthetic_cifar
+
+__all__ = ["Dataset", "make_synthetic_cifar", "iterate_batches", "augment_batch"]

@@ -1,0 +1,57 @@
+"""Minibatch iteration and augmentation."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.utils.rng import new_rng
+
+
+def iterate_batches(
+    x: np.ndarray,
+    y: np.ndarray,
+    batch_size: int,
+    shuffle: bool = True,
+    rng=None,
+    drop_last: bool = False,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(x_batch, y_batch)`` minibatches."""
+    if len(x) != len(y):
+        raise DataError(f"features ({len(x)}) and labels ({len(y)}) length mismatch")
+    if batch_size < 1:
+        raise DataError(f"batch_size must be >= 1, got {batch_size}")
+    indices = np.arange(len(x))
+    if shuffle:
+        new_rng(rng).shuffle(indices)
+    for start in range(0, len(x), batch_size):
+        idx = indices[start : start + batch_size]
+        if drop_last and len(idx) < batch_size:
+            return
+        yield x[idx], y[idx]
+
+
+def augment_batch(
+    x: np.ndarray,
+    rng=None,
+    flip_prob: float = 0.5,
+    max_shift: int = 2,
+) -> np.ndarray:
+    """Random horizontal flip + zero-padded random shift (CIFAR-style)."""
+    rng = new_rng(rng)
+    out = x.copy()
+    n = len(out)
+    flips = rng.random(n) < flip_prob
+    out[flips] = out[flips, :, :, ::-1]
+    if max_shift > 0:
+        h, w = out.shape[2], out.shape[3]
+        padded = np.pad(
+            out, ((0, 0), (0, 0), (max_shift, max_shift), (max_shift, max_shift))
+        )
+        dys = rng.integers(0, 2 * max_shift + 1, size=n)
+        dxs = rng.integers(0, 2 * max_shift + 1, size=n)
+        for i in range(n):
+            out[i] = padded[i, :, dys[i] : dys[i] + h, dxs[i] : dxs[i] + w]
+    return out

@@ -1,0 +1,55 @@
+"""Knowledge-distillation losses (Eqs. 1–3 of the paper).
+
+The stage loss is the sum of a *hard* loss — plain cross-entropy against the
+dataset labels (Eq. 1) — and a *soft* loss — cross-entropy between the
+temperature-scaled teacher and student distributions, multiplied by ``T²``
+to compensate the ``1/T²`` scaling of its gradients (Eqs. 2 and 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.ops_basic import add, mul
+from repro.autograd.ops_loss import (
+    cross_entropy_with_probs,
+    softmax_cross_entropy,
+    softmax_np,
+)
+from repro.autograd.tensor import Tensor
+from repro.errors import ConfigError
+
+
+def hard_loss(student_logits: Tensor, labels: np.ndarray) -> Tensor:
+    """``C_hard``: cross-entropy against hard labels (Eq. 1)."""
+    return softmax_cross_entropy(student_logits, labels)
+
+
+def soft_loss(
+    student_logits: Tensor,
+    teacher_logits: np.ndarray,
+    temperature: float,
+) -> Tensor:
+    """``C_soft``: ``-T² Σ σ(y_t/T) log σ(y_s/T)`` (Eqs. 2/3), batch mean.
+
+    Teacher logits are constants (no gradient flows into the teacher).
+    """
+    if temperature <= 0:
+        raise ConfigError(f"distillation temperature must be positive, got {temperature}")
+    t = float(temperature)
+    targets = softmax_np(np.asarray(teacher_logits) / t, axis=1)
+    scaled_student = mul(student_logits, 1.0 / t)
+    return mul(cross_entropy_with_probs(scaled_student, targets), t * t)
+
+
+def distillation_loss(
+    student_logits: Tensor,
+    teacher_logits: np.ndarray,
+    labels: np.ndarray,
+    temperature: float,
+) -> Tensor:
+    """Full stage loss ``C_s = C_soft + C_hard`` (Eq. 3 / ``C_s1``)."""
+    return add(
+        soft_loss(student_logits, teacher_logits, temperature),
+        hard_loss(student_logits, labels),
+    )

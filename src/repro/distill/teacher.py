@@ -1,0 +1,54 @@
+"""Teacher-model utilities.
+
+Teachers are frozen during each distillation stage, so their logits over the
+training set are computed once up front and indexed per minibatch — this is
+both faster than re-running the teacher per batch and exactly equivalent.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from repro.autograd.grad_mode import no_grad
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+
+
+def clone_model(model: Module) -> Module:
+    """Deep copy of a model (parameters, buffers and quantization state)."""
+    return copy.deepcopy(model)
+
+
+def precompute_teacher_logits(
+    teacher: Module,
+    x: np.ndarray,
+    batch_size: int = 128,
+) -> np.ndarray:
+    """Teacher logits for every sample of ``x`` in eval mode."""
+    was_training = teacher.training
+    teacher.eval()
+    chunks: list[np.ndarray] = []
+    with no_grad():
+        for start in range(0, len(x), batch_size):
+            out = teacher(Tensor(x[start : start + batch_size]))
+            chunks.append(out.data.copy())
+    teacher.train(was_training)
+    return np.concatenate(chunks, axis=0)
+
+
+def kd_batch_loss(teacher_logits: np.ndarray, temperature: float):
+    """Build a trainer ``batch_loss`` from precomputed teacher logits.
+
+    Returned closure computes ``C_soft + C_hard`` for each minibatch using
+    the trainer-provided sample indices.
+    """
+    from repro.distill.losses import distillation_loss
+
+    def loss(student_logits: Tensor, labels: np.ndarray, indices: np.ndarray) -> Tensor:
+        return distillation_loss(
+            student_logits, teacher_logits[indices], labels, temperature
+        )
+
+    return loss

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class AutogradError(ReproError):
+    """Raised on misuse of the autograd engine (e.g. backward on a non-scalar
+    without an explicit upstream gradient)."""
+
+
+class ShapeError(ReproError):
+    """Raised when tensor shapes are incompatible with an operation."""
+
+
+class QuantizationError(ReproError):
+    """Raised on invalid quantization configuration or out-of-range values."""
+
+
+class MultiplierError(ReproError):
+    """Raised on invalid approximate-multiplier configuration or lookup."""
+
+
+class ConfigError(ReproError):
+    """Raised on invalid experiment/pipeline configuration."""
+
+
+class DataError(ReproError):
+    """Raised on invalid dataset parameters or corrupted batches."""

@@ -1,0 +1,16 @@
+"""Gradient estimation of approximate GEMMs (section III-B of the paper)."""
+
+from repro.ge.error_model import PiecewiseLinearErrorModel, fit_error_model
+from repro.ge.montecarlo import (
+    ErrorProfile,
+    estimate_error_model,
+    profile_multiplier_error,
+)
+
+__all__ = [
+    "PiecewiseLinearErrorModel",
+    "fit_error_model",
+    "ErrorProfile",
+    "profile_multiplier_error",
+    "estimate_error_model",
+]

@@ -1,0 +1,99 @@
+"""Piecewise-linear model of the approximate-GEMM error (Eqs. 11–13).
+
+The approximation error ``ε = ỹ - y`` of an approximate GEMM is estimated as
+a saturated linear function of the exact output ``y``:
+
+    f(y) = min(upper, max(k·y + c, lower))
+
+Its derivative feeds the gradient-estimation rule (Eq. 12):
+``∂C/∂W = (1 + K) ∂C/∂ỹ Xᵀ`` with ``K[i,j] = k`` inside the linear region
+and 0 in the saturated regions (Eq. 13). When the error is unbiased the fit
+degenerates to a constant (``k = 0``) and GE is exactly the plain STE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class PiecewiseLinearErrorModel:
+    """``f(y) = min(upper, max(k·y + c, lower))`` in integer-code space."""
+
+    k: float
+    c: float
+    lower: float
+    upper: float
+
+    def __post_init__(self) -> None:
+        if self.lower > self.upper:
+            raise ReproError(
+                f"error-model saturation bounds inverted: [{self.lower}, {self.upper}]"
+            )
+
+    def __call__(self, y: np.ndarray) -> np.ndarray:
+        """Estimated error at exact GEMM outputs ``y``."""
+        return np.clip(self.k * np.asarray(y, dtype=np.float64) + self.c, self.lower, self.upper)
+
+    def slope(self, y: np.ndarray) -> np.ndarray:
+        """``∂f/∂y`` at ``y``: ``k`` in the linear region, else 0 (Eq. 13)."""
+        if self.k == 0.0:
+            return np.zeros(np.shape(y))
+        linear = self.k * np.asarray(y, dtype=np.float64) + self.c
+        active = (linear > self.lower) & (linear < self.upper)
+        return np.where(active, self.k, 0.0)
+
+    def gradient_scale(self, y: np.ndarray) -> np.ndarray:
+        """``1 + K`` evaluated at exact outputs ``y`` (Eq. 12)."""
+        return 1.0 + self.slope(y)
+
+    @property
+    def is_constant(self) -> bool:
+        """True when ``∂f/∂y ≡ 0`` — GE degenerates to the plain STE."""
+        return self.k == 0.0
+
+
+def fit_error_model(
+    y: np.ndarray,
+    eps: np.ndarray,
+    slope_significance: float = 0.25,
+    saturation_percentile: float = 1.0,
+) -> PiecewiseLinearErrorModel:
+    """Fit the saturated-linear error model to profiled ``(y, ε)`` samples.
+
+    A least-squares line gives ``(k, c)``; saturation bounds come from the
+    ``saturation_percentile``/``100-saturation_percentile`` percentiles of
+    the observed errors. The slope is kept only if it is *significant*: the
+    error swing it explains over the observed ``y`` range must exceed
+    ``slope_significance`` times the error's standard deviation — otherwise
+    the model collapses to the constant fit, reproducing the paper's
+    observation that unbiased (EvoApprox) errors yield ``∂f/∂y = 0``.
+    """
+    y = np.asarray(y, dtype=np.float64).reshape(-1)
+    eps = np.asarray(eps, dtype=np.float64).reshape(-1)
+    if y.size != eps.size:
+        raise ReproError(f"y and eps length mismatch: {y.size} vs {eps.size}")
+    if y.size < 2:
+        raise ReproError("need at least 2 samples to fit an error model")
+
+    y_std = float(y.std())
+    eps_std = float(eps.std())
+    if y_std == 0.0:
+        k, c = 0.0, float(eps.mean())
+    else:
+        k, c = np.polyfit(y, eps, deg=1)
+        k, c = float(k), float(c)
+
+    lower = float(np.percentile(eps, saturation_percentile))
+    upper = float(np.percentile(eps, 100.0 - saturation_percentile))
+    if lower > upper:
+        lower, upper = upper, lower
+
+    explained_swing = abs(k) * (np.percentile(y, 99) - np.percentile(y, 1))
+    if eps_std == 0.0 or explained_swing < slope_significance * eps_std:
+        return PiecewiseLinearErrorModel(0.0, float(eps.mean()), lower, upper)
+    return PiecewiseLinearErrorModel(k, c, lower, upper)

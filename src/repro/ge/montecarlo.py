@@ -1,0 +1,89 @@
+"""Monte-Carlo profiling of approximate-GEMM errors (section IV-B).
+
+The paper estimates ``f(y)`` from "50 MonteCarlo simulations of a single
+convolution with values drawn from normal distributions, within the
+corresponding quantization ranges". We reproduce that: random activation and
+weight codes are drawn from clipped normal distributions over the symmetric
+integer ranges, both exact and approximate GEMMs are evaluated, and the
+paired ``(y, ε)`` samples are returned for fitting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.approx.gemm import approx_matmul, exact_int_matmul
+from repro.approx.multiplier import Multiplier
+from repro.ge.error_model import PiecewiseLinearErrorModel, fit_error_model
+from repro.quant.quantizer import qrange
+from repro.utils.rng import new_rng
+
+
+@dataclass(frozen=True)
+class ErrorProfile:
+    """Paired exact outputs and approximation errors from MC simulation."""
+
+    y: np.ndarray  # exact GEMM outputs (integer-code space)
+    eps: np.ndarray  # ỹ - y at the same positions
+    multiplier_name: str
+
+
+def _sample_codes(rng, shape, bits: int, sigma_fraction: float) -> np.ndarray:
+    """Normal codes clipped to the symmetric ``bits``-bit range."""
+    lo, hi = qrange(bits)
+    sigma = sigma_fraction * hi
+    codes = np.rint(rng.normal(0.0, sigma, size=shape))
+    return np.clip(codes, lo, hi).astype(np.int32)
+
+
+def profile_multiplier_error(
+    multiplier: Multiplier,
+    num_simulations: int = 50,
+    gemm_rows: int = 64,
+    reduce_dim: int = 72,
+    out_dim: int = 16,
+    act_bits: int = 8,
+    weight_bits: int = 4,
+    sigma_fraction: float = 0.35,
+    rng=None,
+) -> ErrorProfile:
+    """Run ``num_simulations`` random convolutions-as-GEMMs and collect
+    ``(y, ε)`` pairs.
+
+    The default ``reduce_dim=72`` corresponds to a 3×3 convolution over 8
+    input channels; ``sigma_fraction`` sets the spread of the sampled codes
+    within the quantization range.
+    """
+    rng = new_rng(rng)
+    ys: list[np.ndarray] = []
+    errs: list[np.ndarray] = []
+    for _ in range(num_simulations):
+        a = _sample_codes(rng, (gemm_rows, reduce_dim), act_bits, sigma_fraction)
+        b = _sample_codes(rng, (reduce_dim, out_dim), weight_bits, sigma_fraction)
+        exact = exact_int_matmul(a, b)
+        approx = approx_matmul(a, b, multiplier)
+        ys.append(exact.reshape(-1))
+        errs.append((approx - exact).reshape(-1))
+    y = np.concatenate(ys)
+    eps = np.concatenate(errs)
+    return ErrorProfile(y=y, eps=eps, multiplier_name=multiplier.name)
+
+
+def estimate_error_model(
+    multiplier: Multiplier,
+    num_simulations: int = 50,
+    slope_significance: float = 0.25,
+    rng=None,
+    **profile_kwargs,
+) -> PiecewiseLinearErrorModel:
+    """Profile ``multiplier`` and fit the piecewise-linear error model.
+
+    This is the one-call entry point used by the approximation stage of
+    Algorithm 1; it takes well under a second at the default settings.
+    """
+    profile = profile_multiplier_error(
+        multiplier, num_simulations=num_simulations, rng=rng, **profile_kwargs
+    )
+    return fit_error_model(profile.y, profile.eps, slope_significance=slope_significance)

@@ -1,0 +1,25 @@
+"""Model zoo: CIFAR ResNets, MobileNetV2, classic baselines and test CNNs."""
+
+from repro.models.classic import LeNet5, VGGSmall, lenet5, vggsmall
+from repro.models.mobilenetv2 import MobileNetV2, mobilenetv2
+from repro.models.registry import MODELS, create_model
+from repro.models.resnet import BasicBlock, ResNetCifar, resnet20, resnet32
+from repro.models.simplecnn import SimpleCNN, TinyMLP, simplecnn
+
+__all__ = [
+    "MODELS",
+    "create_model",
+    "ResNetCifar",
+    "BasicBlock",
+    "resnet20",
+    "resnet32",
+    "MobileNetV2",
+    "mobilenetv2",
+    "SimpleCNN",
+    "TinyMLP",
+    "simplecnn",
+    "LeNet5",
+    "lenet5",
+    "VGGSmall",
+    "vggsmall",
+]

@@ -1,0 +1,111 @@
+"""Classic CNN baselines: LeNet-5 and a small VGG.
+
+These are not evaluated in the paper but round out the model zoo for
+library users: LeNet-style networks are the canonical quick-experiment
+target, and VGG-style plain stacks (no residuals, no BN in the LeNet case)
+exercise the quantization/approximation pipeline on architectures without
+skip connections.
+"""
+
+from __future__ import annotations
+
+from repro.autograd.tensor import Tensor
+from repro.nn import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Sequential,
+)
+from repro.utils.rng import spawn_rngs
+
+
+class LeNet5(Module):
+    """LeNet-5 with ReLU activations, adapted to configurable input size.
+
+    The classifier head is sized from ``input_size`` (must be divisible by
+    4 after the two 2x stride reductions).
+    """
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        in_channels: int = 3,
+        input_size: int = 32,
+        rng=None,
+    ):
+        super().__init__()
+        self.num_classes = num_classes
+        r1, r2, r3, r4, r5 = spawn_rngs(rng, 5)
+        # conv1 (same) -> pool -> conv2 (valid 5x5) -> pool
+        final_spatial = ((input_size // 2) - 4) // 2
+        if final_spatial < 1:
+            raise ValueError(f"input_size {input_size} too small for LeNet5")
+        self.features = Sequential(
+            Conv2d(in_channels, 6, 5, padding=2, rng=r1),
+            ReLU(),
+            AvgPool2d(2),
+            Conv2d(6, 16, 5, padding=0, rng=r2),
+            ReLU(),
+            AvgPool2d(2),
+        )
+        self.flatten = Flatten()
+        flat = 16 * final_spatial**2
+        self.classifier = Sequential(
+            Linear(flat, 120, rng=r3),
+            ReLU(),
+            Linear(120, 84, rng=r4),
+            ReLU(),
+            Linear(84, num_classes, rng=r5),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.classifier(self.flatten(self.features(x)))
+
+
+class VGGSmall(Module):
+    """A compact VGG-style plain stack: (conv-BN-ReLU)x2 + pool, 3 stages."""
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        in_channels: int = 3,
+        base_width: int = 16,
+        rng=None,
+    ):
+        super().__init__()
+        self.num_classes = num_classes
+        rngs = iter(spawn_rngs(rng, 7))
+        w = base_width
+        layers: list[Module] = []
+        channels = in_channels
+        for stage_width in (w, 2 * w, 4 * w):
+            for _ in range(2):
+                layers.extend(
+                    [
+                        Conv2d(channels, stage_width, 3, padding=1, bias=False, rng=next(rngs)),
+                        BatchNorm2d(stage_width),
+                        ReLU(),
+                    ]
+                )
+                channels = stage_width
+            layers.append(MaxPool2d(2))
+        self.features = Sequential(*layers)
+        self.pool = GlobalAvgPool()
+        self.classifier = Linear(channels, num_classes, rng=next(rngs))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.classifier(self.pool(self.features(x)))
+
+
+def lenet5(num_classes: int = 10, input_size: int = 32, rng=None, **kwargs) -> LeNet5:
+    return LeNet5(num_classes=num_classes, input_size=input_size, rng=rng, **kwargs)
+
+
+def vggsmall(num_classes: int = 10, base_width: int = 16, rng=None, **kwargs) -> VGGSmall:
+    return VGGSmall(num_classes=num_classes, base_width=base_width, rng=rng, **kwargs)

@@ -1,0 +1,24 @@
+"""Name-based model factory used by experiment configs."""
+
+from __future__ import annotations
+
+from repro.models.classic import lenet5, vggsmall
+from repro.models.mobilenetv2 import mobilenetv2
+from repro.models.resnet import resnet20, resnet32
+from repro.models.simplecnn import simplecnn
+from repro.nn.module import Module
+from repro.utils.registry import Registry
+
+MODELS: Registry[Module] = Registry("model")
+MODELS.register("resnet20", resnet20)
+MODELS.register("resnet32", resnet32)
+MODELS.register("mobilenetv2", mobilenetv2)
+MODELS.register("simplecnn", simplecnn)
+MODELS.register("lenet5", lenet5)
+MODELS.register("vggsmall", vggsmall)
+
+
+def create_model(name: str, /, **kwargs) -> Module:
+    """Instantiate a model by name (``resnet20``, ``resnet32``,
+    ``mobilenetv2``, ``simplecnn``, ``lenet5`` or ``vggsmall``)."""
+    return MODELS.create(name, **kwargs)

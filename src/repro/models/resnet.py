@@ -1,0 +1,107 @@
+"""CIFAR-style ResNets (He et al., CVPR'16) — ResNet20 and ResNet32.
+
+The architecture follows the original CIFAR10 design: a 3x3 stem to 16
+channels, three stages of ``n`` basic blocks at 16/32/64 channels (ResNet20
+has n=3, ResNet32 has n=5), global average pooling and a linear classifier.
+A ``width_mult`` knob scales all channel counts so the benchmark harness can
+run the same topology at CPU-friendly sizes.
+"""
+
+from __future__ import annotations
+
+from repro.autograd import ops_activation, ops_basic
+from repro.autograd.tensor import Tensor
+from repro.nn import (
+    BatchNorm2d,
+    Conv2d,
+    GlobalAvgPool,
+    Identity,
+    Linear,
+    Module,
+    ReLU,
+    Sequential,
+)
+from repro.utils.rng import spawn_rngs
+
+
+def _scaled(channels: int, width_mult: float) -> int:
+    return max(4, int(round(channels * width_mult)))
+
+
+class BasicBlock(Module):
+    """Two 3x3 conv-BN pairs with an additive shortcut."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1, rng=None):
+        super().__init__()
+        r1, r2, r3 = spawn_rngs(rng, 3)
+        self.conv1 = Conv2d(in_channels, out_channels, 3, stride, 1, bias=False, rng=r1)
+        self.bn1 = BatchNorm2d(out_channels)
+        self.conv2 = Conv2d(out_channels, out_channels, 3, 1, 1, bias=False, rng=r2)
+        self.bn2 = BatchNorm2d(out_channels)
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut = Sequential(
+                Conv2d(in_channels, out_channels, 1, stride, 0, bias=False, rng=r3),
+                BatchNorm2d(out_channels),
+            )
+        else:
+            self.shortcut = Identity()
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = ops_activation.relu(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        out = ops_basic.add(out, self.shortcut(x))
+        return ops_activation.relu(out)
+
+
+class ResNetCifar(Module):
+    """CIFAR ResNet with ``6n + 2`` layers."""
+
+    def __init__(
+        self,
+        num_blocks_per_stage: int,
+        num_classes: int = 10,
+        width_mult: float = 1.0,
+        in_channels: int = 3,
+        rng=None,
+    ):
+        super().__init__()
+        self.num_classes = num_classes
+        self.width_mult = width_mult
+        widths = [_scaled(c, width_mult) for c in (16, 32, 64)]
+        rngs = spawn_rngs(rng, 3 * num_blocks_per_stage + 2)
+        rng_iter = iter(rngs)
+
+        self.stem = Conv2d(in_channels, widths[0], 3, 1, 1, bias=False, rng=next(rng_iter))
+        self.stem_bn = BatchNorm2d(widths[0])
+
+        stages = []
+        channels = widths[0]
+        for stage_index, width in enumerate(widths):
+            blocks = []
+            for block_index in range(num_blocks_per_stage):
+                stride = 2 if (stage_index > 0 and block_index == 0) else 1
+                blocks.append(BasicBlock(channels, width, stride, rng=next(rng_iter)))
+                channels = width
+            stages.append(Sequential(*blocks))
+        self.stage1, self.stage2, self.stage3 = stages
+
+        self.pool = GlobalAvgPool()
+        self.classifier = Linear(channels, num_classes, rng=next(rng_iter))
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = ops_activation.relu(self.stem_bn(self.stem(x)))
+        out = self.stage1(out)
+        out = self.stage2(out)
+        out = self.stage3(out)
+        out = self.pool(out)
+        return self.classifier(out)
+
+
+def resnet20(num_classes: int = 10, width_mult: float = 1.0, rng=None, **kwargs) -> ResNetCifar:
+    """ResNet20 (3 blocks per stage)."""
+    return ResNetCifar(3, num_classes, width_mult, rng=rng, **kwargs)
+
+
+def resnet32(num_classes: int = 10, width_mult: float = 1.0, rng=None, **kwargs) -> ResNetCifar:
+    """ResNet32 (5 blocks per stage)."""
+    return ResNetCifar(5, num_classes, width_mult, rng=rng, **kwargs)

@@ -1,0 +1,72 @@
+"""Small CNNs for fast unit tests and quick demos."""
+
+from __future__ import annotations
+
+from repro.autograd.tensor import Tensor
+from repro.nn import (
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Sequential,
+)
+from repro.utils.rng import spawn_rngs
+
+
+class SimpleCNN(Module):
+    """Three conv blocks + linear head; trains to high accuracy on the
+    synthetic dataset in a few epochs and keeps unit tests fast."""
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        in_channels: int = 3,
+        base_width: int = 8,
+        rng=None,
+    ):
+        super().__init__()
+        self.num_classes = num_classes
+        r1, r2, r3, r4 = spawn_rngs(rng, 4)
+        w = base_width
+        self.features = Sequential(
+            Conv2d(in_channels, w, 3, 1, 1, bias=True, rng=r1),
+            BatchNorm2d(w),
+            ReLU(),
+            MaxPool2d(2),
+            Conv2d(w, 2 * w, 3, 1, 1, bias=True, rng=r2),
+            BatchNorm2d(2 * w),
+            ReLU(),
+            MaxPool2d(2),
+            Conv2d(2 * w, 4 * w, 3, 1, 1, bias=True, rng=r3),
+            ReLU(),
+        )
+        self.pool = GlobalAvgPool()
+        self.classifier = Linear(4 * w, num_classes, rng=r4)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.classifier(self.pool(self.features(x)))
+
+
+class TinyMLP(Module):
+    """Two-layer MLP over flattened input; the smallest trainable model."""
+
+    def __init__(self, in_features: int, hidden: int = 32, num_classes: int = 10, rng=None):
+        super().__init__()
+        r1, r2 = spawn_rngs(rng, 2)
+        self.net = Sequential(
+            Flatten(),
+            Linear(in_features, hidden, rng=r1),
+            ReLU(),
+            Linear(hidden, num_classes, rng=r2),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.net(x)
+
+
+def simplecnn(num_classes: int = 10, base_width: int = 8, rng=None, **kwargs) -> SimpleCNN:
+    return SimpleCNN(num_classes=num_classes, base_width=base_width, rng=rng, **kwargs)

@@ -1,0 +1,38 @@
+"""Activation layers (module wrappers over the functional ops)."""
+
+from __future__ import annotations
+
+from repro.autograd import ops_activation
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return ops_activation.relu(x)
+
+
+class ReLU6(Module):
+    """Clipped ReLU used throughout MobileNetV2."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops_activation.relu6(x)
+
+
+class LeakyReLU(Module):
+    def __init__(self, negative_slope: float = 0.01):
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops_activation.leaky_relu(x, self.negative_slope)
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return ops_activation.sigmoid(x)
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return ops_activation.tanh(x)

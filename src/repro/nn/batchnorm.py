@@ -1,0 +1,56 @@
+"""Batch normalisation over NCHW feature maps."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import ops_basic, ops_reduce, ops_shape
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+
+
+class BatchNorm2d(Module):
+    """Per-channel batch normalisation with affine transform.
+
+    In training mode, batch statistics are used and running statistics are
+    updated with ``momentum``. In eval mode the running statistics are used,
+    which is also the regime in which BN folding
+    (:mod:`repro.quant.bn_folding`) is valid.
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = float(eps)
+        self.momentum = float(momentum)
+        self.gamma = Parameter(np.ones(num_features, dtype=np.float32))
+        self.beta = Parameter(np.zeros(num_features, dtype=np.float32))
+        self.register_buffer("running_mean", np.zeros(num_features, dtype=np.float32))
+        self.register_buffer("running_var", np.ones(num_features, dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.training:
+            mu = ops_reduce.mean(x, axis=(0, 2, 3), keepdims=True)
+            centered = ops_basic.sub(x, mu)
+            var = ops_reduce.mean(
+                ops_basic.mul(centered, centered), axis=(0, 2, 3), keepdims=True
+            )
+            # Update running stats outside the graph.
+            batch_mean = mu.data.reshape(-1)
+            batch_var = var.data.reshape(-1)
+            m = self.momentum
+            self.set_buffer("running_mean", (1 - m) * self.running_mean + m * batch_mean)
+            self.set_buffer("running_var", (1 - m) * self.running_var + m * batch_var)
+            denom = ops_basic.sqrt(ops_basic.add(var, self.eps))
+            xhat = ops_basic.div(centered, denom)
+        else:
+            mean = self.running_mean.reshape(1, -1, 1, 1)
+            std = np.sqrt(self.running_var + self.eps).reshape(1, -1, 1, 1)
+            xhat = ops_basic.div(ops_basic.sub(x, mean), std)
+        gamma = ops_shape.reshape(self.gamma, (1, self.num_features, 1, 1))
+        beta = ops_shape.reshape(self.beta, (1, self.num_features, 1, 1))
+        return ops_basic.add(ops_basic.mul(xhat, gamma), beta)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"BatchNorm2d({self.num_features})"

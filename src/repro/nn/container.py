@@ -1,0 +1,74 @@
+"""Container modules: Sequential, Identity, Flatten, Dropout."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import ops_basic, ops_shape
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+from repro.utils.rng import new_rng
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self._layer_order: list[str] = []
+        for i, layer in enumerate(layers):
+            name = f"layer{i}"
+            setattr(self, name, layer)
+            self._layer_order.append(name)
+
+    def append(self, layer: Module) -> "Sequential":
+        name = f"layer{len(self._layer_order)}"
+        setattr(self, name, layer)
+        self._layer_order.append(name)
+        return self
+
+    def __iter__(self):
+        return (getattr(self, name) for name in self._layer_order)
+
+    def __len__(self) -> int:
+        return len(self._layer_order)
+
+    def __getitem__(self, index: int) -> Module:
+        return getattr(self, self._layer_order[index])
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self:
+            x = layer(x)
+        return x
+
+
+class Identity(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class Flatten(Module):
+    def __init__(self, start_axis: int = 1):
+        super().__init__()
+        self.start_axis = start_axis
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops_shape.flatten(x, self.start_axis)
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, p: float = 0.5, rng=None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = float(p)
+        self._rng = new_rng(rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self._rng.random(x.shape) < keep).astype(np.float32) / keep
+        return ops_basic.mul(x, mask)

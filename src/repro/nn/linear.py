@@ -1,0 +1,26 @@
+"""Fully connected layer."""
+
+from __future__ import annotations
+
+from repro.autograd import ops_matmul
+from repro.autograd.tensor import Tensor
+from repro.nn import init
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+
+
+class Linear(Module):
+    """Affine map ``y = x W^T + b`` with ``W`` of shape (out, in)."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True, rng=None):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.kaiming_normal((out_features, in_features), rng))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops_matmul.linear(x, self.weight, self.bias)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Linear(in={self.in_features}, out={self.out_features})"

@@ -1,0 +1,147 @@
+"""Base :class:`Module` with parameter/buffer/submodule registration."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.errors import ShapeError
+from repro.nn.parameter import Parameter
+
+
+class Module:
+    """Base class for all neural-network layers and models.
+
+    Subclasses assign :class:`Parameter`, buffers (via
+    :meth:`register_buffer`) and sub-``Module`` instances as attributes;
+    registration happens automatically in ``__setattr__``.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", {})
+        object.__setattr__(self, "_buffers", {})
+        object.__setattr__(self, "_modules", {})
+        object.__setattr__(self, "training", True)
+
+    # -- attribute registration -------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+            self._buffers.pop(name, None)
+            self._modules.pop(name, None)
+        elif isinstance(value, Module):
+            self._modules[name] = value
+            self._parameters.pop(name, None)
+            self._buffers.pop(name, None)
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register non-trainable persistent state (e.g. BN running stats)."""
+        self._buffers[name] = np.asarray(value)
+        object.__setattr__(self, name, self._buffers[name])
+
+    def set_buffer(self, name: str, value: np.ndarray) -> None:
+        """Update a previously registered buffer in place of the binding."""
+        if name not in self._buffers:
+            raise KeyError(f"no buffer named {name!r} on {type(self).__name__}")
+        self._buffers[name] = np.asarray(value)
+        object.__setattr__(self, name, self._buffers[name])
+
+    # -- traversal ----------------------------------------------------------
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        """Yield ``(qualified_name, module)`` for self and all descendants."""
+        yield prefix, self
+        for name, child in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from child.named_modules(child_prefix)
+
+    def modules(self) -> Iterator["Module"]:
+        for _, module in self.named_modules():
+            yield module
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for mod_name, module in self.named_modules(prefix):
+            for par_name, par in module._parameters.items():
+                full = f"{mod_name}.{par_name}" if mod_name else par_name
+                yield full, par
+
+    def parameters(self) -> list[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def named_buffers(self, prefix: str = "") -> Iterator[tuple[str, np.ndarray]]:
+        for mod_name, module in self.named_modules(prefix):
+            for buf_name, buf in module._buffers.items():
+                full = f"{mod_name}.{buf_name}" if mod_name else buf_name
+                yield full, buf
+
+    # -- train / eval ---------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode on self and all descendants."""
+        for module in self.modules():
+            object.__setattr__(module, "training", bool(mode))
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        """Drop accumulated gradients on every parameter."""
+        for p in self.parameters():
+            p.zero_grad()
+
+    # -- state dict -------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of all parameters and buffers keyed by qualified name."""
+        state: dict[str, np.ndarray] = {}
+        for name, par in self.named_parameters():
+            state[name] = par.data.copy()
+        for name, buf in self.named_buffers():
+            state[name] = buf.copy()
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray], strict: bool = True) -> None:
+        """Load parameters and buffers from :meth:`state_dict` output."""
+        own_params = dict(self.named_parameters())
+        own_buffer_owners: dict[str, tuple[Module, str]] = {}
+        for mod_name, module in self.named_modules():
+            for buf_name in module._buffers:
+                full = f"{mod_name}.{buf_name}" if mod_name else buf_name
+                own_buffer_owners[full] = (module, buf_name)
+        missing = (set(own_params) | set(own_buffer_owners)) - set(state)
+        unexpected = set(state) - (set(own_params) | set(own_buffer_owners))
+        if strict and (missing or unexpected):
+            raise KeyError(
+                f"state dict mismatch; missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, value in state.items():
+            if name in own_params:
+                par = own_params[name]
+                if par.data.shape != value.shape:
+                    raise ShapeError(
+                        f"parameter {name!r}: expected shape {par.data.shape}, "
+                        f"got {value.shape}"
+                    )
+                par.data = value.astype(par.data.dtype).copy()
+            elif name in own_buffer_owners:
+                module, buf_name = own_buffer_owners[name]
+                module.set_buffer(buf_name, value.copy())
+
+    def num_parameters(self, trainable_only: bool = False) -> int:
+        """Total number of scalar parameters."""
+        return sum(
+            p.size for p in self.parameters() if p.requires_grad or not trainable_only
+        )
+
+    # -- forward ----------------------------------------------------------------
+    def forward(self, *args, **kwargs) -> Tensor:
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs) -> Tensor:
+        return self.forward(*args, **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        children = ", ".join(self._modules)
+        return f"{type(self).__name__}({children})"

@@ -1,0 +1,23 @@
+"""Trainable parameter type."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A :class:`Tensor` registered as trainable by :class:`~repro.nn.Module`.
+
+    Parameters default to ``requires_grad=True`` and are discovered by
+    ``Module.parameters()`` when assigned as module attributes.
+    """
+
+    def __init__(self, data, requires_grad: bool = True, name: str | None = None):
+        if isinstance(data, Tensor):
+            data = data.data
+        super().__init__(np.asarray(data), requires_grad=requires_grad, name=name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter(shape={self.shape}, requires_grad={self.requires_grad})"

@@ -1,0 +1,34 @@
+"""Pooling layers."""
+
+from __future__ import annotations
+
+from repro.autograd import ops_matmul
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+
+
+class AvgPool2d(Module):
+    def __init__(self, kernel_size: int, stride: int | None = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops_matmul.avg_pool2d(x, self.kernel_size, self.stride)
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel_size: int, stride: int | None = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops_matmul.max_pool2d(x, self.kernel_size, self.stride)
+
+
+class GlobalAvgPool(Module):
+    """Collapse all spatial positions into a per-channel average, (N, C)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops_matmul.global_avg_pool(x)

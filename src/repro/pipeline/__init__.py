@@ -1,0 +1,29 @@
+"""End-to-end optimization flow (Algorithm 1) and comparison harnesses."""
+
+from repro.pipeline.algorithm1 import (
+    METHODS,
+    Algorithm1Result,
+    StageResult,
+    approximation_stage,
+    quantization_stage,
+    run_algorithm1,
+)
+from repro.pipeline.compare import MethodComparison, compare_methods
+from repro.pipeline.replicate import ReplicateSummary, replicate_approximation_stage
+from repro.pipeline.sweep import SweepPoint, SweepResult, run_sweep
+
+__all__ = [
+    "METHODS",
+    "StageResult",
+    "Algorithm1Result",
+    "quantization_stage",
+    "approximation_stage",
+    "run_algorithm1",
+    "MethodComparison",
+    "compare_methods",
+    "SweepPoint",
+    "SweepResult",
+    "run_sweep",
+    "ReplicateSummary",
+    "replicate_approximation_stage",
+]

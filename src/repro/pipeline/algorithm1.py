@@ -1,0 +1,171 @@
+"""Algorithm 1 of the paper: ApproxKD + Gradient Estimation.
+
+Two sequential stages over a pre-trained full-precision model:
+
+1. **Quantization stage** — convert to 8A4W (folding BN where configured),
+   calibrate step sizes, then fine-tune with KD from the FP teacher at
+   temperature ``T1`` (or plain cross-entropy for the "normal FT" baseline).
+2. **Approximation stage** — attach an approximate multiplier to every
+   quantized GEMM layer and fine-tune with one of five methods:
+   ``normal`` (passive retraining, STE), ``ge`` (gradient estimation),
+   ``alpha`` (alpha regularization), ``approxkd`` (KD from the frozen
+   quantized teacher at ``T2``), or ``approxkd_ge`` (the paper's full
+   proposal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.approx.multiplier import Multiplier
+from repro.data.dataloader import iterate_batches
+from repro.data.synthetic_cifar import Dataset
+from repro.distill.teacher import clone_model, kd_batch_loss, precompute_teacher_logits
+from repro.errors import ConfigError
+from repro.ge.montecarlo import estimate_error_model
+from repro.nn.module import Module
+from repro.quant.convert import calibrate_model, quantize_model, refresh_weight_steps
+from repro.quant.qconfig import QConfig
+from repro.sim.proxsim import attach_multiplier, detach_multiplier, evaluate_accuracy, resolve_multiplier
+from repro.train.baselines import alpha_regularization_loss, remove_alpha_regularization
+from repro.train.trainer import History, TrainConfig, cross_entropy_loss, train_model
+
+METHODS = ("normal", "ge", "alpha", "approxkd", "approxkd_ge")
+
+
+@dataclass(frozen=True)
+class StageResult:
+    """Outcome of one fine-tuning stage."""
+
+    accuracy_before: float
+    accuracy_after: float
+    history: History
+
+
+def quantization_stage(
+    fp_model: Module,
+    data: Dataset,
+    qconfig: QConfig | None = None,
+    train_config: TrainConfig | None = None,
+    temperature: float = 1.0,
+    use_kd: bool = True,
+    fold_bn: bool = True,
+    calibration_batches: int = 4,
+) -> tuple[Module, StageResult]:
+    """Quantize ``fp_model`` and fine-tune it (first half of Algorithm 1).
+
+    Returns the trained quantized model and the stage result. ``fp_model``
+    is not modified.
+    """
+    train_config = train_config or TrainConfig()
+    student = quantize_model(clone_model(fp_model), qconfig, fold_bn=fold_bn)
+    calibrate_model(
+        student,
+        iterate_batches(
+            data.train_x, data.train_y, train_config.batch_size, shuffle=False
+        ),
+        max_batches=calibration_batches,
+    )
+    accuracy_before = evaluate_accuracy(student, data.test_x, data.test_y)
+    if use_kd:
+        teacher_logits = precompute_teacher_logits(
+            fp_model, data.train_x, train_config.batch_size
+        )
+        loss = kd_batch_loss(teacher_logits, temperature)
+    else:
+        loss = cross_entropy_loss()
+    history = train_model(student, data, loss, train_config)
+    accuracy_after = evaluate_accuracy(student, data.test_x, data.test_y)
+    return student, StageResult(accuracy_before, accuracy_after, history)
+
+
+def approximation_stage(
+    quant_model: Module,
+    data: Dataset,
+    multiplier: Multiplier | str,
+    method: str = "approxkd_ge",
+    train_config: TrainConfig | None = None,
+    temperature: float = 5.0,
+    alpha: float = 1e-11,
+    rng: int = 0,
+) -> tuple[Module, StageResult]:
+    """Attach ``multiplier`` and fine-tune (second half of Algorithm 1).
+
+    ``quant_model`` is not modified; the student starts from a deep copy.
+    The frozen quantized model (exact integer execution) serves as the KD
+    teacher for the ``approxkd*`` methods, per the paper's Fig. 1.
+    """
+    if method not in METHODS:
+        raise ConfigError(f"unknown method {method!r}; choose from {METHODS}")
+    train_config = train_config or TrainConfig()
+    mult = resolve_multiplier(multiplier)
+
+    student = clone_model(quant_model)
+    remove_alpha_regularization(student)
+    refresh_weight_steps(student)
+
+    error_model = None
+    if method.endswith("ge") and mult is not None and not mult.is_exact:
+        error_model = estimate_error_model(mult, rng=rng)
+    attach_multiplier(student, mult, error_model)
+    accuracy_before = evaluate_accuracy(student, data.test_x, data.test_y)
+
+    if method in ("approxkd", "approxkd_ge"):
+        teacher = clone_model(quant_model)
+        detach_multiplier(teacher)
+        remove_alpha_regularization(teacher)
+        teacher_logits = precompute_teacher_logits(
+            teacher, data.train_x, train_config.batch_size
+        )
+        loss = kd_batch_loss(teacher_logits, temperature)
+    elif method == "alpha":
+        loss = alpha_regularization_loss(student, alpha)
+    else:  # normal, ge
+        loss = cross_entropy_loss()
+
+    history = train_model(student, data, loss, train_config)
+    remove_alpha_regularization(student)
+    accuracy_after = evaluate_accuracy(student, data.test_x, data.test_y)
+    return student, StageResult(accuracy_before, accuracy_after, history)
+
+
+@dataclass(frozen=True)
+class Algorithm1Result:
+    """Full two-stage outcome."""
+
+    quantized_model: Module
+    approximate_model: Module
+    quantization: StageResult
+    approximation: StageResult
+
+
+def run_algorithm1(
+    fp_model: Module,
+    data: Dataset,
+    multiplier: Multiplier | str,
+    t1: float = 1.0,
+    t2: float = 5.0,
+    quant_config: TrainConfig | None = None,
+    approx_config: TrainConfig | None = None,
+    qconfig: QConfig | None = None,
+    method: str = "approxkd_ge",
+    fold_bn: bool = True,
+) -> Algorithm1Result:
+    """Run both stages of Algorithm 1 and return all artifacts."""
+    quant_model, quant_result = quantization_stage(
+        fp_model,
+        data,
+        qconfig=qconfig,
+        train_config=quant_config,
+        temperature=t1,
+        fold_bn=fold_bn,
+    )
+    approx_model, approx_result = approximation_stage(
+        quant_model,
+        data,
+        multiplier,
+        method=method,
+        train_config=approx_config,
+        temperature=t2,
+    )
+    return Algorithm1Result(quant_model, approx_model, quant_result, approx_result)

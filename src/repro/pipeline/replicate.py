@@ -1,0 +1,83 @@
+"""Seed replication for statistically honest method comparisons.
+
+The smoke-scale experiments run at tens of SGD steps, where single-seed
+differences between fine-tuning methods can be noise. This module repeats a
+stage across seeds and reports mean/std/min/max so comparisons can be made
+with error bars — the missing statistical hygiene for small-budget runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.approx.multiplier import Multiplier
+from repro.data.synthetic_cifar import Dataset
+from repro.errors import ConfigError
+from repro.nn.module import Module
+from repro.pipeline.algorithm1 import approximation_stage
+from repro.train.trainer import TrainConfig
+
+
+@dataclass(frozen=True)
+class ReplicateSummary:
+    """Accuracy statistics of one method across seeds."""
+
+    method: str
+    multiplier: str
+    seeds: tuple[int, ...]
+    final_accuracies: tuple[float, ...]
+    mean: float
+    std: float
+    min: float
+    max: float
+
+    def overlaps(self, other: "ReplicateSummary", sigmas: float = 1.0) -> bool:
+        """True when the ±``sigmas``·std intervals of both summaries overlap
+        — i.e. the two methods are not separable at this budget."""
+        lo_self, hi_self = self.mean - sigmas * self.std, self.mean + sigmas * self.std
+        lo_other, hi_other = (
+            other.mean - sigmas * other.std,
+            other.mean + sigmas * other.std,
+        )
+        return lo_self <= hi_other and lo_other <= hi_self
+
+
+def replicate_approximation_stage(
+    quant_model: Module,
+    data: Dataset,
+    multiplier: Multiplier | str,
+    method: str,
+    train_config: TrainConfig,
+    seeds: tuple[int, ...] = (0, 1, 2),
+    temperature: float = 5.0,
+) -> ReplicateSummary:
+    """Run the approximation stage once per seed and summarise."""
+    if not seeds:
+        raise ConfigError("need at least one seed")
+    finals = []
+    for seed in seeds:
+        config = replace(train_config, seed=seed)
+        _, result = approximation_stage(
+            quant_model,
+            data,
+            multiplier,
+            method=method,
+            train_config=config,
+            temperature=temperature,
+            rng=seed,
+        )
+        finals.append(result.accuracy_after)
+    arr = np.asarray(finals)
+    name = multiplier if isinstance(multiplier, str) else multiplier.name
+    return ReplicateSummary(
+        method=method,
+        multiplier=name,
+        seeds=tuple(seeds),
+        final_accuracies=tuple(float(a) for a in arr),
+        mean=float(arr.mean()),
+        std=float(arr.std()),
+        min=float(arr.min()),
+        max=float(arr.max()),
+    )

@@ -1,0 +1,63 @@
+"""Batch-normalisation folding (Nagel et al. [9], as used by the paper for
+the evaluated ResNets).
+
+Folding absorbs an eval-mode BN into the preceding convolution:
+
+    W' = W · γ / √(σ² + ε)        (per output channel)
+    b' = β + (b - μ) · γ / √(σ² + ε)
+
+The model-level folder relies on the fact that in every model in this repo a
+``BatchNorm2d`` registered immediately after a ``Conv2d`` in its parent's
+module order is also its dataflow successor (true for ``ResNetCifar``,
+``MobileNetV2`` and ``SimpleCNN``); each such pair is replaced by a single
+biased convolution plus an ``Identity``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.batchnorm import BatchNorm2d
+from repro.nn.container import Identity
+from repro.nn.conv import Conv2d
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+
+
+def fold_conv_bn(conv: Conv2d, bn: BatchNorm2d) -> Conv2d:
+    """Return a new ``Conv2d`` equivalent to ``bn(conv(x))`` in eval mode."""
+    scale = bn.gamma.data / np.sqrt(bn.running_var + bn.eps)  # (C_out,)
+    folded = Conv2d(
+        conv.in_channels,
+        conv.out_channels,
+        conv.kernel_size,
+        conv.stride,
+        conv.padding,
+        conv.groups,
+        bias=True,
+    )
+    folded.weight = Parameter(conv.weight.data * scale[:, None, None, None])
+    old_bias = conv.bias.data if conv.bias is not None else 0.0
+    folded.bias = Parameter(bn.beta.data + (old_bias - bn.running_mean) * scale)
+    return folded
+
+
+def fold_batchnorms(model: Module) -> int:
+    """Fold every (Conv2d → BatchNorm2d) pair in ``model`` in place.
+
+    Returns the number of folded pairs. The model should be in eval mode
+    conceptually — folding uses running statistics.
+    """
+    folded = 0
+    for _, module in model.named_modules():
+        child_names = list(module._modules)
+        for prev_name, next_name in zip(child_names, child_names[1:]):
+            prev = module._modules[prev_name]
+            nxt = module._modules[next_name]
+            if isinstance(prev, Conv2d) and isinstance(nxt, BatchNorm2d):
+                if prev.out_channels != nxt.num_features:
+                    continue  # not a dataflow pair
+                setattr(module, prev_name, fold_conv_bn(prev, nxt))
+                setattr(module, next_name, Identity())
+                folded += 1
+    return folded

@@ -1,0 +1,121 @@
+"""Model conversion to the quantized representation, plus calibration.
+
+``quantize_model`` swaps every float GEMM layer for its quantized
+counterpart (optionally folding BN first); ``calibrate_model`` runs
+calibration batches through the converted model and freezes all step sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.autograd.grad_mode import no_grad
+from repro.autograd.tensor import Tensor
+from repro.errors import QuantizationError
+from repro.nn.conv import Conv2d
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.quant.bn_folding import fold_batchnorms
+from repro.quant.qconfig import QConfig
+from repro.quant.qlayers import QuantConv2d, QuantLinear, _QuantGemmLayer
+
+
+def quantize_model(
+    model: Module,
+    qconfig: QConfig | None = None,
+    fold_bn: bool = True,
+    layer_overrides: dict[str, QConfig] | None = None,
+) -> Module:
+    """Convert ``model`` in place to quantized layers and return it.
+
+    Parameters
+    ----------
+    fold_bn:
+        Fold Conv→BN pairs before conversion (the paper folds BN for the
+        ResNets but keeps BN layers in MobileNetV2).
+    layer_overrides:
+        Mixed-precision support: a mapping from qualified layer name (as in
+        ``named_quant_layers`` after conversion) to a :class:`QConfig` that
+        replaces the default for that layer — e.g. keeping the classifier
+        at 8-bit weights while the backbone runs 4-bit. Unknown names
+        raise, so typos do not silently keep a layer at the default.
+    """
+    qconfig = qconfig or QConfig()
+    layer_overrides = dict(layer_overrides or {})
+    if fold_bn:
+        fold_batchnorms(model)
+    seen: set[str] = set()
+    for parent_name, module in model.named_modules():
+        for name, child in list(module._modules.items()):
+            if isinstance(child, QuantConv2d) or isinstance(child, QuantLinear):
+                continue
+            full_name = f"{parent_name}.{name}" if parent_name else name
+            config = layer_overrides.get(full_name, qconfig)
+            if isinstance(child, Conv2d):
+                setattr(module, name, QuantConv2d.from_float(child, config))
+                seen.add(full_name)
+            elif isinstance(child, Linear):
+                setattr(module, name, QuantLinear.from_float(child, config))
+                seen.add(full_name)
+    unknown = set(layer_overrides) - seen
+    if unknown:
+        raise QuantizationError(
+            f"layer_overrides for unknown GEMM layers: {sorted(unknown)}; "
+            f"converted layers: {sorted(seen)}"
+        )
+    return model
+
+
+def quant_layers(model: Module) -> Iterator[_QuantGemmLayer]:
+    """Yield every quantized GEMM layer in ``model``."""
+    for module in model.modules():
+        if isinstance(module, _QuantGemmLayer):
+            yield module
+
+
+def named_quant_layers(model: Module) -> Iterator[tuple[str, _QuantGemmLayer]]:
+    """Yield ``(qualified_name, layer)`` for every quantized GEMM layer."""
+    for name, module in model.named_modules():
+        if isinstance(module, _QuantGemmLayer):
+            yield name, module
+
+
+def calibrate_model(
+    model: Module,
+    calibration_batches: Iterable[np.ndarray],
+    max_batches: int | None = None,
+) -> Module:
+    """Collect activation statistics and freeze all quantization steps.
+
+    ``calibration_batches`` yields input arrays (or ``(x, y)`` pairs, in
+    which case labels are ignored).
+    """
+    layers = list(quant_layers(model))
+    if not layers:
+        raise QuantizationError("calibrate_model: model has no quantized layers")
+    for layer in layers:
+        layer.begin_calibration()
+    was_training = model.training
+    model.eval()
+    count = 0
+    with no_grad():
+        for batch in calibration_batches:
+            x = batch[0] if isinstance(batch, tuple) else batch
+            model(Tensor(np.asarray(x)))
+            count += 1
+            if max_batches is not None and count >= max_batches:
+                break
+    if count == 0:
+        raise QuantizationError("calibrate_model: no calibration batches provided")
+    for layer in layers:
+        layer.finalize_calibration()
+    model.train(was_training)
+    return model
+
+
+def refresh_weight_steps(model: Module) -> None:
+    """Re-derive all weight steps after a fine-tuning stage changed weights."""
+    for layer in quant_layers(model):
+        layer.refresh_weight_step()

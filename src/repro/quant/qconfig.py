@@ -1,0 +1,42 @@
+"""Quantization configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QuantizationError
+
+
+@dataclass(frozen=True)
+class QConfig:
+    """Layer-wise symmetric quantization settings.
+
+    The paper's configuration — 8-bit activations, 4-bit weights, power-of-
+    two steps, MinPropQE calibration — is the default and is exposed as
+    :data:`QCONFIG_8A4W`.
+    """
+
+    activation_bits: int = 8
+    weight_bits: int = 4
+    pow2_steps: bool = True
+    weight_observer: str = "minpropqe"
+    activation_observer: str = "minmax"
+    # Per-output-channel weight steps (extension beyond the paper's
+    # layer-wise scheme). Calibrated from per-channel maxima; the chosen
+    # weight observer is bypassed in this mode.
+    per_channel_weights: bool = False
+
+    def __post_init__(self) -> None:
+        if self.activation_bits < 2 or self.weight_bits < 2:
+            raise QuantizationError(
+                f"bit-widths must be >= 2, got A{self.activation_bits}/W{self.weight_bits}"
+            )
+
+    @property
+    def label(self) -> str:
+        """Human-readable tag, e.g. ``8A4W``."""
+        return f"{self.activation_bits}A{self.weight_bits}W"
+
+
+QCONFIG_8A4W = QConfig()
+QCONFIG_8A8W = QConfig(weight_bits=8)

@@ -1,0 +1,126 @@
+"""Weight-memory fault injection for reliability analysis.
+
+Approximate-computing deployments care not only about designed error
+(approximate multipliers) but also about random hardware faults. This
+module injects stuck-at faults into the *stored integer weight codes* of a
+quantized model — the standard memory-fault model — and measures the
+accuracy impact. Faults are applied to the sign-magnitude code bits used by
+the approximate datapath.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.module import Module
+from repro.quant.convert import quant_layers
+from repro.quant.quantizer import qrange
+from repro.utils.rng import new_rng
+
+
+@dataclass(frozen=True)
+class FaultReport:
+    """Outcome of one fault-injection trial."""
+
+    bit_error_rate: float
+    faults_injected: int
+    total_bits: int
+    accuracy: float
+
+
+def _inject_into_codes(codes: np.ndarray, bits: int, ber: float, rng) -> tuple[np.ndarray, int]:
+    """Flip each magnitude/sign bit independently with probability ``ber``."""
+    magnitude_bits = bits - 1
+    mags = np.abs(codes)
+    signs = codes < 0
+    flipped = 0
+    for bit in range(magnitude_bits):
+        mask = rng.random(codes.shape) < ber
+        mags = np.where(mask, mags ^ (1 << bit), mags)
+        flipped += int(mask.sum())
+    sign_mask = rng.random(codes.shape) < ber
+    signs = np.where(sign_mask, ~signs, signs)
+    flipped += int(sign_mask.sum())
+    lo, hi = qrange(bits)
+    out = np.clip(np.where(signs, -mags, mags), lo, hi)
+    return out.astype(codes.dtype), flipped
+
+
+def inject_weight_faults(
+    model: Module,
+    bit_error_rate: float,
+    rng=0,
+) -> int:
+    """Corrupt the quantized weights of ``model`` in place.
+
+    Weights are quantized to codes with each layer's current step, bits are
+    flipped with probability ``bit_error_rate``, and the corrupted codes are
+    dequantized back into the float weight storage (so both exact and
+    approximate execution see the faults). Returns the number of flipped
+    bits. Use on a clone — there is no undo.
+    """
+    if not 0.0 <= bit_error_rate <= 1.0:
+        raise ConfigError(f"bit_error_rate must be in [0, 1], got {bit_error_rate}")
+    rng = new_rng(rng)
+    layers = list(quant_layers(model))
+    if not layers:
+        raise ConfigError("fault injection requires a quantized model")
+    total_flipped = 0
+    for layer in layers:
+        if not layer.is_calibrated:
+            raise ConfigError("calibrate the model before injecting faults")
+        step = layer.weight_step
+        if isinstance(step, np.ndarray):
+            # Per-channel steps broadcast along the output-channel axis.
+            shape = (-1,) + (1,) * (layer.weight.data.ndim - 1)
+            step_b = step.reshape(shape)
+        else:
+            step_b = float(step)
+        bits = layer.qconfig.weight_bits
+        lo, hi = qrange(bits)
+        codes = np.clip(np.rint(layer.weight.data / step_b), lo, hi).astype(np.int32)
+        corrupted, flipped = _inject_into_codes(codes, bits, bit_error_rate, rng)
+        layer.weight.data = (corrupted * step_b).astype(np.float32)
+        total_flipped += flipped
+    return total_flipped
+
+
+def fault_sensitivity_sweep(
+    model: Module,
+    x: np.ndarray,
+    y: np.ndarray,
+    bit_error_rates: list[float],
+    trials: int = 3,
+    rng=0,
+) -> list[FaultReport]:
+    """Measure mean accuracy under increasing weight bit-error rates.
+
+    Each (rate, trial) pair corrupts a fresh clone of ``model``; the
+    returned reports average accuracy over trials per rate.
+    """
+    from repro.distill.teacher import clone_model
+    from repro.sim.proxsim import evaluate_accuracy
+
+    rngs = new_rng(rng)
+    reports = []
+    total_bits = sum(
+        layer.weight.size * layer.qconfig.weight_bits for layer in quant_layers(model)
+    )
+    for rate in bit_error_rates:
+        accs, injected = [], 0
+        for _ in range(max(1, trials)):
+            victim = clone_model(model)
+            injected = inject_weight_faults(victim, rate, rng=rngs)
+            accs.append(evaluate_accuracy(victim, x, y))
+        reports.append(
+            FaultReport(
+                bit_error_rate=rate,
+                faults_injected=injected,
+                total_bits=total_bits,
+                accuracy=float(np.mean(accs)),
+            )
+        )
+    return reports

@@ -1,0 +1,40 @@
+"""Optimizers, schedules, the fine-tuning loop and baseline methods."""
+
+from repro.train.baselines import alpha_regularization_loss, remove_alpha_regularization
+from repro.train.callbacks import BestWeightsKeeper, Callback, EarlyStopping
+from repro.train.lr_schedule import ConstantLR, CosineDecay, LRSchedule, StepDecay
+from repro.train.metrics import confusion_matrix, top1_accuracy, topk_accuracy
+from repro.train.optim import SGD, Adam, Optimizer, clip_grad_norm
+from repro.train.robustness import noisy_weight_training
+from repro.train.trainer import (
+    BatchLoss,
+    History,
+    TrainConfig,
+    cross_entropy_loss,
+    train_model,
+)
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "clip_grad_norm",
+    "noisy_weight_training",
+    "Callback",
+    "EarlyStopping",
+    "BestWeightsKeeper",
+    "LRSchedule",
+    "ConstantLR",
+    "StepDecay",
+    "CosineDecay",
+    "top1_accuracy",
+    "topk_accuracy",
+    "confusion_matrix",
+    "TrainConfig",
+    "History",
+    "BatchLoss",
+    "train_model",
+    "cross_entropy_loss",
+    "alpha_regularization_loss",
+    "remove_alpha_regularization",
+]

@@ -1,0 +1,61 @@
+"""Baseline fine-tuning losses from the literature.
+
+- **Normal (passive) retraining** [4, AxTrain]: plain cross-entropy training
+  of the approximate network, gradients through the plain STE — the
+  ``cross_entropy_loss`` closure in :mod:`repro.train.trainer`.
+- **Alpha regularization** [5, ProxSim]: adds ``α · Σ_l ‖y_l‖²`` over the
+  integer-code GEMM outputs of every quantized layer, pushing activations
+  toward the low-magnitude region where approximate multipliers are most
+  accurate. The original paper reports best results around ``α = 1e-11``
+  (from a sweep of 1e-6 … 1e-12) — consistent with the penalty being a raw
+  sum of squared integer outputs, which is how we implement it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.ops_basic import add, mul, pow_scalar
+from repro.autograd.ops_loss import softmax_cross_entropy
+from repro.autograd.ops_reduce import sum_
+from repro.autograd.tensor import Tensor
+from repro.errors import ConfigError
+from repro.nn.module import Module
+from repro.quant.convert import quant_layers
+
+
+def alpha_regularization_loss(model: Module, alpha: float = 1e-11):
+    """Build the alpha-regularization ``batch_loss`` for ``model``.
+
+    Installs an output collector on every quantized layer of ``model``; the
+    returned closure consumes the collected layer outputs each batch. Call
+    :func:`remove_alpha_regularization` to detach the collectors.
+    """
+    if alpha < 0:
+        raise ConfigError(f"alpha must be non-negative, got {alpha}")
+    collector: list = []
+    installed = 0
+    for layer in quant_layers(model):
+        layer.output_collector = collector
+        installed += 1
+    if installed == 0:
+        raise ConfigError("alpha regularization requires a quantized model")
+
+    def loss(logits: Tensor, labels: np.ndarray, indices: np.ndarray) -> Tensor:
+        base = softmax_cross_entropy(logits, labels)
+        penalty: Tensor | None = None
+        for out, inv_step in collector:
+            term = sum_(pow_scalar(mul(out, inv_step), 2.0))
+            penalty = term if penalty is None else add(penalty, term)
+        collector.clear()
+        if penalty is None:
+            return base
+        return add(base, mul(penalty, alpha))
+
+    return loss
+
+
+def remove_alpha_regularization(model: Module) -> None:
+    """Detach alpha-regularization collectors installed on ``model``."""
+    for layer in quant_layers(model):
+        layer.output_collector = None

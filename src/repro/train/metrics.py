@@ -1,0 +1,33 @@
+"""Classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def top1_accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of samples whose argmax prediction matches the label."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels)
+    if logits.ndim != 2 or logits.shape[0] != labels.shape[0]:
+        raise ShapeError(f"logits {logits.shape} incompatible with labels {labels.shape}")
+    return float((logits.argmax(axis=1) == labels).mean())
+
+
+def topk_accuracy(logits: np.ndarray, labels: np.ndarray, k: int = 5) -> float:
+    """Fraction of samples whose label is among the top-k predictions."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels)
+    if k < 1 or k > logits.shape[1]:
+        raise ShapeError(f"k={k} out of range for {logits.shape[1]} classes")
+    topk = np.argpartition(-logits, k - 1, axis=1)[:, :k]
+    return float((topk == labels[:, None]).any(axis=1).mean())
+
+
+def confusion_matrix(predictions: np.ndarray, labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """``cm[i, j]`` = count of samples with true class i predicted as j."""
+    cm = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(cm, (np.asarray(labels), np.asarray(predictions)), 1)
+    return cm

@@ -1,0 +1,156 @@
+"""Generic fine-tuning loop shared by all retraining methods.
+
+The paper's methods differ only in the per-batch loss (plain cross-entropy,
+KD losses, alpha regularization) and in the backward behaviour of the
+quantized layers (STE vs gradient estimation, configured on the layers
+themselves). The trainer is agnostic to all of that: it takes a
+``batch_loss(logits, labels, indices) -> Tensor`` closure and handles
+batching, augmentation, the optimizer, the LR schedule and history
+recording.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.data.dataloader import augment_batch
+from repro.data.synthetic_cifar import Dataset
+from repro.errors import ConfigError
+from repro.nn.module import Module
+from repro.sim.proxsim import evaluate_accuracy
+from repro.train.lr_schedule import LRSchedule, StepDecay
+from repro.train.optim import SGD
+from repro.utils.rng import new_rng
+
+BatchLoss = Callable[[Tensor, np.ndarray, np.ndarray], Tensor]
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Hyperparameters of one fine-tuning run.
+
+    Defaults mirror the paper's fine-tuning setup (section IV-B): minibatch
+    128, SGD momentum, step decay 0.1 every 15 epochs.
+    """
+
+    epochs: int = 30
+    batch_size: int = 128
+    lr: float = 1e-2
+    momentum: float = 0.9
+    weight_decay: float = 0.0
+    lr_decay: float = 0.1
+    lr_decay_every: int = 15
+    grad_clip: float | None = None
+    augment: bool = False
+    seed: int = 0
+    eval_every: int = 1
+    verbose: bool = False
+
+    def __post_init__(self) -> None:
+        if self.epochs < 0:
+            raise ConfigError(f"epochs must be >= 0, got {self.epochs}")
+
+    def make_schedule(self) -> LRSchedule:
+        return StepDecay(self.lr, self.lr_decay, self.lr_decay_every)
+
+
+@dataclass
+class History:
+    """Per-epoch training record."""
+
+    train_loss: list[float] = field(default_factory=list)
+    test_accuracy: list[float] = field(default_factory=list)
+    learning_rate: list[float] = field(default_factory=list)
+    wall_time: float = 0.0
+
+    @property
+    def final_accuracy(self) -> float:
+        if not self.test_accuracy:
+            raise ConfigError("no evaluations recorded")
+        return self.test_accuracy[-1]
+
+    @property
+    def best_accuracy(self) -> float:
+        if not self.test_accuracy:
+            raise ConfigError("no evaluations recorded")
+        return max(self.test_accuracy)
+
+
+def train_model(
+    model: Module,
+    data: Dataset,
+    batch_loss: BatchLoss,
+    config: TrainConfig,
+    callbacks: list | None = None,
+) -> History:
+    """Run the fine-tuning loop and return its :class:`History`.
+
+    ``callbacks`` (see :mod:`repro.train.callbacks`) are invoked after each
+    evaluated epoch; any callback returning True stops training early.
+    """
+    rng = new_rng(config.seed)
+    optimizer = SGD(
+        model.parameters(),
+        lr=config.lr,
+        momentum=config.momentum,
+        weight_decay=config.weight_decay,
+        grad_clip=config.grad_clip,
+    )
+    schedule = config.make_schedule()
+    history = History()
+    started = time.perf_counter()
+
+    n = len(data.train_x)
+    for epoch in range(config.epochs):
+        lr = schedule.apply(optimizer, epoch)
+        model.train()
+        order = rng.permutation(n)
+        epoch_loss, batches = 0.0, 0
+        for start in range(0, n, config.batch_size):
+            idx = order[start : start + config.batch_size]
+            xb = data.train_x[idx]
+            if config.augment:
+                xb = augment_batch(xb, rng)
+            yb = data.train_y[idx]
+            optimizer.zero_grad()
+            logits = model(Tensor(xb))
+            loss = batch_loss(logits, yb, idx)
+            loss.backward()
+            optimizer.step()
+            epoch_loss += loss.item()
+            batches += 1
+        history.train_loss.append(epoch_loss / max(batches, 1))
+        history.learning_rate.append(lr)
+        if (epoch + 1) % config.eval_every == 0 or epoch == config.epochs - 1:
+            acc = evaluate_accuracy(model, data.test_x, data.test_y, config.batch_size)
+            history.test_accuracy.append(acc)
+            if config.verbose:
+                print(
+                    f"epoch {epoch + 1:3d}/{config.epochs}  lr={lr:.2e}  "
+                    f"loss={history.train_loss[-1]:.4f}  acc={acc:.4f}"
+                )
+            if callbacks and any(
+                cb.on_epoch_end(epoch, history, model) for cb in callbacks
+            ):
+                break
+    if not history.test_accuracy and config.epochs == 0:
+        history.test_accuracy.append(
+            evaluate_accuracy(model, data.test_x, data.test_y, config.batch_size)
+        )
+    history.wall_time = time.perf_counter() - started
+    return history
+
+
+def cross_entropy_loss() -> BatchLoss:
+    """Plain hard-label loss (Eq. 1) — used by normal/passive retraining."""
+    from repro.autograd.ops_loss import softmax_cross_entropy
+
+    def loss(logits: Tensor, labels: np.ndarray, indices: np.ndarray) -> Tensor:
+        return softmax_cross_entropy(logits, labels)
+
+    return loss

@@ -1,0 +1,6 @@
+"""Small shared utilities: seeded RNG helpers and a generic registry."""
+
+from repro.utils.registry import Registry
+from repro.utils.rng import new_rng, spawn_rngs
+
+__all__ = ["Registry", "new_rng", "spawn_rngs"]

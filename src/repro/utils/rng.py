@@ -1,0 +1,31 @@
+"""Seeded random-number-generator helpers.
+
+Every stochastic component in the library accepts either an integer seed or a
+``numpy.random.Generator``; these helpers normalise both into generators so
+experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SeedLike = "int | np.random.Generator | None"
+
+
+def new_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` for ``seed``.
+
+    Accepts an existing generator (returned unchanged), an integer seed, or
+    ``None`` (fresh OS-entropy generator).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int | np.random.Generator | None, n: int) -> list[np.random.Generator]:
+    """Split ``seed`` into ``n`` statistically independent generators."""
+    if n < 0:
+        raise ValueError(f"cannot spawn a negative number of generators: {n}")
+    root = new_rng(seed)
+    return [np.random.default_rng(s) for s in root.bit_generator.seed_seq.spawn(n)]

@@ -1,0 +1,123 @@
+"""Model and result serialization.
+
+Models serialise to ``.npz`` archives of their state dict plus, for
+quantized models, the per-layer quantization state (step sizes and bit
+widths), so a calibrated model can be reloaded ready to run. Experiment
+results serialise to JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.nn.module import Module
+
+_META_PREFIX = "__quant__/"
+_WSTEP_PREFIX = "__quantstep__/"
+
+
+def save_model(model: Module, path: str | Path) -> None:
+    """Serialise parameters, buffers and quantization state to ``path``."""
+    from repro.quant.convert import named_quant_layers
+
+    arrays: dict[str, np.ndarray] = dict(model.state_dict())
+    for name, layer in named_quant_layers(model):
+        if not layer.is_calibrated:
+            continue
+        arrays[f"{_META_PREFIX}{name}"] = np.array(
+            [
+                layer.act_step,
+                layer.qconfig.activation_bits,
+                layer.qconfig.weight_bits,
+            ],
+            dtype=np.float64,
+        )
+        # Weight step: scalar (layer-wise) or per-output-channel vector.
+        arrays[f"{_WSTEP_PREFIX}{name}"] = np.atleast_1d(
+            np.asarray(layer.weight_step, dtype=np.float64)
+        )
+    np.savez(Path(path), **arrays)
+
+
+def load_model(model: Module, path: str | Path) -> Module:
+    """Load state saved by :func:`save_model` into ``model`` (in place).
+
+    ``model`` must have the same architecture (and, for quantized state,
+    the same quantized layers) as the saved one.
+    """
+    from repro.quant.convert import named_quant_layers
+
+    path = Path(path)
+    if not path.exists():
+        raise ReproError(f"model file not found: {path}")
+    with np.load(path) as archive:
+        arrays = {key: archive[key] for key in archive.files}
+    quant_meta = {
+        key.removeprefix(_META_PREFIX): value
+        for key, value in arrays.items()
+        if key.startswith(_META_PREFIX)
+    }
+    weight_steps = {
+        key.removeprefix(_WSTEP_PREFIX): value
+        for key, value in arrays.items()
+        if key.startswith(_WSTEP_PREFIX)
+    }
+    state = {
+        k: v
+        for k, v in arrays.items()
+        if not k.startswith((_META_PREFIX, _WSTEP_PREFIX))
+    }
+    model.load_state_dict(state)
+
+    layers = dict(named_quant_layers(model))
+    missing = set(quant_meta) - set(layers)
+    if missing:
+        raise ReproError(
+            f"saved quantization state for unknown layers: {sorted(missing)}"
+        )
+    for name, meta in quant_meta.items():
+        layer = layers[name]
+        act_step, act_bits, weight_bits = meta
+        if (int(act_bits), int(weight_bits)) != (
+            layer.qconfig.activation_bits,
+            layer.qconfig.weight_bits,
+        ):
+            raise ReproError(
+                f"layer {name}: saved bit-widths A{int(act_bits)}/W{int(weight_bits)} "
+                f"do not match the model's {layer.qconfig.label}"
+            )
+        layer.act_step = float(act_step)
+        step = weight_steps[name].astype(np.float32)
+        layer.weight_step = float(step[0]) if step.size == 1 else step
+    return model
+
+
+def save_results(results: dict, path: str | Path) -> None:
+    """Serialise an experiment-result dictionary to JSON."""
+    Path(path).write_text(json.dumps(_jsonable(results), indent=2, sort_keys=True))
+
+
+def load_results(path: str | Path) -> dict:
+    """Load a result dictionary saved by :func:`save_results`."""
+    path = Path(path)
+    if not path.exists():
+        raise ReproError(f"results file not found: {path}")
+    return json.loads(path.read_text())
+
+
+def _jsonable(value):
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise ReproError(f"cannot serialise value of type {type(value).__name__}")

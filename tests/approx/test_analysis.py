@@ -1,0 +1,86 @@
+"""Multiplier error-analysis utilities."""
+
+import numpy as np
+import pytest
+
+from repro.approx import get_multiplier
+from repro.approx.analysis import (
+    MultiplierSummary,
+    compare_multipliers,
+    error_by_operand_magnitude,
+    error_histogram,
+    summarize_multiplier,
+)
+
+
+class TestSummary:
+    def test_exact_multiplier_summary(self):
+        s = summarize_multiplier(get_multiplier("exact"))
+        assert s.mre == 0.0
+        assert s.max_abs_error == 0
+        assert s.error_free_fraction == 1.0
+        assert not s.is_biased
+
+    def test_truncated_is_biased(self):
+        s = summarize_multiplier(get_multiplier("truncated5"))
+        assert s.is_biased
+        assert s.mean_error < 0
+        assert 0 < s.error_free_fraction < 1
+
+    def test_evoapprox_is_unbiased(self):
+        s = summarize_multiplier(get_multiplier("evoapprox228"))
+        assert not s.is_biased
+        # Mean error is tiny relative to the error magnitude scale.
+        assert abs(s.mean_error) < 0.05 * s.max_abs_error
+
+    def test_dataclass_fields(self):
+        s = summarize_multiplier(get_multiplier("truncated3"))
+        assert isinstance(s, MultiplierSummary)
+        assert s.name == "truncated3"
+        assert s.energy_savings == pytest.approx(0.16)
+
+
+class TestHistogram:
+    def test_counts_sum_to_domain_size(self):
+        counts, edges = error_histogram(get_multiplier("truncated4"))
+        assert counts.sum() == 256 * 16
+        assert len(edges) == len(counts) + 1
+
+    def test_exact_multiplier_single_spike(self):
+        counts, _ = error_histogram(get_multiplier("exact"), bins=5)
+        assert (counts > 0).sum() == 1
+
+    def test_truncated_errors_nonpositive(self):
+        counts, edges = error_histogram(get_multiplier("truncated5"))
+        populated = edges[1:][counts > 0]
+        assert populated.min() <= 0  # mass at/below zero only
+        assert edges[0] < 0
+
+
+class TestMagnitudeProfile:
+    def test_truncation_hurts_small_operands_most(self):
+        profile = error_by_operand_magnitude(get_multiplier("truncated5"), num_bins=8)
+        centers, errors = zip(*profile)
+        # Relative error decreases as the activation magnitude grows.
+        assert errors[0] > errors[-1]
+
+    def test_drum_exact_for_small_operands(self):
+        profile = error_by_operand_magnitude(get_multiplier("drum4"), num_bins=16)
+        # First bin covers operands < 16, which DRUM(4) computes exactly.
+        assert profile[0][1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_profile_covers_domain(self):
+        profile = error_by_operand_magnitude(get_multiplier("truncated3"), num_bins=4)
+        assert len(profile) == 4
+
+
+class TestCompare:
+    def test_sorted_by_savings(self):
+        summaries = compare_multipliers(["truncated5", "truncated1", "truncated3"])
+        savings = [s.energy_savings for s in summaries]
+        assert savings == sorted(savings)
+
+    def test_accepts_instances(self):
+        mult = get_multiplier("truncated2")
+        summaries = compare_multipliers([mult])
+        assert summaries[0].name == "truncated2"

@@ -1,0 +1,46 @@
+"""Bias-corrected truncated multipliers (ablation of the paper's
+"without bias correction" choice)."""
+
+import numpy as np
+import pytest
+
+from repro.approx import (
+    BiasCorrectedTruncatedMultiplier,
+    TruncatedMultiplier,
+    error_bias_ratio,
+    get_multiplier,
+    mean_error,
+)
+from repro.ge import estimate_error_model
+
+
+class TestBiasCorrection:
+    @pytest.mark.parametrize("t", [3, 4, 5])
+    def test_correction_removes_bias(self, t):
+        plain = TruncatedMultiplier(t)
+        corrected = BiasCorrectedTruncatedMultiplier(t)
+        assert error_bias_ratio(corrected) < 0.2
+        assert error_bias_ratio(plain) == pytest.approx(1.0)
+        assert abs(mean_error(corrected)) < abs(mean_error(plain))
+
+    def test_zero_operands_stay_zero(self):
+        m = BiasCorrectedTruncatedMultiplier(5)
+        assert (m.lut[0, :] == 0).all()
+        assert (m.lut[:, 0] == 0).all()
+
+    def test_registry_name(self):
+        assert get_multiplier("truncated4bc").name == "truncated4bc"
+        assert get_multiplier("truncated4bc") is get_multiplier("TRUNCATED4BC")
+
+    def test_corrected_error_model_near_constant_slope(self):
+        """Removing the bias flattens the fitted error slope relative to the
+        uncorrected multiplier (the mechanism GE exploits disappears)."""
+        plain = estimate_error_model(get_multiplier("truncated5"), rng=0)
+        corrected = estimate_error_model(get_multiplier("truncated5bc"), rng=0)
+        assert abs(corrected.k) < abs(plain.k)
+
+    def test_savings_slightly_below_plain(self):
+        assert (
+            BiasCorrectedTruncatedMultiplier(5).energy_savings
+            < TruncatedMultiplier(5).energy_savings
+        )

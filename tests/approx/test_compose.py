@@ -1,0 +1,56 @@
+"""Composed approximation: multiplier + truncated accumulation."""
+
+import numpy as np
+import pytest
+
+from repro.approx import (
+    ExactMultiplier,
+    compose_truncated_accumulation,
+    get_multiplier,
+    mean_relative_error,
+)
+from repro.errors import MultiplierError
+
+
+class TestCompose:
+    def test_zero_depth_is_identity(self):
+        mult = get_multiplier("truncated3")
+        assert compose_truncated_accumulation(mult, 0) is mult
+
+    def test_composed_lut_is_multiple_of_2t(self):
+        composed = compose_truncated_accumulation(ExactMultiplier(), 3)
+        assert (composed.lut % 8 == 0).all()
+
+    def test_name_records_composition(self):
+        composed = compose_truncated_accumulation(get_multiplier("evoapprox29"), 2)
+        assert composed.name == "evoapprox29+acc2"
+
+    def test_error_increases_with_composition(self):
+        base = get_multiplier("evoapprox29")
+        composed = compose_truncated_accumulation(base, 4)
+        assert mean_relative_error(composed) > mean_relative_error(base)
+
+    def test_savings_increase(self):
+        base = get_multiplier("truncated3")
+        composed = compose_truncated_accumulation(base, 2)
+        assert composed.energy_savings > base.energy_savings
+
+    def test_exact_plus_accumulator_equals_result_truncation(self):
+        """Exact multiplier + t-LSB accumulator == masking product LSBs."""
+        composed = compose_truncated_accumulation(ExactMultiplier(), 2)
+        a = np.arange(256)[:, None]
+        b = np.arange(16)[None, :]
+        np.testing.assert_array_equal(composed.lut, (a * b) & ~3)
+
+    def test_out_of_range_depth_rejected(self):
+        with pytest.raises(MultiplierError):
+            compose_truncated_accumulation(ExactMultiplier(), 12)
+
+    def test_composed_works_in_gemm(self, rng):
+        from repro.approx import approx_matmul
+
+        composed = compose_truncated_accumulation(get_multiplier("truncated2"), 2)
+        a = rng.integers(-127, 128, size=(5, 8)).astype(np.int32)
+        b = rng.integers(-7, 8, size=(8, 3)).astype(np.int32)
+        out = approx_matmul(a, b, composed)
+        assert out.shape == (5, 3)

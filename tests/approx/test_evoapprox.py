@@ -1,0 +1,55 @@
+"""Synthetic EvoApprox multipliers: MRE calibration and unbiasedness."""
+
+import numpy as np
+import pytest
+
+from repro.approx import (
+    EVOAPPROX_SPECS,
+    EvoApproxMultiplier,
+    synthesize_evoapprox_lut,
+)
+from repro.approx.metrics import error_bias_ratio, mean_relative_error
+from repro.errors import MultiplierError
+
+
+class TestSynthesis:
+    @pytest.mark.parametrize("ident", sorted(EVOAPPROX_SPECS))
+    def test_mre_matches_paper_spec(self, ident):
+        m = EvoApproxMultiplier(ident)
+        assert mean_relative_error(m) == pytest.approx(
+            EVOAPPROX_SPECS[ident].mre, rel=0.03
+        )
+
+    @pytest.mark.parametrize("ident", sorted(EVOAPPROX_SPECS))
+    def test_error_is_unbiased(self, ident):
+        """The paper observes EvoApprox errors are unbiased (Fig. 3)."""
+        assert error_bias_ratio(EvoApproxMultiplier(ident)) < 0.1
+
+    def test_deterministic_per_id(self):
+        a = EvoApproxMultiplier(228)
+        b = EvoApproxMultiplier(228)
+        np.testing.assert_array_equal(a.lut, b.lut)
+
+    def test_different_ids_differ(self):
+        assert not np.array_equal(EvoApproxMultiplier(228).lut, EvoApproxMultiplier(145).lut)
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(MultiplierError):
+            EvoApproxMultiplier(999)
+
+    def test_energy_savings_match_paper(self):
+        assert EvoApproxMultiplier(249).energy_savings == pytest.approx(0.61)
+        assert EvoApproxMultiplier(470).energy_savings == pytest.approx(0.01)
+
+    def test_lut_nonnegative(self):
+        assert EvoApproxMultiplier(249).lut.min() >= 0
+
+    def test_direct_synthesis_hits_custom_target(self):
+        lut = synthesize_evoapprox_lut(0.15, seed=1)
+        from repro.approx import Multiplier
+
+        assert mean_relative_error(Multiplier("custom", lut)) == pytest.approx(0.15, rel=0.03)
+
+    def test_absurd_target_rejected(self):
+        with pytest.raises(MultiplierError):
+            synthesize_evoapprox_lut(5.0, seed=0)

@@ -1,0 +1,137 @@
+"""Approximate integer GEMM engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.approx.gemm as gemm_mod
+from repro.approx import (
+    ExactMultiplier,
+    approx_matmul,
+    approx_matmul_with_exact,
+    exact_int_matmul,
+    get_multiplier,
+)
+from repro.errors import MultiplierError, ShapeError
+
+
+def _codes(rng, shape, bits):
+    hi = 2 ** (bits - 1) - 1
+    return rng.integers(-hi, hi + 1, size=shape, dtype=np.int32)
+
+
+def _brute_force(a, b, multiplier):
+    m, k = a.shape
+    n = b.shape[1]
+    out = np.zeros((m, n), dtype=np.int64)
+    for i in range(m):
+        for j in range(n):
+            for kk in range(k):
+                out[i, j] += multiplier.apply_signed(
+                    np.array([a[i, kk]]), np.array([b[kk, j]])
+                )[0]
+    return out
+
+
+class TestExact:
+    def test_exact_multiplier_equals_int_matmul(self, rng):
+        a = _codes(rng, (6, 9), 8)
+        b = _codes(rng, (9, 4), 4)
+        np.testing.assert_array_equal(
+            approx_matmul(a, b, ExactMultiplier()), exact_int_matmul(a, b)
+        )
+
+    def test_int64_accumulation(self):
+        a = np.full((1, 1000), 127, dtype=np.int32)
+        b = np.full((1000, 1), 7, dtype=np.int32)
+        assert exact_int_matmul(a, b)[0, 0] == 127 * 7 * 1000
+
+
+class TestApproximate:
+    @pytest.mark.parametrize("name", ["truncated3", "truncated5", "evoapprox228"])
+    def test_matches_brute_force(self, rng, name):
+        mult = get_multiplier(name)
+        a = _codes(rng, (4, 5), 8)
+        b = _codes(rng, (5, 3), 4)
+        np.testing.assert_array_equal(approx_matmul(a, b, mult), _brute_force(a, b, mult))
+
+    def test_blas_path_matches_int64_accumulation(self, rng):
+        """The float64 BLAS fast path must be bit-exact vs int64 math."""
+        a = _codes(rng, (50, 300), 8).astype(np.int64)
+        b = _codes(rng, (300, 12), 4).astype(np.int64)
+        np.testing.assert_array_equal(exact_int_matmul(a, b), a @ b)
+
+    def test_large_values_use_int64_fallback(self):
+        a = np.array([[2**40]], dtype=np.int64)
+        b = np.array([[2**20]], dtype=np.int64)
+        assert exact_int_matmul(a, b)[0, 0] == 2**60
+
+    def test_signed_lut_odd_symmetry(self):
+        mult = get_multiplier("truncated4")
+        slut = mult.signed_lut()
+        whi = 7
+        for v in range(1, whi + 1):
+            np.testing.assert_array_equal(slut[:, whi + v], -slut[:, whi - v])
+
+    def test_zero_weight_column_contributes_nothing(self, rng):
+        mult = get_multiplier("evoapprox228")
+        a = _codes(rng, (6, 4), 8)
+        b = np.zeros((4, 3), dtype=np.int32)
+        np.testing.assert_array_equal(approx_matmul(a, b, mult), np.zeros((6, 3)))
+
+    def test_truncated_output_biased_against_exact(self, rng):
+        """Accumulated truncation error anticorrelates with the output."""
+        mult = get_multiplier("truncated5")
+        a = _codes(rng, (200, 64), 8)
+        b = _codes(rng, (64, 8), 4)
+        approx, exact = approx_matmul_with_exact(a, b, mult)
+        err = (approx - exact).astype(np.float64).reshape(-1)
+        y = exact.astype(np.float64).reshape(-1)
+        corr = np.corrcoef(y, err)[0, 1]
+        assert corr < -0.5
+
+    def test_evoapprox_error_uncorrelated(self, rng):
+        mult = get_multiplier("evoapprox228")
+        a = _codes(rng, (200, 64), 8)
+        b = _codes(rng, (64, 8), 4)
+        approx, exact = approx_matmul_with_exact(a, b, mult)
+        err = (approx - exact).astype(np.float64).reshape(-1)
+        y = exact.astype(np.float64).reshape(-1)
+        assert abs(np.corrcoef(y, err)[0, 1]) < 0.2
+
+
+class TestValidation:
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ShapeError):
+            approx_matmul(_codes(rng, (2, 3), 8), _codes(rng, (4, 2), 4), ExactMultiplier())
+
+    def test_float_input_rejected(self):
+        with pytest.raises(MultiplierError):
+            approx_matmul(
+                np.zeros((2, 2), dtype=np.float32),
+                np.zeros((2, 2), dtype=np.int32),
+                ExactMultiplier(),
+            )
+
+    def test_magnitude_overflow_rejected(self):
+        a = np.array([[200]], dtype=np.int32)  # |200| < 256, fits x side
+        b = np.array([[20]], dtype=np.int32)  # |20| >= 16, overflows w side
+        with pytest.raises(MultiplierError):
+            approx_matmul(a, b, get_multiplier("truncated1"))
+        with pytest.raises(MultiplierError):
+            approx_matmul(b.T * 30, a.T % 8, get_multiplier("truncated1"))
+
+
+class TestProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_sign_flip_symmetry(self, seed):
+        """approx(a, -b) == -approx(a, b) under sign-magnitude evaluation."""
+        rng = np.random.default_rng(seed)
+        mult = get_multiplier("truncated3")
+        a = _codes(rng, (3, 4), 8)
+        b = _codes(rng, (4, 2), 4)
+        np.testing.assert_array_equal(
+            approx_matmul(a, -b, mult), -approx_matmul(a, b, mult)
+        )

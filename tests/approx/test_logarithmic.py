@@ -1,0 +1,95 @@
+"""Mitchell and DRUM multipliers (extension families)."""
+
+import numpy as np
+import pytest
+
+from repro.approx import get_multiplier, mean_relative_error, error_bias_ratio
+from repro.approx.logarithmic import (
+    DrumMultiplier,
+    MitchellMultiplier,
+    _mitchell_product,
+    drum_lut,
+    mitchell_lut,
+)
+from repro.errors import MultiplierError
+from repro.ge import estimate_error_model
+
+
+class TestMitchell:
+    def test_exact_on_powers_of_two(self):
+        lut = mitchell_lut()
+        for a in (1, 2, 4, 8, 16, 32, 64, 128):
+            for b in (1, 2, 4, 8):
+                assert lut[a, b] == a * b
+
+    def test_always_underestimates(self):
+        m = MitchellMultiplier()
+        assert m.error_table().max() <= 0
+
+    def test_mre_within_mitchell_bound(self):
+        """Mitchell's relative error is bounded by ~11.1% per product."""
+        mre = mean_relative_error(MitchellMultiplier())
+        assert 0.0 < mre < 0.112
+
+    def test_zero_operand(self):
+        assert _mitchell_product(0, 5) == 0
+        assert _mitchell_product(7, 0) == 0
+
+    def test_biased_error_yields_ge_slope(self):
+        """Mitchell is one-sided like truncation, so GE gets a slope."""
+        model = estimate_error_model(get_multiplier("mitchell"), rng=0)
+        assert model.k < 0
+
+    def test_registry(self):
+        assert get_multiplier("mitchell").name == "mitchell"
+
+
+class TestDrum:
+    def test_exact_for_small_operands(self):
+        lut = drum_lut(4)
+        for a in range(16):  # fits in 4 bits: no truncation
+            for b in range(16):
+                assert lut[a, b] == a * b
+
+    def test_k_bound(self):
+        with pytest.raises(MultiplierError):
+            drum_lut(1)
+        with pytest.raises(MultiplierError):
+            get_multiplier("drumX")
+
+    def test_error_nearly_unbiased(self):
+        assert error_bias_ratio(DrumMultiplier(3)) < 0.35
+
+    def test_more_bits_less_error(self):
+        mre3 = mean_relative_error(DrumMultiplier(3))
+        mre4 = mean_relative_error(DrumMultiplier(4))
+        mre5 = mean_relative_error(DrumMultiplier(5))
+        assert mre5 < mre4 < mre3
+
+    def test_error_slope_small(self):
+        """DRUM's LSB compensation overcorrects slightly at a 4-bit operand
+        width, leaving a small positive slope — far flatter than a truncated
+        multiplier of comparable MRE."""
+        drum = estimate_error_model(get_multiplier("drum3"), rng=0)
+        truncated = estimate_error_model(get_multiplier("truncated5"), rng=0)
+        assert abs(drum.k) < 0.05
+        assert abs(drum.k) < abs(truncated.k)
+
+    def test_registry_and_savings_ordering(self):
+        d3, d4 = get_multiplier("drum3"), get_multiplier("drum4")
+        assert d3.energy_savings > d4.energy_savings
+
+
+class TestInGemm:
+    def test_mitchell_in_approx_matmul(self, rng):
+        from repro.approx import approx_matmul, exact_int_matmul
+
+        a = rng.integers(-127, 128, size=(20, 30)).astype(np.int32)
+        b = rng.integers(-7, 8, size=(30, 5)).astype(np.int32)
+        approx = approx_matmul(a, b, get_multiplier("mitchell"))
+        exact = exact_int_matmul(a, b)
+        assert approx.shape == exact.shape
+        # Accumulated error anticorrelates with output (biased-low design).
+        err = (approx - exact).astype(float).ravel()
+        y = exact.astype(float).ravel()
+        assert np.corrcoef(y, err)[0, 1] < -0.3

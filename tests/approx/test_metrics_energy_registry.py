@@ -1,0 +1,97 @@
+"""MRE metric (Eq. 14), energy model and the multiplier registry."""
+
+import numpy as np
+import pytest
+
+from repro.approx import (
+    PAPER_MRE,
+    ExactMultiplier,
+    Multiplier,
+    available_multipliers,
+    error_bias_ratio,
+    exact_lut,
+    get_multiplier,
+    max_absolute_error,
+    mean_error,
+    mean_relative_error,
+    network_energy,
+    paper_mre,
+)
+from repro.errors import MultiplierError
+
+
+class TestMRE:
+    def test_exact_is_zero(self):
+        assert mean_relative_error(ExactMultiplier()) == 0.0
+
+    def test_manual_small_case(self):
+        """Verify Eq. 14 on a hand-computable 2x2-bit multiplier."""
+        lut = np.array([[0, 0, 0, 0], [0, 1, 2, 3], [0, 2, 4, 6], [0, 3, 6, 8]], dtype=np.int32)
+        # Only (3,3) wrong: |9-8|/9. Mean over 16 pairs.
+        m = Multiplier("toy", lut, x_bits=2, w_bits=2)
+        assert mean_relative_error(m) == pytest.approx((1 / 9) / 16)
+
+    def test_constant_offset_error(self):
+        lut = exact_lut() + 1
+        m = Multiplier("offset", lut.astype(np.int32))
+        assert mean_error(m) == pytest.approx(1.0)
+        assert max_absolute_error(m) == 1
+
+    def test_bias_ratio_extremes(self):
+        one_sided = Multiplier("low", np.maximum(exact_lut() - 2, 0).astype(np.int32))
+        assert error_bias_ratio(one_sided) > 0.9
+
+
+class TestEnergy:
+    def test_exact_network_has_no_savings(self):
+        report = network_energy(1_000_000, ExactMultiplier())
+        assert report.savings == 0.0
+        assert report.total_relative_energy == 1.0
+
+    def test_savings_equal_multiplier_savings_without_adders(self):
+        m = get_multiplier("truncated5")
+        report = network_energy(41_000_000, m)
+        assert report.savings_percent == pytest.approx(38.0)
+
+    def test_adder_fraction_dilutes_savings(self):
+        m = get_multiplier("truncated5")
+        diluted = network_energy(1000, m, adder_fraction=0.5)
+        assert diluted.savings == pytest.approx(0.19)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            network_energy(100, ExactMultiplier(), adder_fraction=1.5)
+        with pytest.raises(ValueError):
+            network_energy(-1, ExactMultiplier())
+
+
+class TestRegistry:
+    def test_all_paper_multipliers_available(self):
+        names = available_multipliers()
+        assert "exact" in names
+        for t in range(1, 6):
+            assert f"truncated{t}" in names
+        for ident in (470, 29, 111, 104, 469, 228, 145, 249):
+            assert f"evoapprox{ident}" in names
+
+    def test_get_multiplier_cached(self):
+        assert get_multiplier("truncated3") is get_multiplier("truncated3")
+
+    def test_case_insensitive(self):
+        assert get_multiplier("Truncated3").name == "truncated3"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(MultiplierError):
+            get_multiplier("booth16")
+        with pytest.raises(MultiplierError):
+            get_multiplier("truncatedX")
+
+    def test_paper_mre_lookup(self):
+        assert paper_mre("truncated5") == pytest.approx(0.198)
+        assert paper_mre("exact") is None
+        assert set(PAPER_MRE) >= {"truncated1", "evoapprox249"}
+
+    def test_every_registered_multiplier_instantiates(self):
+        for name in available_multipliers():
+            m = get_multiplier(name)
+            assert m.lut.shape == (256, 16)

@@ -1,0 +1,63 @@
+"""Truncated array multipliers."""
+
+import numpy as np
+import pytest
+
+from repro.approx import TruncatedMultiplier, exact_lut, truncated_lut
+from repro.approx.metrics import error_bias_ratio, mean_relative_error
+from repro.errors import MultiplierError
+
+
+class TestLut:
+    def test_zero_truncation_is_exact(self):
+        np.testing.assert_array_equal(truncated_lut(0), exact_lut())
+
+    def test_error_is_one_sided(self):
+        for t in range(1, 6):
+            assert TruncatedMultiplier(t).error_table().max() <= 0
+
+    def test_result_is_multiple_of_2t(self):
+        for t in (2, 4):
+            lut = truncated_lut(t)
+            assert (lut % (1 << t) == 0).all()
+
+    def test_truncation_never_exceeds_exact(self):
+        exact = exact_lut()
+        for t in range(1, 6):
+            assert (truncated_lut(t) <= exact).all()
+
+    def test_deeper_truncation_drops_more(self):
+        totals = [truncated_lut(t).sum() for t in range(6)]
+        assert all(a >= b for a, b in zip(totals, totals[1:]))
+
+    def test_rejects_out_of_range_depth(self):
+        with pytest.raises(MultiplierError):
+            truncated_lut(-1)
+        with pytest.raises(MultiplierError):
+            truncated_lut(12)
+
+    def test_partial_product_semantics(self):
+        """Column truncation drops a_i·b_j with i+j < t, including carries
+        the masked-product model would keep."""
+        lut = truncated_lut(2)
+        # a=3 (bits 0,1), b=3 (bits 0,1): pp columns 0 (1), 1 (2+2) -> only
+        # column 2 survives: 1*1*4 = 4. Masked product would give 9 & ~3 = 8.
+        assert lut[3, 3] == 4
+
+
+class TestCharacteristics:
+    def test_mre_monotone_in_depth(self):
+        mres = [mean_relative_error(TruncatedMultiplier(t)) for t in range(1, 6)]
+        assert all(a < b for a, b in zip(mres, mres[1:]))
+
+    def test_error_fully_biased(self):
+        assert error_bias_ratio(TruncatedMultiplier(5)) == pytest.approx(1.0)
+
+    def test_energy_savings_match_paper(self):
+        # Table V: 2 / 8 / 16 / 28 / 38 percent.
+        expected = {1: 0.02, 2: 0.08, 3: 0.16, 4: 0.28, 5: 0.38}
+        for t, savings in expected.items():
+            assert TruncatedMultiplier(t).energy_savings == pytest.approx(savings)
+
+    def test_name(self):
+        assert TruncatedMultiplier(3).name == "truncated3"

@@ -1,0 +1,91 @@
+"""Autograd Function contract: arity validation and error surfacing."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Function, Tensor, unbroadcast
+from repro.errors import AutogradError
+
+
+class BadArity(Function):
+    """Returns the wrong number of parent gradients."""
+
+    def forward(self, a, b):
+        return np.asarray(a) + np.asarray(b)
+
+    def backward(self, grad_out):
+        return (grad_out,)  # should be two
+
+
+class WrongShape(Function):
+    def forward(self, a):
+        return np.asarray(a) * 2.0
+
+    def backward(self, grad_out):
+        return (np.zeros(99, dtype=grad_out.dtype),)
+
+
+class TestBackwardValidation:
+    def test_wrong_gradient_count_detected(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = Tensor([2.0], requires_grad=True)
+        out = BadArity.apply(a, b)
+        with pytest.raises(AutogradError, match="1 gradients for 2 parents"):
+            out.backward()
+
+    def test_wrong_gradient_shape_detected(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        out = WrongShape.apply(a)
+        with pytest.raises(AutogradError, match="shape"):
+            out.backward(np.ones(2))
+
+    def test_single_gradient_tuple_normalisation(self):
+        class Scalar(Function):
+            def forward(self, a):
+                return np.asarray(a) * 3.0
+
+            def backward(self, grad_out):
+                return grad_out * 3.0  # bare array, not tuple
+
+        a = Tensor([2.0], requires_grad=True)
+        Scalar.apply(a).backward()
+        np.testing.assert_allclose(a.grad, [3.0])
+
+
+class TestApplySemantics:
+    def test_non_tensor_args_are_not_parents(self):
+        class WithConst(Function):
+            def forward(self, a, k):
+                return np.asarray(a) * k
+
+            def backward(self, grad_out):
+                return (grad_out * 2.0, None)
+
+        a = Tensor([1.0], requires_grad=True)
+        out = WithConst.apply(a, 2.0)
+        assert out.creator.parents == (a, None)
+
+    def test_no_graph_when_nothing_requires_grad(self):
+        a = Tensor([1.0])
+        out = BadArity.apply(a, Tensor([2.0]))
+        assert out.creator is None and not out.requires_grad
+
+
+class TestUnbroadcast:
+    def test_identity_for_matching_shape(self, rng):
+        g = rng.normal(size=(3, 4))
+        assert unbroadcast(g, (3, 4)) is g
+
+    def test_sums_leading_axes(self, rng):
+        g = rng.normal(size=(5, 3))
+        np.testing.assert_allclose(unbroadcast(g, (3,)), g.sum(axis=0))
+
+    def test_sums_size_one_axes(self, rng):
+        g = rng.normal(size=(5, 3))
+        np.testing.assert_allclose(
+            unbroadcast(g, (1, 3)), g.sum(axis=0, keepdims=True)
+        )
+
+    def test_scalar_target(self, rng):
+        g = rng.normal(size=(2, 2))
+        np.testing.assert_allclose(unbroadcast(g, ()), g.sum())

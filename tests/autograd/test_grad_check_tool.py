@@ -1,0 +1,59 @@
+"""The numerical gradient checker itself must catch wrong gradients."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Function, Tensor, check_gradients, numerical_gradient
+
+
+class CorrectSquare(Function):
+    def forward(self, a):
+        self.a = np.asarray(a)
+        return self.a**2
+
+    def backward(self, grad_out):
+        return (grad_out * 2.0 * self.a,)
+
+
+class WrongSquare(Function):
+    def forward(self, a):
+        self.a = np.asarray(a)
+        return self.a**2
+
+    def backward(self, grad_out):
+        return (grad_out * 3.0 * self.a,)  # deliberately wrong factor
+
+
+class TestChecker:
+    def test_accepts_correct_gradient(self, rng):
+        t = Tensor(rng.normal(size=(4,)).astype(np.float64), requires_grad=True)
+        check_gradients(lambda x: CorrectSquare.apply(x), [t])
+
+    def test_rejects_wrong_gradient(self, rng):
+        t = Tensor(rng.uniform(0.5, 2.0, size=(4,)).astype(np.float64), requires_grad=True)
+        with pytest.raises(AssertionError):
+            check_gradients(lambda x: WrongSquare.apply(x), [t])
+
+    def test_numerical_gradient_value(self):
+        t = Tensor(np.array([3.0], dtype=np.float64), requires_grad=True)
+        grad = numerical_gradient(lambda x: CorrectSquare.apply(x), [t], wrt=0)
+        np.testing.assert_allclose(grad, [6.0], rtol=1e-5)
+
+    def test_skips_inputs_without_requires_grad(self, rng):
+        a = Tensor(rng.normal(size=(3,)).astype(np.float64), requires_grad=True)
+        b = Tensor(rng.normal(size=(3,)).astype(np.float64))  # constant
+        from repro.autograd import mul
+
+        check_gradients(lambda x, y: mul(x, y), [a, b])
+
+    def test_reports_missing_gradient(self):
+        class Detaching(Function):
+            def forward(self, a):
+                return np.asarray(a) * 1.0
+
+            def backward(self, grad_out):
+                return (None,)
+
+        t = Tensor(np.ones(2, dtype=np.float64), requires_grad=True)
+        with pytest.raises(AssertionError, match="no gradient"):
+            check_gradients(lambda x: Detaching.apply(x), [t])

@@ -1,0 +1,102 @@
+"""im2col / col2im correctness, including the adjoint property."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autograd import col2im, conv_out_size, im2col, sliding_windows
+from repro.errors import ShapeError
+
+
+class TestConvOutSize:
+    def test_basic(self):
+        assert conv_out_size(8, 3, 1, 1) == 8
+        assert conv_out_size(8, 3, 2, 1) == 4
+        assert conv_out_size(5, 3, 1, 0) == 3
+
+    def test_rejects_too_small(self):
+        with pytest.raises(ShapeError):
+            conv_out_size(2, 5, 1, 0)
+
+
+class TestIm2col:
+    def test_shape(self, rng):
+        x = rng.normal(size=(2, 3, 8, 8)).astype(np.float32)
+        cols, (oh, ow) = im2col(x, (3, 3), stride=2, padding=1)
+        assert (oh, ow) == (4, 4)
+        assert cols.shape == (2 * 16, 3 * 9)
+
+    def test_1x1_kernel_is_reshape(self, rng):
+        x = rng.normal(size=(1, 4, 3, 3)).astype(np.float32)
+        cols, _ = im2col(x, (1, 1))
+        np.testing.assert_allclose(cols, x.transpose(0, 2, 3, 1).reshape(9, 4))
+
+    def test_values_manual(self):
+        x = np.arange(16.0, dtype=np.float32).reshape(1, 1, 4, 4)
+        cols, _ = im2col(x, (2, 2), stride=2)
+        np.testing.assert_allclose(cols[0], [0, 1, 4, 5])
+        np.testing.assert_allclose(cols[3], [10, 11, 14, 15])
+
+    def test_rejects_non_nchw(self):
+        with pytest.raises(ShapeError):
+            im2col(np.zeros((3, 3)), (2, 2))
+
+    def test_conv_as_gemm_equals_reference(self, rng):
+        x = rng.normal(size=(2, 3, 6, 6)).astype(np.float64)
+        w = rng.normal(size=(4, 3, 3, 3)).astype(np.float64)
+        cols, (oh, ow) = im2col(x, (3, 3), stride=1, padding=1)
+        out = (cols @ w.reshape(4, -1).T).reshape(2, oh, ow, 4).transpose(0, 3, 1, 2)
+        from repro.autograd import Tensor, conv2d
+
+        ref = conv2d(Tensor(x), Tensor(w), None, 1, 1).data
+        np.testing.assert_allclose(out, ref, rtol=1e-6)
+
+
+class TestCol2im:
+    def test_adjoint_property(self, rng):
+        """col2im is the transpose of im2col: <im2col(x), c> == <x, col2im(c)>."""
+        x = rng.normal(size=(2, 3, 6, 6))
+        cols, _ = im2col(x, (3, 3), stride=2, padding=1)
+        c = rng.normal(size=cols.shape)
+        lhs = float((cols * c).sum())
+        rhs = float((x * col2im(c, x.shape, (3, 3), stride=2, padding=1)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-9)
+
+    def test_rejects_wrong_shape(self, rng):
+        with pytest.raises(ShapeError):
+            col2im(np.zeros((5, 5)), (1, 1, 4, 4), (2, 2))
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        h=st.integers(4, 9),
+        k=st.integers(1, 3),
+        stride=st.integers(1, 2),
+        padding=st.integers(0, 1),
+    )
+    def test_adjoint_property_randomised(self, h, k, stride, padding):
+        if h + 2 * padding < k:
+            return
+        rng = np.random.default_rng(h * 100 + k * 10 + stride)
+        x = rng.normal(size=(1, 2, h, h))
+        cols, _ = im2col(x, (k, k), stride, padding)
+        c = rng.normal(size=cols.shape)
+        lhs = float((cols * c).sum())
+        rhs = float((x * col2im(c, x.shape, (k, k), stride, padding)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-8, abs=1e-8)
+
+
+class TestSlidingWindows:
+    def test_shape_and_values(self, rng):
+        x = rng.normal(size=(1, 2, 5, 5)).astype(np.float32)
+        win = sliding_windows(x, (3, 3), stride=1, padding=0)
+        assert win.shape == (1, 2, 3, 3, 3, 3)
+        np.testing.assert_allclose(win[0, 1, 2, 2], x[0, 1, 2:5, 2:5])
+
+    def test_windows_match_im2col(self, rng):
+        x = rng.normal(size=(2, 3, 6, 6)).astype(np.float32)
+        win = sliding_windows(x, (2, 2), stride=2, padding=1)
+        n, c, oh, ow, kh, kw = win.shape
+        cols_from_win = win.transpose(0, 2, 3, 1, 4, 5).reshape(n * oh * ow, c * kh * kw)
+        cols, _ = im2col(x, (2, 2), stride=2, padding=1)
+        np.testing.assert_allclose(cols_from_win, cols)

@@ -1,0 +1,146 @@
+"""Tests for the Tensor core: construction, backward semantics, graph."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, as_tensor, no_grad
+from repro.errors import AutogradError
+
+
+class TestConstruction:
+    def test_from_list(self):
+        t = Tensor([1.0, 2.0, 3.0])
+        assert t.shape == (3,)
+        assert t.dtype == np.float32
+
+    def test_integer_input_promoted_to_float(self):
+        t = Tensor(np.array([1, 2, 3]))
+        assert t.dtype == np.float32
+
+    def test_float64_preserved(self):
+        t = Tensor(np.zeros(3, dtype=np.float64))
+        assert t.dtype == np.float64
+
+    def test_requires_grad_default_false(self):
+        assert not Tensor([1.0]).requires_grad
+
+    def test_properties(self):
+        t = Tensor(np.zeros((2, 3, 4)))
+        assert t.ndim == 3
+        assert t.size == 24
+        assert len(t) == 2
+
+    def test_as_tensor_passthrough(self):
+        t = Tensor([1.0])
+        assert as_tensor(t) is t
+
+    def test_as_tensor_from_scalar(self):
+        t = as_tensor(2.5)
+        assert t.item() == pytest.approx(2.5)
+
+    def test_item_requires_single_element(self):
+        with pytest.raises(AutogradError):
+            Tensor([1.0, 2.0]).item()
+
+
+class TestDetach:
+    def test_detach_shares_data(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        assert d.data is t.data
+
+    def test_copy_is_independent(self):
+        t = Tensor([1.0, 2.0])
+        c = t.copy()
+        c.data[0] = 99.0
+        assert t.data[0] == 1.0
+
+    def test_detach_cuts_graph(self):
+        t = Tensor([2.0], requires_grad=True)
+        y = (t * 3.0).detach() * 2.0
+        assert not y.requires_grad
+
+
+class TestBackward:
+    def test_scalar_backward_default_seed(self):
+        t = Tensor([3.0], requires_grad=True)
+        y = t * t
+        y.backward()
+        np.testing.assert_allclose(t.grad, [6.0])
+
+    def test_nonscalar_backward_requires_gradient(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        y = t * 2.0
+        with pytest.raises(AutogradError):
+            y.backward()
+
+    def test_wrong_gradient_shape_rejected(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        y = t * 2.0
+        with pytest.raises(AutogradError):
+            y.backward(np.ones(3))
+
+    def test_gradient_accumulates_across_backward_calls(self):
+        t = Tensor([1.0], requires_grad=True)
+        (t * 2.0).backward()
+        (t * 3.0).backward()
+        np.testing.assert_allclose(t.grad, [5.0])
+
+    def test_zero_grad(self):
+        t = Tensor([1.0], requires_grad=True)
+        (t * 2.0).backward()
+        t.zero_grad()
+        assert t.grad is None
+
+    def test_diamond_graph_sums_paths(self):
+        # y = a*a + a*a -> dy/da = 4a
+        a = Tensor([3.0], requires_grad=True)
+        b = a * a
+        y = b + b
+        y.backward()
+        np.testing.assert_allclose(a.grad, [12.0])
+
+    def test_shared_input_used_twice(self):
+        a = Tensor([2.0], requires_grad=True)
+        y = a * a * a  # a^3, grad = 3a^2
+        y.backward()
+        np.testing.assert_allclose(a.grad, [12.0])
+
+    def test_deep_chain_does_not_overflow_recursion(self):
+        t = Tensor([1.0], requires_grad=True)
+        y = t
+        for _ in range(3000):
+            y = y + 0.001
+        y.backward()
+        np.testing.assert_allclose(t.grad, [1.0])
+
+    def test_intermediate_requires_grad_gets_grad(self):
+        a = Tensor([2.0], requires_grad=True)
+        b = a * 3.0
+        y = b * 2.0
+        y.backward()
+        np.testing.assert_allclose(a.grad, [6.0])
+
+
+class TestNoGrad:
+    def test_no_grad_blocks_graph(self):
+        t = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = t * 2.0
+        assert not y.requires_grad
+        assert y.creator is None
+
+    def test_no_grad_restores_state(self):
+        t = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            pass
+        y = t * 2.0
+        assert y.requires_grad
+
+    def test_no_grad_restores_on_exception(self):
+        t = Tensor([1.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            with no_grad():
+                raise ValueError("boom")
+        assert (t * 2.0).requires_grad

@@ -1,0 +1,134 @@
+"""Synthetic dataset generation, loaders and augmentation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Dataset, augment_batch, iterate_batches, make_synthetic_cifar
+from repro.errors import DataError
+
+
+class TestSyntheticCifar:
+    def test_shapes(self):
+        ds = make_synthetic_cifar(num_train=100, num_test=40, image_size=16, seed=0)
+        assert ds.train_x.shape == (100, 3, 16, 16)
+        assert ds.test_x.shape == (40, 3, 16, 16)
+        assert ds.train_y.shape == (100,)
+        assert ds.image_shape == (3, 16, 16)
+
+    def test_default_matches_cifar_geometry(self):
+        ds = make_synthetic_cifar(num_train=20, num_test=20, seed=0)
+        assert ds.train_x.shape[1:] == (3, 32, 32)
+        assert ds.num_classes == 10
+
+    def test_deterministic(self):
+        a = make_synthetic_cifar(num_train=30, num_test=10, image_size=8, seed=5)
+        b = make_synthetic_cifar(num_train=30, num_test=10, image_size=8, seed=5)
+        np.testing.assert_array_equal(a.train_x, b.train_x)
+        np.testing.assert_array_equal(a.train_y, b.train_y)
+
+    def test_different_seeds_differ(self):
+        a = make_synthetic_cifar(num_train=30, num_test=10, image_size=8, seed=1)
+        b = make_synthetic_cifar(num_train=30, num_test=10, image_size=8, seed=2)
+        assert not np.array_equal(a.train_x, b.train_x)
+
+    def test_classes_balanced(self):
+        ds = make_synthetic_cifar(num_train=200, num_test=50, image_size=8, seed=0)
+        counts = np.bincount(ds.train_y, minlength=10)
+        assert counts.min() >= 19 and counts.max() <= 21
+
+    def test_normalised_with_train_stats(self):
+        ds = make_synthetic_cifar(num_train=500, num_test=100, image_size=8, seed=0)
+        np.testing.assert_allclose(ds.train_x.mean(axis=(0, 2, 3)), 0.0, atol=1e-4)
+        np.testing.assert_allclose(ds.train_x.std(axis=(0, 2, 3)), 1.0, atol=1e-3)
+
+    def test_classes_are_distinguishable(self):
+        """A nearest-class-mean classifier must beat random guessing by a
+        wide margin — the task carries real class signal."""
+        ds = make_synthetic_cifar(num_train=400, num_test=200, image_size=16, seed=0)
+        means = np.stack([ds.train_x[ds.train_y == k].mean(axis=0) for k in range(10)])
+        flat_means = means.reshape(10, -1)
+        flat_test = ds.test_x.reshape(len(ds.test_x), -1)
+        d2 = ((flat_test[:, None, :] - flat_means[None]) ** 2).sum(axis=2)
+        acc = (d2.argmin(axis=1) == ds.test_y).mean()
+        assert acc > 0.5
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            make_synthetic_cifar(num_train=5, num_test=50)
+        with pytest.raises(DataError):
+            make_synthetic_cifar(num_classes=1)
+        with pytest.raises(DataError):
+            make_synthetic_cifar(num_classes=99)
+
+    def test_dataset_length_mismatch_rejected(self):
+        with pytest.raises(DataError):
+            Dataset(np.zeros((3, 1)), np.zeros(2), np.zeros((1, 1)), np.zeros(1), 2)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(2, 10), st.integers(8, 24))
+    def test_label_range_property(self, num_classes, image_size):
+        ds = make_synthetic_cifar(
+            num_train=num_classes * 3,
+            num_test=num_classes * 2,
+            image_size=image_size,
+            num_classes=num_classes,
+            seed=0,
+        )
+        assert ds.train_y.min() >= 0 and ds.train_y.max() < num_classes
+        assert np.isfinite(ds.train_x).all()
+
+
+class TestIterateBatches:
+    def test_covers_all_samples(self, rng):
+        x = np.arange(25, dtype=np.float32).reshape(25, 1)
+        y = np.arange(25)
+        seen = []
+        for xb, yb in iterate_batches(x, y, 8, shuffle=False):
+            seen.extend(yb.tolist())
+        assert seen == list(range(25))
+
+    def test_shuffle_permutes(self):
+        x = np.arange(50, dtype=np.float32).reshape(50, 1)
+        y = np.arange(50)
+        order = [yb for _, yb in iterate_batches(x, y, 50, shuffle=True, rng=0)][0]
+        assert not np.array_equal(order, np.arange(50))
+        assert sorted(order.tolist()) == list(range(50))
+
+    def test_labels_stay_aligned(self):
+        x = np.arange(30, dtype=np.float32).reshape(30, 1)
+        y = np.arange(30)
+        for xb, yb in iterate_batches(x, y, 7, shuffle=True, rng=1):
+            np.testing.assert_array_equal(xb[:, 0].astype(int), yb)
+
+    def test_drop_last(self):
+        x = np.zeros((10, 1), dtype=np.float32)
+        y = np.zeros(10)
+        batches = list(iterate_batches(x, y, 4, shuffle=False, drop_last=True))
+        assert len(batches) == 2
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            list(iterate_batches(np.zeros((3, 1)), np.zeros(2), 2))
+        with pytest.raises(DataError):
+            list(iterate_batches(np.zeros((3, 1)), np.zeros(3), 0))
+
+
+class TestAugmentation:
+    def test_preserves_shape_and_input(self, rng):
+        x = rng.normal(size=(8, 3, 16, 16)).astype(np.float32)
+        original = x.copy()
+        out = augment_batch(x, rng=0)
+        assert out.shape == x.shape
+        np.testing.assert_array_equal(x, original)  # input untouched
+
+    def test_flip_only(self, rng):
+        x = rng.normal(size=(50, 1, 4, 4)).astype(np.float32)
+        out = augment_batch(x, rng=0, flip_prob=1.0, max_shift=0)
+        np.testing.assert_allclose(out, x[:, :, :, ::-1])
+
+    def test_no_augmentation_is_identity(self, rng):
+        x = rng.normal(size=(4, 1, 4, 4)).astype(np.float32)
+        out = augment_batch(x, rng=0, flip_prob=0.0, max_shift=0)
+        np.testing.assert_array_equal(out, x)

@@ -1,0 +1,89 @@
+"""KD losses (Eqs. 1-3): values, temperature scaling, gradients."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients, log_softmax_np, softmax_np
+from repro.distill import distillation_loss, hard_loss, soft_loss
+from repro.errors import ConfigError
+
+
+def t64(arr):
+    return Tensor(np.asarray(arr, dtype=np.float64), requires_grad=True)
+
+
+class TestHardLoss:
+    def test_equals_cross_entropy(self, rng):
+        logits = rng.normal(size=(4, 6))
+        labels = rng.integers(0, 6, size=4)
+        manual = -log_softmax_np(logits)[np.arange(4), labels].mean()
+        assert hard_loss(Tensor(logits), labels).item() == pytest.approx(manual, rel=1e-5)
+
+
+class TestSoftLoss:
+    def test_t1_equals_plain_soft_cross_entropy(self, rng):
+        student = rng.normal(size=(3, 5))
+        teacher = rng.normal(size=(3, 5))
+        loss = soft_loss(Tensor(student), teacher, temperature=1.0)
+        manual = -(softmax_np(teacher) * log_softmax_np(student)).sum(axis=1).mean()
+        assert loss.item() == pytest.approx(manual, rel=1e-5)
+
+    def test_minimised_when_student_matches_teacher(self, rng):
+        teacher = rng.normal(size=(4, 6))
+        student = Tensor(teacher.copy(), requires_grad=True)
+        loss = soft_loss(student, teacher, temperature=3.0)
+        loss.backward()
+        np.testing.assert_allclose(student.grad, np.zeros_like(teacher), atol=1e-6)
+
+    def test_t_squared_compensation(self, rng):
+        """Gradient magnitude should stay O(1) across temperatures thanks to
+        the T² factor (the reason the paper multiplies C_soft by T²)."""
+        teacher = rng.normal(size=(8, 10)) * 4
+        grads = {}
+        for t in (1.0, 5.0, 10.0):
+            student = Tensor(rng.normal(size=(8, 10)), requires_grad=True)
+            soft_loss(student, teacher, temperature=t).backward()
+            grads[t] = np.abs(student.grad).mean()
+        # Without T² the ratio would be ~T²=100; with it, same order.
+        assert grads[10.0] > grads[1.0] / 10
+        assert grads[10.0] < grads[1.0] * 10
+
+    def test_high_temperature_flattens_targets(self, rng):
+        """Higher T must push the implicit teacher distribution toward
+        uniform — the mechanism behind the paper's T2 > T1 rule."""
+        teacher = np.array([[10.0, 0.0, 0.0]])
+        student = Tensor(np.zeros((1, 3)), requires_grad=True)
+        # At high T the loss approaches CE against ~uniform targets.
+        lo = soft_loss(student, teacher, temperature=1.0).item()
+        hi = soft_loss(student, teacher, temperature=100.0).item()
+        uniform_ce = -np.log(1.0 / 3.0) * 100.0**2  # T² scaling
+        assert hi / (100.0**2) == pytest.approx(uniform_ce / 100.0**2, rel=0.05)
+        assert lo != hi
+
+    def test_gradient_check(self, rng):
+        teacher = rng.normal(size=(3, 4))
+        student = t64(rng.normal(size=(3, 4)))
+        check_gradients(lambda s: soft_loss(s, teacher, 2.5), [student])
+
+    def test_rejects_nonpositive_temperature(self, rng):
+        with pytest.raises(ConfigError):
+            soft_loss(Tensor(np.zeros((1, 3))), np.zeros((1, 3)), temperature=0.0)
+
+
+class TestDistillationLoss:
+    def test_is_sum_of_parts(self, rng):
+        student_logits = rng.normal(size=(4, 5))
+        teacher = rng.normal(size=(4, 5))
+        labels = rng.integers(0, 5, size=4)
+        total = distillation_loss(Tensor(student_logits), teacher, labels, 4.0).item()
+        parts = (
+            soft_loss(Tensor(student_logits), teacher, 4.0).item()
+            + hard_loss(Tensor(student_logits), labels).item()
+        )
+        assert total == pytest.approx(parts, rel=1e-5)
+
+    def test_gradient_check(self, rng):
+        teacher = rng.normal(size=(3, 4))
+        labels = rng.integers(0, 4, size=3)
+        student = t64(rng.normal(size=(3, 4)))
+        check_gradients(lambda s: distillation_loss(s, teacher, labels, 3.0), [student])

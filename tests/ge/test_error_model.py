@@ -1,0 +1,94 @@
+"""Piecewise-linear error model: evaluation, slopes and fitting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.ge import PiecewiseLinearErrorModel, fit_error_model
+
+
+class TestEvaluation:
+    def test_linear_region(self):
+        m = PiecewiseLinearErrorModel(k=-0.5, c=1.0, lower=-10.0, upper=10.0)
+        assert m(np.array([0.0]))[0] == pytest.approx(1.0)
+        assert m(np.array([2.0]))[0] == pytest.approx(0.0)
+
+    def test_saturation(self):
+        m = PiecewiseLinearErrorModel(k=-1.0, c=0.0, lower=-5.0, upper=5.0)
+        assert m(np.array([100.0]))[0] == -5.0
+        assert m(np.array([-100.0]))[0] == 5.0
+
+    def test_slope_in_regions(self):
+        m = PiecewiseLinearErrorModel(k=-1.0, c=0.0, lower=-5.0, upper=5.0)
+        np.testing.assert_allclose(m.slope(np.array([0.0, 100.0, -100.0])), [-1.0, 0.0, 0.0])
+
+    def test_gradient_scale_eq12(self):
+        m = PiecewiseLinearErrorModel(k=-0.25, c=0.0, lower=-1e9, upper=1e9)
+        np.testing.assert_allclose(m.gradient_scale(np.array([3.0])), [0.75])
+
+    def test_constant_model(self):
+        m = PiecewiseLinearErrorModel(k=0.0, c=2.0, lower=-3.0, upper=3.0)
+        assert m.is_constant
+        np.testing.assert_allclose(m.slope(np.array([1.0, 2.0])), [0.0, 0.0])
+        np.testing.assert_allclose(m.gradient_scale(np.array([1.0])), [1.0])
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ReproError):
+            PiecewiseLinearErrorModel(k=0.0, c=0.0, lower=5.0, upper=-5.0)
+
+
+class TestFitting:
+    def test_recovers_linear_relationship(self, rng):
+        y = rng.uniform(-100, 100, 2000)
+        eps = -0.3 * y + 2.0 + rng.normal(0, 1.0, 2000)
+        m = fit_error_model(y, eps)
+        assert m.k == pytest.approx(-0.3, abs=0.02)
+        assert m.c == pytest.approx(2.0, abs=0.5)
+        assert not m.is_constant
+
+    def test_collapses_to_constant_for_unbiased_noise(self, rng):
+        y = rng.uniform(-100, 100, 2000)
+        eps = rng.normal(0.5, 3.0, 2000)  # no y-dependence
+        m = fit_error_model(y, eps)
+        assert m.is_constant
+        assert m.c == pytest.approx(0.5, abs=0.3)
+
+    def test_saturation_bounds_from_percentiles(self, rng):
+        y = rng.uniform(-10, 10, 5000)
+        eps = np.clip(-1.0 * y, -4.0, 4.0) + rng.normal(0, 0.1, 5000)
+        m = fit_error_model(y, eps)
+        assert m.lower == pytest.approx(-4.0, abs=0.5)
+        assert m.upper == pytest.approx(4.0, abs=0.5)
+
+    def test_degenerate_constant_y(self):
+        m = fit_error_model(np.full(100, 5.0), np.full(100, -2.0))
+        assert m.is_constant
+        assert m.c == pytest.approx(-2.0)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ReproError):
+            fit_error_model(np.zeros(3), np.zeros(4))
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ReproError):
+            fit_error_model(np.zeros(1), np.zeros(1))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.floats(-0.9, -0.1),
+        st.floats(-5.0, 5.0),
+        st.integers(0, 2**31 - 1),
+    )
+    def test_fit_properties_randomised(self, k, c, seed):
+        """Fitted model is always evaluable and bounded by its saturations."""
+        rng = np.random.default_rng(seed)
+        y = rng.uniform(-50, 50, 500)
+        eps = k * y + c + rng.normal(0, 0.5, 500)
+        m = fit_error_model(y, eps)
+        vals = m(np.linspace(-1000, 1000, 101))
+        assert (vals >= m.lower - 1e-9).all()
+        assert (vals <= m.upper + 1e-9).all()
+        scales = m.gradient_scale(np.linspace(-1000, 1000, 101))
+        assert np.isfinite(scales).all()

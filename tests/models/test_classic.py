@@ -1,0 +1,65 @@
+"""LeNet-5 and VGG-small baselines."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, softmax_cross_entropy
+from repro.models import create_model, lenet5, vggsmall
+from repro.quant import quantize_model, quant_layers
+
+
+def _forward(model, size):
+    x = Tensor(np.random.default_rng(0).normal(size=(2, 3, size, size)).astype(np.float32))
+    return model(x)
+
+
+class TestLeNet5:
+    def test_forward_shape(self):
+        assert _forward(lenet5(input_size=32, rng=0), 32).shape == (2, 10)
+
+    def test_other_input_size(self):
+        assert _forward(lenet5(input_size=16, rng=0), 16).shape == (2, 10)
+
+    def test_too_small_input_rejected(self):
+        with pytest.raises(ValueError):
+            lenet5(input_size=8)
+
+    def test_gradients_flow(self):
+        model = lenet5(input_size=16, rng=0)
+        out = _forward(model, 16)
+        softmax_cross_entropy(out, np.array([0, 1])).backward()
+        assert all(p.grad is not None for p in model.parameters())
+
+    def test_quantizable(self):
+        model = quantize_model(lenet5(input_size=16, rng=0))
+        assert len(list(quant_layers(model))) == 5  # 2 conv + 3 linear
+
+
+class TestVGGSmall:
+    def test_forward_shape(self):
+        assert _forward(vggsmall(base_width=8, rng=0), 16).shape == (2, 10)
+
+    def test_gradients_flow(self):
+        model = vggsmall(base_width=8, rng=0)
+        out = _forward(model, 16)
+        softmax_cross_entropy(out, np.array([0, 1])).backward()
+        assert all(p.grad is not None for p in model.parameters())
+
+    def test_bn_folds_completely(self):
+        from repro.nn import BatchNorm2d
+        from repro.quant import fold_batchnorms
+
+        model = vggsmall(base_width=8, rng=0)
+        assert fold_batchnorms(model) == 6
+        assert not [m for m in model.modules() if isinstance(m, BatchNorm2d)]
+
+    def test_width_scaling(self):
+        small = vggsmall(base_width=4, rng=0).num_parameters()
+        large = vggsmall(base_width=16, rng=0).num_parameters()
+        assert large > small * 8
+
+
+class TestRegistry:
+    def test_create_by_name(self):
+        assert create_model("lenet5", input_size=16, rng=0) is not None
+        assert create_model("vggsmall", base_width=4, rng=0) is not None

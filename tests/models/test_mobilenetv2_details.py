@@ -1,0 +1,83 @@
+"""MobileNetV2 internals: inverted residuals, channel rounding, config."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.models.mobilenetv2 import (
+    CIFAR_INVERTED_RESIDUAL_CONFIG,
+    ConvBNReLU6,
+    InvertedResidual,
+    MobileNetV2,
+    _make_divisible,
+)
+
+
+class TestMakeDivisible:
+    def test_multiples_preserved(self):
+        assert _make_divisible(32) == 32
+        assert _make_divisible(64) == 64
+
+    def test_rounds_to_divisor(self):
+        assert _make_divisible(30) % 8 == 0
+
+    def test_never_drops_more_than_ten_percent(self):
+        for value in (17, 23, 35, 100, 250):
+            assert _make_divisible(value) >= 0.9 * value
+
+    def test_minimum(self):
+        assert _make_divisible(1) == 8
+
+
+class TestInvertedResidual:
+    def test_residual_used_when_shapes_match(self):
+        block = InvertedResidual(16, 16, stride=1, expand_ratio=6, rng=0)
+        assert block.use_residual
+
+    def test_no_residual_on_stride_two(self):
+        block = InvertedResidual(16, 16, stride=2, expand_ratio=6, rng=0)
+        assert not block.use_residual
+
+    def test_no_residual_on_channel_change(self):
+        block = InvertedResidual(16, 24, stride=1, expand_ratio=6, rng=0)
+        assert not block.use_residual
+
+    def test_expand_ratio_one_skips_expansion(self):
+        block = InvertedResidual(8, 8, stride=1, expand_ratio=1, rng=0)
+        # Only the depthwise stage remains before projection.
+        assert len(block.features) == 1
+
+    def test_forward_shapes(self, rng):
+        block = InvertedResidual(8, 16, stride=2, expand_ratio=6, rng=0)
+        x = Tensor(rng.normal(size=(2, 8, 8, 8)).astype(np.float32))
+        assert block(x).shape == (2, 16, 4, 4)
+
+    def test_depthwise_stage_is_grouped(self):
+        block = InvertedResidual(8, 8, stride=1, expand_ratio=6, rng=0)
+        depthwise = block.features[-1].conv
+        assert depthwise.groups == depthwise.in_channels
+
+
+class TestConvBNReLU6:
+    def test_output_clipped_at_six(self, rng):
+        layer = ConvBNReLU6(3, 4, 3, 1, rng=0)
+        x = Tensor(rng.normal(size=(2, 3, 8, 8)).astype(np.float32) * 100)
+        out = layer(x).data
+        assert out.min() >= 0.0
+        assert out.max() <= 6.0
+
+
+class TestConfig:
+    def test_default_config_downsamples_twice(self):
+        strides = [s for _, _, _, s in CIFAR_INVERTED_RESIDUAL_CONFIG]
+        assert strides.count(2) == 2  # reproduces Table I's 0.296 GMACs
+
+    def test_custom_config(self, rng):
+        config = ((1, 8, 1, 1), (6, 16, 1, 2))
+        model = MobileNetV2(width_mult=1.0, inverted_residual_config=config, rng=0)
+        x = Tensor(rng.normal(size=(1, 3, 8, 8)).astype(np.float32))
+        assert model(x).shape == (1, 10)
+
+    def test_width_mult_scales_head(self):
+        small = MobileNetV2(width_mult=0.25, rng=0)
+        assert small.classifier.in_features < 1280

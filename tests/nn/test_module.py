@@ -1,0 +1,124 @@
+"""Module registration, traversal, state dict and train/eval semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn import Linear, Module, Parameter, Sequential
+
+
+class Leaf(Module):
+    def __init__(self):
+        super().__init__()
+        self.weight = Parameter(np.ones(3))
+        self.register_buffer("stat", np.zeros(2))
+
+    def forward(self, x):
+        return x
+
+
+class Parent(Module):
+    def __init__(self):
+        super().__init__()
+        self.leaf = Leaf()
+        self.extra = Parameter(np.zeros(1))
+
+    def forward(self, x):
+        return self.leaf(x)
+
+
+class TestRegistration:
+    def test_parameters_discovered(self):
+        p = Parent()
+        names = dict(p.named_parameters())
+        assert set(names) == {"extra", "leaf.weight"}
+
+    def test_buffers_discovered(self):
+        names = dict(Parent().named_buffers())
+        assert set(names) == {"leaf.stat"}
+
+    def test_modules_traversal(self):
+        mods = dict(Parent().named_modules())
+        assert set(mods) == {"", "leaf"}
+
+    def test_reassignment_replaces_child(self):
+        p = Parent()
+        p.leaf = Leaf()
+        assert len(list(p.named_parameters())) == 2
+
+    def test_num_parameters(self):
+        assert Parent().num_parameters() == 4
+
+    def test_set_buffer_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            Leaf().set_buffer("nope", np.zeros(2))
+
+    def test_set_buffer_updates_attribute(self):
+        leaf = Leaf()
+        leaf.set_buffer("stat", np.ones(2))
+        np.testing.assert_allclose(leaf.stat, [1.0, 1.0])
+
+
+class TestTrainEval:
+    def test_propagates_to_children(self):
+        p = Parent()
+        p.eval()
+        assert not p.training and not p.leaf.training
+        p.train()
+        assert p.training and p.leaf.training
+
+    def test_zero_grad(self):
+        p = Parent()
+        p.extra.grad = np.ones(1)
+        p.zero_grad()
+        assert p.extra.grad is None
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        src, dst = Parent(), Parent()
+        src.extra.data[:] = 5.0
+        src.leaf.set_buffer("stat", np.full(2, 7.0))
+        dst.load_state_dict(src.state_dict())
+        assert dst.extra.data[0] == 5.0
+        np.testing.assert_allclose(dst.leaf.stat, [7.0, 7.0])
+
+    def test_state_dict_is_a_copy(self):
+        p = Parent()
+        state = p.state_dict()
+        state["extra"][:] = 99.0
+        assert p.extra.data[0] == 0.0
+
+    def test_strict_missing_key_raises(self):
+        p = Parent()
+        state = p.state_dict()
+        del state["extra"]
+        with pytest.raises(KeyError):
+            p.load_state_dict(state)
+
+    def test_strict_unexpected_key_raises(self):
+        p = Parent()
+        state = p.state_dict()
+        state["bogus"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            p.load_state_dict(state)
+
+    def test_non_strict_ignores_mismatch(self):
+        p = Parent()
+        state = p.state_dict()
+        state["bogus"] = np.zeros(1)
+        p.load_state_dict(state, strict=False)
+
+    def test_shape_mismatch_raises(self):
+        p = Parent()
+        state = p.state_dict()
+        state["extra"] = np.zeros(5)
+        with pytest.raises(ShapeError):
+            p.load_state_dict(state)
+
+    def test_sequential_state_roundtrip(self, rng):
+        a = Sequential(Linear(4, 3, rng=rng), Linear(3, 2, rng=rng))
+        b = Sequential(Linear(4, 3), Linear(3, 2))
+        b.load_state_dict(a.state_dict())
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_allclose(pa.data, pb.data)

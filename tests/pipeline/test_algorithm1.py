@@ -1,0 +1,111 @@
+"""Algorithm 1 stage drivers."""
+
+import numpy as np
+import pytest
+
+from repro.distill import clone_model
+from repro.errors import ConfigError
+from repro.pipeline import (
+    METHODS,
+    approximation_stage,
+    quantization_stage,
+    run_algorithm1,
+)
+from repro.quant import quant_layers
+from repro.sim import evaluate_accuracy
+from repro.train import TrainConfig
+
+
+FAST = TrainConfig(epochs=1, batch_size=64, lr=0.01, seed=0)
+
+
+class TestQuantizationStage:
+    def test_returns_quantized_trained_model(self, trained_fp_model, tiny_dataset):
+        model, result = quantization_stage(
+            trained_fp_model, tiny_dataset, train_config=FAST
+        )
+        assert list(quant_layers(model))
+        assert 0.0 <= result.accuracy_before <= 1.0
+        assert result.accuracy_after >= result.accuracy_before - 0.1
+
+    def test_does_not_modify_teacher(self, trained_fp_model, tiny_dataset):
+        before = {n: p.data.copy() for n, p in trained_fp_model.named_parameters()}
+        quantization_stage(trained_fp_model, tiny_dataset, train_config=FAST)
+        for n, p in trained_fp_model.named_parameters():
+            np.testing.assert_array_equal(p.data, before[n])
+
+    def test_without_kd(self, trained_fp_model, tiny_dataset):
+        model, result = quantization_stage(
+            trained_fp_model, tiny_dataset, train_config=FAST, use_kd=False
+        )
+        assert result.history.train_loss
+
+
+class TestApproximationStage:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_each_method_runs(self, quantized_model, tiny_dataset, method):
+        model, result = approximation_stage(
+            quantized_model,
+            tiny_dataset,
+            "truncated4",
+            method=method,
+            train_config=FAST,
+        )
+        assert 0.0 <= result.accuracy_after <= 1.0
+        layer = next(iter(quant_layers(model)))
+        assert layer.multiplier.name == "truncated4"
+
+    def test_unknown_method_rejected(self, quantized_model, tiny_dataset):
+        with pytest.raises(ConfigError):
+            approximation_stage(
+                quantized_model, tiny_dataset, "truncated4", method="magic"
+            )
+
+    def test_ge_attaches_error_model_only_for_ge_methods(
+        self, quantized_model, tiny_dataset
+    ):
+        model_ge, _ = approximation_stage(
+            quantized_model, tiny_dataset, "truncated5", method="ge", train_config=FAST
+        )
+        assert next(iter(quant_layers(model_ge))).error_model is not None
+
+        model_normal, _ = approximation_stage(
+            quantized_model, tiny_dataset, "truncated5", method="normal", train_config=FAST
+        )
+        assert next(iter(quant_layers(model_normal))).error_model is None
+
+    def test_source_model_untouched(self, quantized_model, tiny_dataset):
+        approximation_stage(
+            quantized_model, tiny_dataset, "truncated5", method="normal", train_config=FAST
+        )
+        assert all(layer.multiplier is None for layer in quant_layers(quantized_model))
+
+    def test_finetuning_recovers_accuracy(self, quantized_model, tiny_dataset):
+        """The paper's core claim at unit scale: fine-tuning recovers most
+        of the accuracy lost to an aggressive multiplier."""
+        cfg = TrainConfig(epochs=3, batch_size=64, lr=0.02, seed=0)
+        _, result = approximation_stage(
+            quantized_model, tiny_dataset, "truncated5", method="approxkd_ge",
+            train_config=cfg, temperature=5.0,
+        )
+        assert result.accuracy_after > result.accuracy_before
+
+    def test_alpha_method_cleans_collectors(self, quantized_model, tiny_dataset):
+        model, _ = approximation_stage(
+            quantized_model, tiny_dataset, "truncated4", method="alpha", train_config=FAST
+        )
+        assert all(layer.output_collector is None for layer in quant_layers(model))
+
+
+class TestRunAlgorithm1:
+    def test_end_to_end(self, trained_fp_model, tiny_dataset):
+        result = run_algorithm1(
+            trained_fp_model,
+            tiny_dataset,
+            "truncated4",
+            quant_config=FAST,
+            approx_config=FAST,
+        )
+        assert result.quantization.accuracy_after > 0.15
+        q_layers = list(quant_layers(result.approximate_model))
+        assert q_layers and q_layers[0].multiplier.name == "truncated4"

@@ -1,0 +1,70 @@
+"""Seed replication utilities."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.pipeline import ReplicateSummary, replicate_approximation_stage
+from repro.train import TrainConfig
+
+FAST = TrainConfig(epochs=1, batch_size=64, lr=0.005, grad_clip=1.0, seed=0)
+
+
+@pytest.fixture(scope="module")
+def summary(quantized_model, tiny_dataset):
+    return replicate_approximation_stage(
+        quantized_model,
+        tiny_dataset,
+        "truncated4",
+        method="normal",
+        train_config=FAST,
+        seeds=(0, 1),
+    )
+
+
+class TestReplicate:
+    def test_one_accuracy_per_seed(self, summary):
+        assert len(summary.final_accuracies) == 2
+        assert summary.seeds == (0, 1)
+
+    def test_statistics_consistent(self, summary):
+        accs = summary.final_accuracies
+        assert summary.min == min(accs)
+        assert summary.max == max(accs)
+        assert summary.min <= summary.mean <= summary.max
+        assert summary.std >= 0
+
+    def test_requires_seeds(self, quantized_model, tiny_dataset):
+        with pytest.raises(ConfigError):
+            replicate_approximation_stage(
+                quantized_model,
+                tiny_dataset,
+                "truncated4",
+                method="normal",
+                train_config=FAST,
+                seeds=(),
+            )
+
+
+class TestOverlap:
+    def _make(self, mean, std):
+        return ReplicateSummary(
+            method="m",
+            multiplier="x",
+            seeds=(0,),
+            final_accuracies=(mean,),
+            mean=mean,
+            std=std,
+            min=mean,
+            max=mean,
+        )
+
+    def test_overlapping_intervals(self):
+        assert self._make(0.5, 0.1).overlaps(self._make(0.55, 0.1))
+
+    def test_separated_intervals(self):
+        assert not self._make(0.3, 0.01).overlaps(self._make(0.6, 0.01))
+
+    def test_sigma_widening(self):
+        a, b = self._make(0.3, 0.1), self._make(0.6, 0.1)
+        assert not a.overlaps(b, sigmas=1.0)
+        assert a.overlaps(b, sigmas=2.0)

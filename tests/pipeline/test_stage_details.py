@@ -1,0 +1,88 @@
+"""Finer-grained checks of the Algorithm 1 stage drivers."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline import approximation_stage, quantization_stage
+from repro.quant import quant_layers
+from repro.train import TrainConfig
+
+FAST = TrainConfig(epochs=1, batch_size=64, lr=0.005, grad_clip=1.0, seed=0)
+
+
+class TestQuantizationStageDetails:
+    def test_calibration_batches_limit(self, trained_fp_model, tiny_dataset):
+        model, _ = quantization_stage(
+            trained_fp_model,
+            tiny_dataset,
+            train_config=FAST,
+            calibration_batches=1,
+        )
+        assert all(layer.is_calibrated for layer in quant_layers(model))
+
+    def test_history_present(self, trained_fp_model, tiny_dataset):
+        _, result = quantization_stage(
+            trained_fp_model, tiny_dataset, train_config=FAST
+        )
+        assert len(result.history.train_loss) == FAST.epochs
+        assert result.history.wall_time > 0
+
+    def test_temperature_affects_training(self, trained_fp_model, tiny_dataset):
+        """Different T1 must change the loss values (the soft term scales)."""
+        _, low = quantization_stage(
+            trained_fp_model, tiny_dataset, train_config=FAST, temperature=1.0
+        )
+        _, high = quantization_stage(
+            trained_fp_model, tiny_dataset, train_config=FAST, temperature=10.0
+        )
+        assert low.history.train_loss[0] != pytest.approx(
+            high.history.train_loss[0], rel=1e-3
+        )
+
+
+class TestApproximationStageDetails:
+    def test_weight_steps_refreshed(self, quantized_model, tiny_dataset):
+        """The stage re-derives weight steps from the post-stage-1 weights."""
+        model, _ = approximation_stage(
+            quantized_model,
+            tiny_dataset,
+            "truncated3",
+            method="normal",
+            train_config=TrainConfig(epochs=0, batch_size=64, lr=0.005, seed=0),
+        )
+        for src, dst in zip(quant_layers(quantized_model), quant_layers(model)):
+            assert dst.weight_step is not None
+            assert dst.act_step == src.act_step  # activations kept
+
+    def test_zero_epoch_stage_reports_initial_accuracy(self, quantized_model, tiny_dataset):
+        _, result = approximation_stage(
+            quantized_model,
+            tiny_dataset,
+            "truncated3",
+            method="normal",
+            train_config=TrainConfig(epochs=0, batch_size=64, lr=0.005, seed=0),
+        )
+        # With no training, before ≈ after (weight-step refresh may shift
+        # the quantization grid slightly).
+        assert result.accuracy_after == pytest.approx(result.accuracy_before, abs=0.1)
+
+    def test_exact_multiplier_stage_runs(self, quantized_model, tiny_dataset):
+        _, result = approximation_stage(
+            quantized_model, tiny_dataset, "exact", method="normal", train_config=FAST
+        )
+        assert result.accuracy_before > 0.3  # exact execution: no collapse
+
+    def test_kd_teacher_is_exact_quantized_model(self, quantized_model, tiny_dataset):
+        """The stage-2 teacher must run exactly even while the student is
+        approximate — verified indirectly: a collapsed student still gets a
+        useful KD signal and improves."""
+        cfg = TrainConfig(epochs=2, batch_size=32, lr=0.01, grad_clip=1.0, seed=0)
+        _, result = approximation_stage(
+            quantized_model,
+            tiny_dataset,
+            "truncated5",
+            method="approxkd",
+            train_config=cfg,
+            temperature=5.0,
+        )
+        assert result.accuracy_after >= result.accuracy_before - 0.02

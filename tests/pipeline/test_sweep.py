@@ -1,0 +1,82 @@
+"""The multiplier/method/temperature sweep harness."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.pipeline import SweepResult, run_sweep
+from repro.train import TrainConfig
+
+FAST = TrainConfig(epochs=1, batch_size=64, lr=0.005, grad_clip=1.0, seed=0)
+
+
+@pytest.fixture(scope="module")
+def sweep(quantized_model, tiny_dataset):
+    return run_sweep(
+        quantized_model,
+        tiny_dataset,
+        ["truncated3", "evoapprox29"],
+        methods=("normal", "approxkd"),
+        train_config=FAST,
+    )
+
+
+class TestRunSweep:
+    def test_grid_size(self, sweep):
+        assert len(sweep.points) == 2 * 2  # multipliers x methods, auto temp
+
+    def test_point_fields(self, sweep):
+        point = sweep.points[0]
+        assert point.multiplier == "truncated3"
+        assert point.method in ("normal", "approxkd")
+        assert point.mre > 0
+        assert 0 <= point.final_accuracy <= 1
+        assert point.wall_time > 0
+
+    def test_auto_temperature_uses_policy(self, sweep):
+        from repro.distill import recommended_t2
+
+        for point in sweep.points:
+            assert point.temperature == recommended_t2(point.mre)
+
+    def test_temperature_grid(self, quantized_model, tiny_dataset):
+        result = run_sweep(
+            quantized_model,
+            tiny_dataset,
+            ["truncated4"],
+            methods=("approxkd",),
+            temperatures=(1.0, 5.0),
+            train_config=FAST,
+        )
+        assert sorted(p.temperature for p in result.points) == [1.0, 5.0]
+
+    def test_unknown_method_rejected(self, quantized_model, tiny_dataset):
+        with pytest.raises(ConfigError):
+            run_sweep(
+                quantized_model, tiny_dataset, ["truncated3"], methods=("magic",)
+            )
+
+
+class TestSweepResult:
+    def test_filter(self, sweep):
+        subset = sweep.filter(multiplier="truncated3")
+        assert len(subset) == 2
+        subset = sweep.filter(method="normal")
+        assert len(subset) == 2
+        assert sweep.filter(multiplier="truncated3", method="normal")
+
+    def test_best_point(self, sweep):
+        best = sweep.best_point()
+        assert best.final_accuracy == max(p.final_accuracy for p in sweep.points)
+
+    def test_empty_best_raises(self):
+        with pytest.raises(ConfigError):
+            SweepResult().best_point()
+
+    def test_json_export(self, sweep, tmp_path):
+        path = tmp_path / "sweep.json"
+        sweep.to_json(path)
+        loaded = json.loads(path.read_text())
+        assert len(loaded["points"]) == len(sweep.points)
+        assert loaded["config"]["methods"] == ["normal", "approxkd"]

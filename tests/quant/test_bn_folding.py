@@ -1,0 +1,94 @@
+"""BN folding equivalence and model-level folding."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad
+from repro.models import resnet20, simplecnn
+from repro.nn import BatchNorm2d, Conv2d, Identity, Sequential
+from repro.quant import fold_batchnorms, fold_conv_bn
+
+
+def _randomize_bn(bn, rng):
+    bn.gamma.data = rng.uniform(0.5, 1.5, bn.num_features).astype(np.float32)
+    bn.beta.data = rng.normal(size=bn.num_features).astype(np.float32)
+    bn.set_buffer("running_mean", rng.normal(size=bn.num_features).astype(np.float32))
+    bn.set_buffer("running_var", rng.uniform(0.5, 2.0, bn.num_features).astype(np.float32))
+
+
+class TestFoldConvBn:
+    def test_equivalence_eval_mode(self, rng):
+        conv = Conv2d(3, 8, 3, padding=1, rng=rng)
+        bn = BatchNorm2d(8)
+        _randomize_bn(bn, rng)
+        bn.eval()
+        folded = fold_conv_bn(conv, bn)
+        x = Tensor(rng.normal(size=(2, 3, 8, 8)).astype(np.float32))
+        with no_grad():
+            ref = bn(conv(x)).data
+            out = folded(x).data
+        np.testing.assert_allclose(out, ref, atol=1e-4)
+
+    def test_equivalence_conv_without_bias(self, rng):
+        conv = Conv2d(3, 4, 3, bias=False, rng=rng)
+        bn = BatchNorm2d(4)
+        _randomize_bn(bn, rng)
+        bn.eval()
+        folded = fold_conv_bn(conv, bn)
+        x = Tensor(rng.normal(size=(1, 3, 6, 6)).astype(np.float32))
+        with no_grad():
+            np.testing.assert_allclose(folded(x).data, bn(conv(x)).data, atol=1e-4)
+
+    def test_folded_conv_has_bias(self, rng):
+        conv = Conv2d(3, 4, 3, bias=False, rng=rng)
+        bn = BatchNorm2d(4)
+        folded = fold_conv_bn(conv, bn)
+        assert folded.bias is not None
+
+    def test_depthwise_folding(self, rng):
+        conv = Conv2d(4, 4, 3, padding=1, groups=4, bias=False, rng=rng)
+        bn = BatchNorm2d(4)
+        _randomize_bn(bn, rng)
+        bn.eval()
+        folded = fold_conv_bn(conv, bn)
+        x = Tensor(rng.normal(size=(1, 4, 6, 6)).astype(np.float32))
+        with no_grad():
+            np.testing.assert_allclose(folded(x).data, bn(conv(x)).data, atol=1e-4)
+
+
+class TestModelFolding:
+    def test_sequential_pair_folded(self, rng):
+        model = Sequential(Conv2d(3, 4, 3, rng=rng), BatchNorm2d(4))
+        count = fold_batchnorms(model)
+        assert count == 1
+        assert isinstance(model[0], Conv2d)
+        assert isinstance(model[1], Identity)
+
+    def test_resnet_folds_all_bns(self, rng):
+        model = resnet20(width_mult=0.25, rng=0)
+        model.eval()
+        x = Tensor(rng.normal(size=(1, 3, 16, 16)).astype(np.float32))
+        with no_grad():
+            ref = model(x).data
+        count = fold_batchnorms(model)
+        assert count > 0
+        remaining = [m for m in model.modules() if isinstance(m, BatchNorm2d)]
+        assert not remaining
+        with no_grad():
+            out = model(x).data
+        np.testing.assert_allclose(out, ref, atol=1e-3)
+
+    def test_simplecnn_output_preserved(self, rng):
+        model = simplecnn(base_width=4, rng=0)
+        model.eval()
+        x = Tensor(rng.normal(size=(2, 3, 16, 16)).astype(np.float32))
+        with no_grad():
+            ref = model(x).data
+        fold_batchnorms(model)
+        with no_grad():
+            np.testing.assert_allclose(model(x).data, ref, atol=1e-3)
+
+    def test_channel_mismatch_not_folded(self, rng):
+        # A BN that does not match the conv's out_channels must be skipped.
+        model = Sequential(Conv2d(3, 4, 3, rng=rng), BatchNorm2d(7))
+        assert fold_batchnorms(model) == 0

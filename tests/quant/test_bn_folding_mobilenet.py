@@ -1,0 +1,64 @@
+"""BN folding on MobileNetV2-style blocks (depthwise + projection BNs)."""
+
+import numpy as np
+
+from repro.autograd import Tensor, no_grad
+from repro.models.mobilenetv2 import ConvBNReLU6, InvertedResidual, MobileNetV2
+from repro.nn import BatchNorm2d
+from repro.quant import fold_batchnorms
+
+
+def _randomize_bns(model, rng):
+    for m in model.modules():
+        if isinstance(m, BatchNorm2d):
+            m.gamma.data = rng.uniform(0.5, 1.5, m.num_features).astype(np.float32)
+            m.beta.data = rng.normal(size=m.num_features).astype(np.float32)
+            m.set_buffer(
+                "running_mean", rng.normal(scale=0.2, size=m.num_features).astype(np.float32)
+            )
+            m.set_buffer(
+                "running_var", rng.uniform(0.5, 2.0, m.num_features).astype(np.float32)
+            )
+
+
+class TestConvBNReLU6Folding:
+    def test_output_preserved(self, rng):
+        block = ConvBNReLU6(3, 8, 3, 1, rng=0)
+        _randomize_bns(block, rng)
+        block.eval()
+        x = Tensor(rng.normal(size=(2, 3, 8, 8)).astype(np.float32))
+        with no_grad():
+            ref = block(x).data
+        assert fold_batchnorms(block) == 1
+        with no_grad():
+            np.testing.assert_allclose(block(x).data, ref, atol=1e-3)
+
+
+class TestInvertedResidualFolding:
+    def test_all_bns_folded_and_output_preserved(self, rng):
+        block = InvertedResidual(8, 8, stride=1, expand_ratio=6, rng=0)
+        _randomize_bns(block, rng)
+        block.eval()
+        x = Tensor(rng.normal(size=(2, 8, 6, 6)).astype(np.float32))
+        with no_grad():
+            ref = block(x).data
+        count = fold_batchnorms(block)
+        assert count == 3  # expansion, depthwise, projection
+        assert not [m for m in block.modules() if isinstance(m, BatchNorm2d)]
+        with no_grad():
+            np.testing.assert_allclose(block(x).data, ref, atol=1e-3)
+
+
+class TestFullModelFolding:
+    def test_small_mobilenet_folds_completely(self, rng):
+        config = ((1, 8, 1, 1), (6, 16, 1, 2))
+        model = MobileNetV2(width_mult=1.0, inverted_residual_config=config, rng=0)
+        _randomize_bns(model, rng)
+        model.eval()
+        x = Tensor(rng.normal(size=(1, 3, 8, 8)).astype(np.float32))
+        with no_grad():
+            ref = model(x).data
+        fold_batchnorms(model)
+        assert not [m for m in model.modules() if isinstance(m, BatchNorm2d)]
+        with no_grad():
+            np.testing.assert_allclose(model(x).data, ref, atol=1e-2)

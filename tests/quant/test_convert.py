@@ -1,0 +1,108 @@
+"""Model conversion and calibration."""
+
+import numpy as np
+import pytest
+
+from repro.data import iterate_batches
+from repro.errors import QuantizationError
+from repro.models import mobilenetv2, resnet20, simplecnn
+from repro.nn import BatchNorm2d, Conv2d, Linear
+from repro.quant import (
+    QCONFIG_8A4W,
+    QConfig,
+    QuantConv2d,
+    QuantLinear,
+    calibrate_model,
+    named_quant_layers,
+    quant_layers,
+    quantize_model,
+    refresh_weight_steps,
+)
+from repro.sim import evaluate_accuracy
+
+
+class TestQuantizeModel:
+    def test_replaces_all_gemm_layers(self):
+        model = quantize_model(resnet20(width_mult=0.25, rng=0))
+        floats = [
+            m for m in model.modules() if type(m) in (Conv2d, Linear)
+        ]
+        assert not floats
+        assert len(list(quant_layers(model))) > 10
+
+    def test_fold_bn_true_removes_bns(self):
+        model = quantize_model(resnet20(width_mult=0.25, rng=0), fold_bn=True)
+        assert not [m for m in model.modules() if isinstance(m, BatchNorm2d)]
+
+    def test_fold_bn_false_keeps_bns(self):
+        model = quantize_model(mobilenetv2(width_mult=0.25, rng=0), fold_bn=False)
+        assert [m for m in model.modules() if isinstance(m, BatchNorm2d)]
+
+    def test_custom_qconfig_propagates(self):
+        qc = QConfig(weight_bits=8)
+        model = quantize_model(simplecnn(base_width=4, rng=0), qconfig=qc)
+        for layer in quant_layers(model):
+            assert layer.qconfig.weight_bits == 8
+
+    def test_named_quant_layers(self):
+        model = quantize_model(simplecnn(base_width=4, rng=0))
+        names = [n for n, _ in named_quant_layers(model)]
+        assert any("classifier" in n for n in names)
+
+
+class TestCalibration:
+    def test_calibration_enables_forward(self, tiny_dataset):
+        model = quantize_model(simplecnn(base_width=4, rng=0))
+        calibrate_model(
+            model,
+            iterate_batches(tiny_dataset.train_x, tiny_dataset.train_y, 32, shuffle=False),
+            max_batches=2,
+        )
+        acc = evaluate_accuracy(model, tiny_dataset.test_x, tiny_dataset.test_y)
+        assert 0.0 <= acc <= 1.0
+
+    def test_requires_batches(self):
+        model = quantize_model(simplecnn(base_width=4, rng=0))
+        with pytest.raises(QuantizationError):
+            calibrate_model(model, iter([]))
+
+    def test_requires_quant_layers(self, tiny_dataset):
+        from repro.models import simplecnn as fresh
+
+        with pytest.raises(QuantizationError):
+            calibrate_model(fresh(base_width=4, rng=0), iter([tiny_dataset.train_x[:8]]))
+
+    def test_accepts_tuple_batches(self, tiny_dataset):
+        model = quantize_model(simplecnn(base_width=4, rng=0))
+        calibrate_model(
+            model,
+            iterate_batches(tiny_dataset.train_x, tiny_dataset.train_y, 32, shuffle=False),
+            max_batches=1,
+        )
+        assert all(layer.is_calibrated for layer in quant_layers(model))
+
+    def test_quantized_accuracy_close_to_fp(self, trained_fp_model, tiny_dataset):
+        """8A4W quantization should not destroy the trained model."""
+        from repro.distill import clone_model
+
+        fp_acc = evaluate_accuracy(trained_fp_model, tiny_dataset.test_x, tiny_dataset.test_y)
+        qmodel = quantize_model(clone_model(trained_fp_model))
+        calibrate_model(
+            qmodel,
+            iterate_batches(tiny_dataset.train_x, tiny_dataset.train_y, 64, shuffle=False),
+            max_batches=3,
+        )
+        q_acc = evaluate_accuracy(qmodel, tiny_dataset.test_x, tiny_dataset.test_y)
+        assert q_acc >= fp_acc - 0.25
+
+    def test_refresh_weight_steps(self, tiny_dataset):
+        model = quantize_model(simplecnn(base_width=4, rng=0))
+        calibrate_model(
+            model,
+            iterate_batches(tiny_dataset.train_x, tiny_dataset.train_y, 32, shuffle=False),
+            max_batches=1,
+        )
+        for layer in quant_layers(model):
+            layer.weight.data = layer.weight.data * 8.0
+        refresh_weight_steps(model)
+        assert all(layer.weight_step > 0 for layer in quant_layers(model))

@@ -1,0 +1,52 @@
+"""Fake quantization with clipped STE."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.quant import fake_quantize, fake_quantize_np
+
+
+class TestForward:
+    def test_matches_numpy_reference(self, rng):
+        x = rng.normal(size=(4, 4)).astype(np.float32)
+        out = fake_quantize(Tensor(x), 0.125, 8)
+        np.testing.assert_allclose(out.data, fake_quantize_np(x, 0.125, 8))
+
+    def test_output_on_grid(self, rng):
+        x = rng.normal(size=100).astype(np.float32)
+        out = fake_quantize(Tensor(x), 0.25, 4).data
+        np.testing.assert_allclose(out / 0.25, np.round(out / 0.25), atol=1e-6)
+
+
+class TestSTE:
+    def test_passthrough_inside_range(self):
+        x = Tensor(np.array([0.1, -0.3], dtype=np.float32), requires_grad=True)
+        out = fake_quantize(x, 0.125, 8)
+        out.backward(np.array([1.0, 2.0], dtype=np.float32))
+        np.testing.assert_allclose(x.grad, [1.0, 2.0])
+
+    def test_zero_gradient_outside_range(self):
+        # 4-bit, step 0.1 -> representable range [-0.7, 0.7]
+        x = Tensor(np.array([5.0, -5.0, 0.5], dtype=np.float32), requires_grad=True)
+        out = fake_quantize(x, 0.1, 4)
+        out.backward(np.ones(3, dtype=np.float32))
+        np.testing.assert_allclose(x.grad, [0.0, 0.0, 1.0])
+
+    def test_boundary_value_passes_gradient(self):
+        x = Tensor(np.array([0.7], dtype=np.float32), requires_grad=True)
+        out = fake_quantize(x, 0.1, 4)
+        out.backward(np.ones(1, dtype=np.float32))
+        np.testing.assert_allclose(x.grad, [1.0], atol=1e-6)
+
+    def test_training_through_fake_quant_converges(self):
+        """A weight trained through fake-quant should reach its target."""
+        w = Tensor(np.array([0.0], dtype=np.float32), requires_grad=True)
+        target = 0.5
+        for _ in range(200):
+            w.zero_grad()
+            out = fake_quantize(w, 1 / 64, 8)
+            loss = (out - target) ** 2
+            loss.backward()
+            w.data = w.data - 0.1 * w.grad
+        assert abs(w.data[0] - target) < 0.02

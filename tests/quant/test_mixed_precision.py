@@ -1,0 +1,73 @@
+"""Mixed-precision conversion via per-layer QConfig overrides."""
+
+import pytest
+
+from repro.data import iterate_batches
+from repro.errors import QuantizationError
+from repro.models import simplecnn
+from repro.quant import (
+    QConfig,
+    calibrate_model,
+    named_quant_layers,
+    quantize_model,
+)
+from repro.sim import evaluate_accuracy
+
+
+class TestLayerOverrides:
+    def test_override_applies_to_named_layer(self):
+        model = quantize_model(
+            simplecnn(base_width=4, rng=0),
+            qconfig=QConfig(weight_bits=4),
+            layer_overrides={"classifier": QConfig(weight_bits=8)},
+        )
+        layers = dict(named_quant_layers(model))
+        assert layers["classifier"].qconfig.weight_bits == 8
+        others = [l for n, l in layers.items() if n != "classifier"]
+        assert all(l.qconfig.weight_bits == 4 for l in others)
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(QuantizationError, match="unknown GEMM layers"):
+            quantize_model(
+                simplecnn(base_width=4, rng=0),
+                layer_overrides={"does.not.exist": QConfig()},
+            )
+
+    def test_mixed_precision_model_runs(self, tiny_dataset):
+        model = quantize_model(
+            simplecnn(base_width=4, rng=0),
+            qconfig=QConfig(weight_bits=3),
+            layer_overrides={"classifier": QConfig(weight_bits=8)},
+        )
+        calibrate_model(
+            model,
+            iterate_batches(tiny_dataset.train_x, tiny_dataset.train_y, 32, shuffle=False),
+            max_batches=2,
+        )
+        acc = evaluate_accuracy(model, tiny_dataset.test_x, tiny_dataset.test_y)
+        assert 0.0 <= acc <= 1.0
+
+    def test_wider_classifier_helps_at_low_backbone_bits(
+        self, trained_fp_model, tiny_dataset
+    ):
+        """Keeping the final layer at 8 bits should not hurt vs all-3-bit."""
+        from repro.distill import clone_model
+
+        def accuracy(overrides):
+            model = quantize_model(
+                clone_model(trained_fp_model),
+                qconfig=QConfig(weight_bits=3),
+                layer_overrides=overrides,
+            )
+            calibrate_model(
+                model,
+                iterate_batches(
+                    tiny_dataset.train_x, tiny_dataset.train_y, 64, shuffle=False
+                ),
+                max_batches=3,
+            )
+            return evaluate_accuracy(model, tiny_dataset.test_x, tiny_dataset.test_y)
+
+        plain = accuracy(None)
+        mixed = accuracy({"classifier": QConfig(weight_bits=8)})
+        assert mixed >= plain - 0.05

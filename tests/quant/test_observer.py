@@ -1,0 +1,105 @@
+"""Observer (calibration) behaviour, including MinPropQE."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QuantizationError
+from repro.quant import MinMaxObserver, MinPropQEObserver, MSEObserver, create_observer
+from repro.quant.quantizer import fake_quantize_np
+
+
+class TestMinMax:
+    def test_step_covers_observed_max(self, rng):
+        obs = MinMaxObserver(8, pow2=False)
+        obs.observe(rng.uniform(-3, 3, size=100))
+        step = obs.compute_step()
+        assert step * 127 >= 2.5
+
+    def test_accumulates_over_batches(self):
+        obs = MinMaxObserver(8, pow2=False)
+        obs.observe(np.array([1.0]))
+        obs.observe(np.array([-10.0]))
+        assert obs.compute_step() * 127 >= 10.0 - 1e-6
+
+    def test_requires_data(self):
+        with pytest.raises(QuantizationError):
+            MinMaxObserver(8).compute_step()
+
+    def test_pow2_step(self):
+        obs = MinMaxObserver(8, pow2=True)
+        obs.observe(np.array([1.0]))
+        step = obs.compute_step()
+        assert np.log2(step) == pytest.approx(round(np.log2(step)))
+
+
+class TestMSE:
+    def test_beats_minmax_on_heavy_tails(self, rng):
+        # At 4 bits, covering a lone outlier wastes nearly all resolution;
+        # the MSE observer should clip it with a smaller step.
+        data = np.concatenate([rng.normal(0, 1, 10_000), [100.0]])
+        mm = MinMaxObserver(4, pow2=False)
+        mm.observe(data)
+        mse = MSEObserver(4, pow2=False)
+        mse.observe(data)
+        step_mm, step_mse = mm.compute_step(), mse.compute_step()
+        assert step_mse < step_mm
+        err_mm = np.mean((fake_quantize_np(data, step_mm, 4) - data) ** 2)
+        err_mse = np.mean((fake_quantize_np(data, step_mse, 4) - data) ** 2)
+        assert err_mse <= err_mm
+
+    def test_requires_data(self):
+        with pytest.raises(QuantizationError):
+            MSEObserver(8).compute_step()
+
+
+class TestMinPropQE:
+    def test_minimises_propagated_error(self, rng):
+        w = rng.normal(0, 1, size=(8, 16))
+        x = rng.normal(0, 1, size=(64, 16))
+        obs = MinPropQEObserver(4, pow2=True)
+        obs.set_weight(w)
+        obs.observe_inputs(x)
+        step = obs.compute_step()
+        # The chosen step must be at least as good as its pow2 neighbours.
+        def prop_err(s):
+            werr = fake_quantize_np(w, s, 4) - w
+            return float(np.mean((x @ werr.T) ** 2))
+
+        assert prop_err(step) <= prop_err(step * 2) + 1e-9
+        assert prop_err(step) <= prop_err(step / 2) + 1e-9
+
+    def test_falls_back_to_local_mse_without_inputs(self, rng):
+        obs = MinPropQEObserver(4, pow2=False)
+        obs.set_weight(rng.normal(size=(4, 4)))
+        assert obs.compute_step() > 0
+
+    def test_observe_registers_weight(self, rng):
+        obs = MinPropQEObserver(4)
+        obs.observe(rng.normal(size=(4, 4)))
+        assert obs.compute_step() > 0
+
+    def test_rejects_non_2d_inputs(self, rng):
+        obs = MinPropQEObserver(4)
+        with pytest.raises(QuantizationError):
+            obs.observe_inputs(rng.normal(size=(2, 3, 4)))
+
+    def test_input_subsampling(self, rng):
+        obs = MinPropQEObserver(4, max_rows=16)
+        obs.set_weight(rng.normal(size=(4, 8)))
+        obs.observe_inputs(rng.normal(size=(1000, 8)))
+        assert obs._inputs[0].shape[0] == 16
+
+    def test_requires_weight(self):
+        obs = MinPropQEObserver(4)
+        with pytest.raises(QuantizationError):
+            obs.compute_step()
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", ["minmax", "mse", "minpropqe"])
+    def test_create_known(self, name):
+        assert create_observer(name, 8) is not None
+
+    def test_create_unknown_raises(self):
+        with pytest.raises(QuantizationError):
+            create_observer("magic", 8)

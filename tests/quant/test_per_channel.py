@@ -1,0 +1,140 @@
+"""Per-output-channel weight quantization (extension beyond the paper's
+layer-wise scheme)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, conv2d, linear
+from repro.data import iterate_batches
+from repro.distill import clone_model
+from repro.models import simplecnn
+from repro.quant import (
+    QConfig,
+    QuantConv2d,
+    QuantLinear,
+    calibrate_model,
+    fake_quantize_np,
+    quant_layers,
+    quantize_model,
+)
+from repro.sim import attach_multiplier, evaluate_accuracy
+
+PER_CHANNEL = QConfig(per_channel_weights=True)
+
+
+class TestCalibration:
+    def test_weight_step_is_vector(self, rng):
+        layer = QuantConv2d(3, 6, 3, padding=1, qconfig=PER_CHANNEL)
+        layer.begin_calibration()
+        layer(Tensor(rng.normal(size=(2, 3, 8, 8)).astype(np.float32)))
+        layer.finalize_calibration()
+        assert isinstance(layer.weight_step, np.ndarray)
+        assert layer.weight_step.shape == (6,)
+        assert (layer.weight_step > 0).all()
+
+    def test_steps_are_pow2(self, rng):
+        layer = QuantLinear(8, 4, qconfig=PER_CHANNEL)
+        layer.begin_calibration()
+        layer(Tensor(rng.normal(size=(4, 8)).astype(np.float32)))
+        layer.finalize_calibration()
+        exps = np.log2(layer.weight_step)
+        np.testing.assert_allclose(exps, np.round(exps), atol=1e-6)
+
+    def test_channels_with_different_scales_get_different_steps(self, rng):
+        layer = QuantLinear(8, 2, qconfig=PER_CHANNEL)
+        layer.weight.data[0] = rng.normal(size=8).astype(np.float32) * 0.01
+        layer.weight.data[1] = rng.normal(size=8).astype(np.float32) * 10.0
+        layer.begin_calibration()
+        layer(Tensor(rng.normal(size=(4, 8)).astype(np.float32)))
+        layer.finalize_calibration()
+        assert layer.weight_step[1] > layer.weight_step[0] * 16
+
+
+class TestForward:
+    def test_matches_per_channel_fake_quant(self, rng):
+        layer = QuantConv2d(3, 4, 3, padding=1, bias=False, qconfig=PER_CHANNEL)
+        steps = np.array([1 / 8, 1 / 16, 1 / 4, 1 / 8], dtype=np.float32)
+        layer.act_step, layer.weight_step = 1 / 32, steps
+        x = rng.normal(size=(2, 3, 6, 6)).astype(np.float32)
+        out = layer(Tensor(x)).data
+
+        xq = fake_quantize_np(x, layer.act_step, 8)
+        wq = np.stack(
+            [fake_quantize_np(layer.weight.data[c], steps[c], 4) for c in range(4)]
+        )
+        ref = conv2d(Tensor(xq), Tensor(wq), None, 1, 1, 1).data
+        np.testing.assert_allclose(out, ref, atol=1e-4)
+
+    def test_linear_matches_per_channel_fake_quant(self, rng):
+        layer = QuantLinear(6, 3, bias=False, qconfig=PER_CHANNEL)
+        steps = np.array([1 / 8, 1 / 4, 1 / 16], dtype=np.float32)
+        layer.act_step, layer.weight_step = 1 / 32, steps
+        x = rng.normal(size=(5, 6)).astype(np.float32)
+        out = layer(Tensor(x)).data
+        xq = fake_quantize_np(x, layer.act_step, 8)
+        wq = np.stack(
+            [fake_quantize_np(layer.weight.data[c], steps[c], 4) for c in range(3)]
+        )
+        ref = linear(Tensor(xq), Tensor(wq), None).data
+        np.testing.assert_allclose(out, ref, atol=1e-5)
+
+    def test_gradients_flow(self, rng):
+        layer = QuantConv2d(3, 4, 3, padding=1, qconfig=PER_CHANNEL)
+        layer.act_step = 1 / 32
+        layer.weight_step = np.full(4, 1 / 8, dtype=np.float32)
+        x = Tensor(rng.normal(size=(2, 3, 6, 6)).astype(np.float32), requires_grad=True)
+        layer(x).sum().backward()
+        assert x.grad is not None and layer.weight.grad is not None
+
+    def test_approximate_path(self, rng):
+        layer = QuantConv2d(3, 4, 3, padding=1, bias=False, qconfig=PER_CHANNEL)
+        layer.act_step = 1 / 32
+        layer.weight_step = np.full(4, 1 / 8, dtype=np.float32)
+        x = Tensor(rng.normal(size=(2, 3, 6, 6)).astype(np.float32))
+        exact = layer(x).data
+        attach = __import__("repro.approx", fromlist=["get_multiplier"]).get_multiplier
+        layer.set_multiplier(attach("truncated5"))
+        approx = layer(x).data
+        assert approx.shape == exact.shape and not np.allclose(approx, exact)
+
+
+class TestEndToEnd:
+    def test_per_channel_at_least_as_accurate(self, trained_fp_model, tiny_dataset):
+        """Per-channel steps should match or beat layer-wise min-max at
+        equal bit-width (they strictly refine it)."""
+        accs = {}
+        for label, qconfig in [
+            ("layerwise-minmax", QConfig(weight_observer="minmax")),
+            ("per-channel", PER_CHANNEL),
+        ]:
+            model = quantize_model(clone_model(trained_fp_model), qconfig=qconfig)
+            calibrate_model(
+                model,
+                iterate_batches(
+                    tiny_dataset.train_x, tiny_dataset.train_y, 64, shuffle=False
+                ),
+                max_batches=3,
+            )
+            accs[label] = evaluate_accuracy(
+                model, tiny_dataset.test_x, tiny_dataset.test_y
+            )
+        assert accs["per-channel"] >= accs["layerwise-minmax"] - 0.05
+
+    def test_serialization_roundtrip(self, tmp_path, trained_fp_model, tiny_dataset):
+        from repro.utils.serialization import load_model, save_model
+
+        model = quantize_model(clone_model(trained_fp_model), qconfig=PER_CHANNEL)
+        calibrate_model(
+            model,
+            iterate_batches(tiny_dataset.train_x, tiny_dataset.train_y, 64, shuffle=False),
+            max_batches=2,
+        )
+        path = tmp_path / "pc.npz"
+        save_model(model, path)
+        dst = quantize_model(clone_model(trained_fp_model), qconfig=PER_CHANNEL)
+        load_model(dst, path)
+        for a, b in zip(quant_layers(model), quant_layers(dst)):
+            np.testing.assert_allclose(a.weight_step, b.weight_step)
+        src_acc = evaluate_accuracy(model, tiny_dataset.test_x, tiny_dataset.test_y)
+        dst_acc = evaluate_accuracy(dst, tiny_dataset.test_x, tiny_dataset.test_y)
+        assert src_acc == dst_acc

@@ -1,0 +1,48 @@
+"""Input validation of the quantized GEMM Functions."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.errors import QuantizationError, ShapeError
+from repro.quant.qfunction import (
+    QuantConv2dFunction,
+    QuantLinearFunction,
+    _weight_step_per_channel,
+)
+
+
+class TestQuantLinearValidation:
+    def test_rejects_non_2d_input(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 4)).astype(np.float32))
+        w = Tensor(rng.normal(size=(5, 4)).astype(np.float32))
+        with pytest.raises(ShapeError):
+            QuantLinearFunction.apply(x, w, None, 1 / 32, 1 / 8, 8, 4)
+
+
+class TestQuantConvValidation:
+    def test_rejects_inconsistent_groups(self, rng):
+        x = Tensor(rng.normal(size=(1, 4, 6, 6)).astype(np.float32))
+        w = Tensor(rng.normal(size=(4, 4, 3, 3)).astype(np.float32))
+        with pytest.raises(ShapeError):
+            QuantConv2dFunction.apply(x, w, None, 1, 1, 2, 1 / 32, 1 / 8, 8, 4)
+
+    def test_rejects_channel_mismatch(self, rng):
+        x = Tensor(rng.normal(size=(1, 3, 6, 6)).astype(np.float32))
+        w = Tensor(rng.normal(size=(4, 2, 3, 3)).astype(np.float32))
+        with pytest.raises(ShapeError):
+            QuantConv2dFunction.apply(x, w, None, 1, 1, 1, 1 / 32, 1 / 8, 8, 4)
+
+
+class TestPerChannelStepValidation:
+    def test_scalar_broadcasts(self):
+        steps = _weight_step_per_channel(0.125, 4)
+        np.testing.assert_allclose(steps, np.full(4, 0.125))
+
+    def test_vector_passthrough(self):
+        vec = np.array([0.1, 0.2, 0.3], dtype=np.float32)
+        np.testing.assert_allclose(_weight_step_per_channel(vec, 3), vec)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(QuantizationError):
+            _weight_step_per_channel(np.ones(5, dtype=np.float32), 3)

@@ -1,0 +1,93 @@
+"""Weight-memory fault injection."""
+
+import numpy as np
+import pytest
+
+from repro.distill import clone_model
+from repro.errors import ConfigError
+from repro.models import simplecnn
+from repro.quant import quantize_model
+from repro.sim import (
+    evaluate_accuracy,
+    fault_sensitivity_sweep,
+    inject_weight_faults,
+)
+
+
+class TestInjection:
+    def test_zero_rate_changes_nothing_beyond_requantization(self, quantized_model, tiny_dataset):
+        model = clone_model(quantized_model)
+        before = evaluate_accuracy(model, tiny_dataset.test_x, tiny_dataset.test_y)
+        flipped = inject_weight_faults(model, 0.0, rng=0)
+        after = evaluate_accuracy(model, tiny_dataset.test_x, tiny_dataset.test_y)
+        assert flipped == 0
+        assert after == pytest.approx(before, abs=0.05)
+
+    def test_full_rate_destroys_accuracy(self, quantized_model, tiny_dataset):
+        model = clone_model(quantized_model)
+        inject_weight_faults(model, 0.5, rng=0)
+        acc = evaluate_accuracy(model, tiny_dataset.test_x, tiny_dataset.test_y)
+        assert acc < 0.5
+
+    def test_flip_count_scales_with_rate(self, quantized_model):
+        low = inject_weight_faults(clone_model(quantized_model), 0.01, rng=0)
+        high = inject_weight_faults(clone_model(quantized_model), 0.2, rng=0)
+        assert high > low > 0
+
+    def test_weights_stay_in_representable_range(self, quantized_model):
+        from repro.quant import quant_layers
+
+        model = clone_model(quantized_model)
+        inject_weight_faults(model, 0.3, rng=1)
+        for layer in quant_layers(model):
+            step = layer.weight_step
+            max_mag = np.abs(layer.weight.data).max()
+            bound = 7 * (np.max(step) if isinstance(step, np.ndarray) else step)
+            assert max_mag <= bound + 1e-6
+
+    def test_requires_quantized_model(self):
+        with pytest.raises(ConfigError):
+            inject_weight_faults(simplecnn(base_width=4, rng=0), 0.1)
+
+    def test_requires_calibration(self):
+        model = quantize_model(simplecnn(base_width=4, rng=0))
+        with pytest.raises(ConfigError):
+            inject_weight_faults(model, 0.1)
+
+    def test_rate_validation(self, quantized_model):
+        with pytest.raises(ConfigError):
+            inject_weight_faults(clone_model(quantized_model), 1.5)
+
+    def test_deterministic_given_seed(self, quantized_model):
+        a = clone_model(quantized_model)
+        b = clone_model(quantized_model)
+        inject_weight_faults(a, 0.1, rng=7)
+        inject_weight_faults(b, 0.1, rng=7)
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+
+class TestSweep:
+    def test_accuracy_degrades_with_rate(self, quantized_model, tiny_dataset):
+        reports = fault_sensitivity_sweep(
+            quantized_model,
+            tiny_dataset.test_x[:100],
+            tiny_dataset.test_y[:100],
+            bit_error_rates=[0.0, 0.3],
+            trials=2,
+            rng=0,
+        )
+        assert reports[0].accuracy >= reports[1].accuracy
+        assert reports[0].total_bits == reports[1].total_bits > 0
+
+    def test_source_model_untouched(self, quantized_model, tiny_dataset):
+        before = {n: p.data.copy() for n, p in quantized_model.named_parameters()}
+        fault_sensitivity_sweep(
+            quantized_model,
+            tiny_dataset.test_x[:40],
+            tiny_dataset.test_y[:40],
+            bit_error_rates=[0.2],
+            trials=1,
+        )
+        for n, p in quantized_model.named_parameters():
+            np.testing.assert_array_equal(p.data, before[n])

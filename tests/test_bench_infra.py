@@ -1,0 +1,52 @@
+"""Benchmark-harness infrastructure (presets, table rendering)."""
+
+import pytest
+
+from benchmarks.conftest import PRESETS, BenchPreset, get_preset, print_table, _fmt
+
+
+class TestPresets:
+    def test_smoke_and_full_exist(self):
+        assert set(PRESETS) >= {"smoke", "full"}
+
+    def test_default_is_smoke(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_PRESET", raising=False)
+        assert get_preset().name == "smoke"
+
+    def test_env_selects_full(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_PRESET", "full")
+        assert get_preset().name == "full"
+
+    def test_unknown_env_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_PRESET", "galactic")
+        with pytest.raises(KeyError):
+            get_preset()
+
+    def test_full_is_larger_than_smoke(self):
+        smoke, full = PRESETS["smoke"], PRESETS["full"]
+        assert full.num_train > smoke.num_train
+        assert full.approx_epochs > smoke.approx_epochs
+        assert full.width_mult > smoke.width_mult
+
+    def test_presets_are_frozen(self):
+        with pytest.raises(Exception):
+            PRESETS["smoke"].epochs = 1
+
+
+class TestTableRendering:
+    def test_fmt_floats_and_strings(self):
+        assert _fmt(1.23456) == "1.23"
+        assert _fmt("abc") == "abc"
+        assert _fmt(7) == "7"
+
+    def test_print_table_alignment(self, capsys):
+        print_table("T", ["col", "x"], [["a", 1.0], ["long-name", 22.5]])
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if l and not l.startswith("===")]
+        # Header and rows share column offsets.
+        header, sep, row1, row2 = lines[:4]
+        assert header.index("x") == row1.index("1.00")
+
+    def test_print_table_empty_rows(self, capsys):
+        print_table("Empty", ["a", "b"], [])
+        assert "Empty" in capsys.readouterr().out

@@ -1,0 +1,180 @@
+"""CLI: full pipeline through the command-line entry points."""
+
+import pytest
+
+from repro.cli import main
+
+FAST_DATA = [
+    "--num-train", "120", "--num-test", "60", "--image-size", "12",
+    "--noise", "0.3", "--data-seed", "7",
+]
+FAST_TRAIN = ["--epochs", "1", "--batch-size", "64"]
+
+
+@pytest.fixture(scope="module")
+def fp_checkpoint(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "fp.npz"
+    code = main(
+        ["train", "--model", "simplecnn", "--out", str(path), *FAST_DATA, *FAST_TRAIN]
+    )
+    assert code == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def quant_checkpoint(fp_checkpoint, tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "quant.npz"
+    code = main(
+        [
+            "quantize",
+            "--checkpoint", str(fp_checkpoint),
+            "--out", str(path),
+            *FAST_DATA,
+            *FAST_TRAIN,
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestTrain:
+    def test_creates_checkpoint_and_meta(self, fp_checkpoint):
+        assert fp_checkpoint.exists()
+        assert fp_checkpoint.with_suffix(".npz.meta.json").exists()
+
+
+class TestQuantize:
+    def test_creates_quantized_checkpoint(self, quant_checkpoint):
+        import json
+
+        meta = json.loads(quant_checkpoint.with_suffix(".npz.meta.json").read_text())
+        assert meta["quantized"] is True
+
+    def test_no_kd_flag(self, fp_checkpoint, tmp_path):
+        out = tmp_path / "quant_nokd.npz"
+        code = main(
+            [
+                "quantize", "--checkpoint", str(fp_checkpoint), "--out", str(out),
+                "--no-kd", *FAST_DATA, *FAST_TRAIN,
+            ]
+        )
+        assert code == 0 and out.exists()
+
+
+class TestApproximate:
+    def test_runs_and_saves(self, quant_checkpoint, tmp_path, capsys):
+        out = tmp_path / "approx.npz"
+        code = main(
+            [
+                "approximate",
+                "--checkpoint", str(quant_checkpoint),
+                "--multiplier", "truncated4",
+                "--method", "approxkd_ge",
+                "--out", str(out),
+                *FAST_DATA,
+                *FAST_TRAIN,
+            ]
+        )
+        assert code == 0 and out.exists()
+        assert "energy savings" in capsys.readouterr().out
+
+    def test_rejects_fp_checkpoint(self, fp_checkpoint, capsys):
+        code = main(
+            [
+                "approximate",
+                "--checkpoint", str(fp_checkpoint),
+                "--multiplier", "truncated4",
+                *FAST_DATA,
+                *FAST_TRAIN,
+            ]
+        )
+        assert code == 1
+        assert "quantized" in capsys.readouterr().err
+
+
+class TestEvaluate:
+    def test_fp_checkpoint(self, fp_checkpoint, capsys):
+        assert main(["evaluate", "--checkpoint", str(fp_checkpoint), *FAST_DATA]) == 0
+        assert "accuracy" in capsys.readouterr().out
+
+    def test_with_multiplier(self, quant_checkpoint, capsys):
+        code = main(
+            [
+                "evaluate", "--checkpoint", str(quant_checkpoint),
+                "--multiplier", "truncated5", *FAST_DATA,
+            ]
+        )
+        assert code == 0
+
+    def test_multiplier_on_fp_checkpoint_fails(self, fp_checkpoint, capsys):
+        code = main(
+            [
+                "evaluate", "--checkpoint", str(fp_checkpoint),
+                "--multiplier", "truncated5", *FAST_DATA,
+            ]
+        )
+        assert code == 1
+
+
+class TestSweepAndResiliency:
+    def test_sweep_prints_grid_and_saves(self, quant_checkpoint, tmp_path, capsys):
+        out = tmp_path / "sweep.json"
+        code = main(
+            [
+                "sweep",
+                "--checkpoint", str(quant_checkpoint),
+                "--multipliers", "truncated3",
+                "--methods", "normal",
+                "--out", str(out),
+                *FAST_DATA,
+                *FAST_TRAIN,
+            ]
+        )
+        assert code == 0 and out.exists()
+        assert "truncated3" in capsys.readouterr().out
+
+    def test_sweep_requires_quantized(self, fp_checkpoint, capsys):
+        code = main(
+            [
+                "sweep", "--checkpoint", str(fp_checkpoint),
+                "--multipliers", "truncated3", *FAST_DATA, *FAST_TRAIN,
+            ]
+        )
+        assert code == 1
+
+    def test_resiliency_lists_layers(self, quant_checkpoint, capsys):
+        code = main(
+            [
+                "resiliency",
+                "--checkpoint", str(quant_checkpoint),
+                "--multiplier", "truncated5",
+                *FAST_DATA,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "classifier" in out
+
+
+class TestInspection:
+    def test_multipliers_listing(self, capsys):
+        assert main(["multipliers"]) == 0
+        out = capsys.readouterr().out
+        assert "truncated5" in out and "evoapprox249" in out
+
+    def test_multipliers_extended(self, capsys):
+        assert main(["multipliers", "--extended"]) == 0
+        out = capsys.readouterr().out
+        assert "mitchell" in out and "drum3" in out
+
+    def test_profile_biased(self, capsys):
+        assert main(["profile", "--multiplier", "truncated5"]) == 0
+        assert "f(y)" in capsys.readouterr().out
+
+    def test_profile_unbiased(self, capsys):
+        assert main(["profile", "--multiplier", "evoapprox228"]) == 0
+        assert "STE" in capsys.readouterr().out
+
+    def test_missing_checkpoint_errors_cleanly(self, tmp_path, capsys):
+        code = main(["evaluate", "--checkpoint", str(tmp_path / "none.npz"), *FAST_DATA])
+        assert code == 1

@@ -1,0 +1,31 @@
+"""Every example script must at least import cleanly (bitrot guard).
+
+Examples guard execution behind ``if __name__ == "__main__"``, so importing
+them exercises their imports and top-level constants without the runtime
+cost of a full run.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+def test_example_imports(path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        assert hasattr(module, "main"), f"{path.name} must define main()"
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+def test_examples_exist():
+    assert len(EXAMPLE_FILES) >= 3, "the deliverable requires >= 3 examples"

@@ -1,0 +1,82 @@
+"""End-to-end integration tests reproducing the paper's qualitative claims
+at unit-test scale."""
+
+import numpy as np
+import pytest
+
+from repro.approx import get_multiplier, network_energy
+from repro.distill import clone_model
+from repro.pipeline import approximation_stage
+from repro.sim import attach_multiplier, count_macs, evaluate_accuracy
+from repro.train import TrainConfig
+
+
+class TestQuantizationClaims:
+    def test_8a4w_with_ft_close_to_fp(self, trained_fp_model, quantized_model, tiny_dataset):
+        """Table II: after fine-tuning, the 8A4W model is within a few points
+        of the FP model."""
+        fp = evaluate_accuracy(trained_fp_model, tiny_dataset.test_x, tiny_dataset.test_y)
+        q = evaluate_accuracy(quantized_model, tiny_dataset.test_x, tiny_dataset.test_y)
+        assert q >= fp - 0.1
+
+
+class TestApproximationClaims:
+    def test_accuracy_degrades_with_mre(self, quantized_model, tiny_dataset):
+        """Higher-MRE multipliers hurt more before fine-tuning."""
+        accs = {}
+        for name in ("exact", "truncated2", "truncated5", "evoapprox249"):
+            model = clone_model(quantized_model)
+            attach_multiplier(model, name)
+            accs[name] = evaluate_accuracy(
+                model, tiny_dataset.test_x, tiny_dataset.test_y
+            )
+        assert accs["exact"] >= accs["truncated5"]
+        assert accs["truncated2"] >= accs["truncated5"] - 0.05
+        assert accs["evoapprox249"] <= accs["exact"]
+        assert accs["evoapprox249"] < 0.45
+
+    def test_evoapprox249_cannot_recover(self, quantized_model, tiny_dataset):
+        """Table V: at 48.8% MRE the network only does random guessing even
+        after optimization."""
+        cfg = TrainConfig(epochs=2, batch_size=64, lr=0.02, seed=0)
+        _, result = approximation_stage(
+            quantized_model, tiny_dataset, "evoapprox249", method="approxkd_ge",
+            train_config=cfg, temperature=10.0,
+        )
+        assert result.accuracy_after < 0.5
+
+    def test_finetuning_beats_no_finetuning(self, quantized_model, tiny_dataset):
+        cfg = TrainConfig(epochs=3, batch_size=64, lr=0.02, seed=0)
+        _, result = approximation_stage(
+            quantized_model, tiny_dataset, "truncated5", method="approxkd_ge",
+            train_config=cfg, temperature=5.0,
+        )
+        assert result.accuracy_after >= result.accuracy_before
+
+
+class TestEnergyClaims:
+    def test_truncated5_network_savings_38_percent(self, quantized_model, tiny_dataset):
+        """The headline claim: 38% energy savings with truncated-5."""
+        macs = count_macs(quantized_model, tiny_dataset.image_shape).total_macs
+        report = network_energy(macs, get_multiplier("truncated5"))
+        assert report.savings_percent == pytest.approx(38.0)
+
+    def test_savings_ordering_follows_multiplier(self):
+        savings = [
+            network_energy(1000, get_multiplier(f"truncated{t}")).savings
+            for t in range(1, 6)
+        ]
+        assert savings == sorted(savings)
+
+
+class TestDeterminism:
+    def test_full_stage_reproducible(self, quantized_model, tiny_dataset):
+        cfg = TrainConfig(epochs=1, batch_size=64, lr=0.01, seed=11)
+        accs = []
+        for _ in range(2):
+            _, result = approximation_stage(
+                quantized_model, tiny_dataset, "truncated4", method="approxkd",
+                train_config=cfg, temperature=5.0,
+            )
+            accs.append(result.accuracy_after)
+        assert accs[0] == accs[1]

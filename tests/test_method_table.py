@@ -1,0 +1,94 @@
+"""The shared method-comparison runner used by the table benchmarks."""
+
+import pytest
+
+from benchmarks.method_table import (
+    GENTLE_LR_FACTOR,
+    MethodTableRow,
+    adaptive_train_config,
+    format_rows,
+    run_method_table,
+    table_headers,
+)
+from repro.train import TrainConfig
+
+FAST = TrainConfig(epochs=1, batch_size=64, lr=0.005, grad_clip=1.0, seed=0)
+METHODS = ("normal", "ge", "approxkd", "approxkd_ge")
+
+
+@pytest.fixture(scope="module")
+def rows(quantized_model, tiny_dataset):
+    return run_method_table(
+        quantized_model,
+        tiny_dataset,
+        ["truncated1", "truncated5", "evoapprox228"],
+        METHODS,
+        FAST,
+    )
+
+
+class TestRunMethodTable:
+    def test_one_row_per_multiplier(self, rows):
+        assert [r.multiplier for r in rows] == [
+            "truncated1",
+            "truncated5",
+            "evoapprox228",
+        ]
+
+    def test_mild_multiplier_not_fine_tuned(self, rows):
+        """truncated-1 degrades < 1%: the paper's '-' row."""
+        row = rows[0]
+        assert not row.fine_tuned
+        assert row.final == {}
+
+    def test_aggressive_multiplier_fine_tuned_with_all_methods(self, rows):
+        row = rows[1]
+        assert row.fine_tuned
+        assert set(row.final) == set(METHODS)
+
+    def test_evoapprox_ge_reuses_ste_run(self, rows):
+        row = rows[2]
+        if row.fine_tuned:
+            assert row.ge_equals_normal
+            assert row.final["ge"] == row.final["normal"]
+            assert row.final["approxkd_ge"] == row.final["approxkd"]
+
+    def test_metadata_populated(self, rows):
+        for row in rows:
+            assert row.mre >= 0
+            assert row.paper_mre is not None
+            assert 0 <= row.initial_accuracy <= 1
+
+
+class TestAdaptiveConfig:
+    def test_collapsed_model_keeps_full_rate(self):
+        cfg = adaptive_train_config(FAST, initial_accuracy=0.10, reference_accuracy=0.85)
+        assert cfg.lr == FAST.lr
+
+    def test_mild_degradation_uses_gentle_rate(self):
+        cfg = adaptive_train_config(FAST, initial_accuracy=0.80, reference_accuracy=0.85)
+        assert cfg.lr == pytest.approx(FAST.lr * GENTLE_LR_FACTOR)
+
+    def test_other_settings_preserved(self):
+        cfg = adaptive_train_config(FAST, 0.80, 0.85)
+        assert cfg.epochs == FAST.epochs
+        assert cfg.batch_size == FAST.batch_size
+        assert cfg.grad_clip == FAST.grad_clip
+
+
+class TestFormatting:
+    def test_headers_match_columns(self, rows):
+        headers = table_headers(METHODS)
+        formatted = format_rows(rows, METHODS)
+        assert all(len(row) == len(headers) for row in formatted)
+
+    def test_untuned_row_shows_dashes(self, rows):
+        formatted = format_rows(rows, METHODS)
+        assert formatted[0][5:] == ["-"] * len(METHODS)
+
+    def test_ge_reuse_marked_with_star(self, rows):
+        formatted = format_rows(rows, METHODS)
+        row = formatted[2]
+        if rows[2].fine_tuned:
+            ge_col = 5 + METHODS.index("ge")
+            assert row[ge_col].endswith("*")

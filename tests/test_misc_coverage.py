@@ -1,0 +1,100 @@
+"""Cross-cutting edge cases not covered by module-specific suites."""
+
+import numpy as np
+import pytest
+
+from repro.approx import EnergyReport, get_multiplier, network_energy
+from repro.autograd import Tensor
+from repro.distill import clone_model
+from repro.errors import ConfigError
+from repro.models import simplecnn
+from repro.nn import Linear, Module, Parameter, Sequential
+from repro.pipeline import run_algorithm1
+from repro.sim import evaluate_accuracy
+from repro.train import TrainConfig
+
+
+class TestModuleExtras:
+    def test_num_parameters_trainable_only(self):
+        lin = Linear(4, 2)
+        lin.weight.requires_grad = False
+        assert lin.num_parameters() == 10
+        assert lin.num_parameters(trainable_only=True) == 2
+
+    def test_modules_iteration_includes_self(self):
+        seq = Sequential(Linear(2, 2))
+        mods = list(seq.modules())
+        assert seq in mods and len(mods) == 2
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(Tensor([1.0]))
+
+
+class TestEnergyReport:
+    def test_fields_and_properties(self):
+        report = network_energy(1000, get_multiplier("truncated3"), adder_fraction=0.2)
+        assert isinstance(report, EnergyReport)
+        assert report.macs == 1000
+        assert report.multiplier_name == "truncated3"
+        # 0.2 adder + 0.8 * (1 - 0.16) = 0.872
+        assert report.total_relative_energy == pytest.approx(0.872)
+        assert report.savings == pytest.approx(0.128)
+        assert report.savings_percent == pytest.approx(12.8)
+
+
+class TestRunAlgorithm1Variants:
+    @pytest.mark.parametrize("method", ["normal", "approxkd_ge"])
+    def test_methods_produce_models(self, trained_fp_model, tiny_dataset, method):
+        fast = TrainConfig(epochs=1, batch_size=64, lr=0.005, grad_clip=1.0, seed=0)
+        result = run_algorithm1(
+            trained_fp_model,
+            tiny_dataset,
+            "truncated3",
+            quant_config=fast,
+            approx_config=fast,
+            method=method,
+        )
+        acc = evaluate_accuracy(
+            result.approximate_model, tiny_dataset.test_x, tiny_dataset.test_y
+        )
+        assert 0.0 <= acc <= 1.0
+        assert result.quantization.history.train_loss
+        assert result.approximation.history.train_loss
+
+
+class TestParameterSemantics:
+    def test_parameter_from_tensor(self):
+        t = Tensor(np.ones(3))
+        p = Parameter(t)
+        assert p.requires_grad
+        np.testing.assert_allclose(p.data, t.data)
+
+    def test_parameter_requires_grad_default(self):
+        assert Parameter(np.zeros(2)).requires_grad
+
+    def test_clone_does_not_share_velocity_state(self, tiny_dataset):
+        """Cloned models train independently (fresh optimizer state)."""
+        from repro.train import SGD
+
+        model = simplecnn(base_width=4, rng=0)
+        clone = clone_model(model)
+        opt = SGD(model.parameters(), lr=0.1)
+        for p in model.parameters():
+            p.grad = np.ones_like(p.data)
+        opt.step()
+        for (_, a), (_, b) in zip(model.named_parameters(), clone.named_parameters()):
+            assert not np.allclose(a.data, b.data)
+
+
+class TestTrainConfigEdges:
+    def test_frozen(self):
+        cfg = TrainConfig()
+        with pytest.raises(Exception):
+            cfg.epochs = 5
+
+    def test_lr_validation_happens_in_sgd(self):
+        from repro.train import SGD
+
+        with pytest.raises(ConfigError):
+            SGD([Parameter(np.zeros(1))], lr=0.0)

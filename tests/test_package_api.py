@@ -1,0 +1,59 @@
+"""Top-level package API: lazy exports and error hierarchy."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    AutogradError,
+    ConfigError,
+    DataError,
+    MultiplierError,
+    QuantizationError,
+    ReproError,
+    ShapeError,
+)
+
+
+class TestLazyExports:
+    def test_version(self):
+        assert repro.__version__
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "make_synthetic_cifar",
+            "create_model",
+            "get_multiplier",
+            "quantization_stage",
+            "approximation_stage",
+            "run_algorithm1",
+            "TrainConfig",
+            "evaluate_accuracy",
+        ],
+    )
+    def test_lazy_attribute_resolves(self, name):
+        assert callable(getattr(repro, name)) or name == "TrainConfig"
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            repro.definitely_not_a_thing
+
+    def test_dir_lists_lazy_names(self):
+        assert "run_algorithm1" in dir(repro)
+
+    def test_lazy_export_is_the_real_object(self):
+        from repro.pipeline import run_algorithm1
+
+        assert repro.run_algorithm1 is run_algorithm1
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [AutogradError, ConfigError, DataError, MultiplierError, QuantizationError, ShapeError],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_repro_error_is_exception(self):
+        assert issubclass(ReproError, Exception)

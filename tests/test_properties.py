@@ -1,0 +1,120 @@
+"""Cross-cutting property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.approx import approx_matmul, exact_int_matmul, get_multiplier
+from repro.autograd import Tensor
+from repro.ge import PiecewiseLinearErrorModel
+from repro.quant import fake_quantize_np, qrange, quantize
+
+
+small_floats = st.floats(-50.0, 50.0, allow_nan=False, allow_infinity=False)
+
+
+class TestAutogradLinearity:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        hnp.arrays(np.float64, (3, 4), elements=small_floats),
+        st.floats(-3.0, 3.0, allow_nan=False),
+    )
+    def test_gradient_scales_linearly_with_upstream(self, data, scale):
+        """backward(s·g) == s · backward(g) for any op chain."""
+        a = Tensor(data, requires_grad=True)
+        out = (a * a).sum(axis=1)
+        out.backward(np.full(3, 1.0))
+        base = a.grad.copy()
+        a.zero_grad()
+        out2 = (a * a).sum(axis=1)
+        out2.backward(np.full(3, scale))
+        np.testing.assert_allclose(a.grad, scale * base, rtol=1e-9, atol=1e-12)
+
+    @settings(max_examples=25, deadline=None)
+    @given(hnp.arrays(np.float64, (2, 3), elements=small_floats))
+    def test_sum_gradient_is_ones(self, data):
+        a = Tensor(data, requires_grad=True)
+        a.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones_like(data))
+
+
+class TestQuantizerInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        hnp.arrays(np.float64, st.integers(1, 30), elements=small_floats),
+        st.integers(2, 8),
+        st.sampled_from([0.0625, 0.125, 0.25, 0.5, 1.0]),
+    )
+    def test_codes_within_symmetric_range(self, x, bits, step):
+        lo, hi = qrange(bits)
+        codes = quantize(x, step, bits)
+        assert codes.min() >= lo and codes.max() <= hi
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        hnp.arrays(np.float64, st.integers(1, 30), elements=small_floats),
+        st.sampled_from([0.125, 0.25, 0.5]),
+    )
+    def test_fake_quant_monotone(self, x, step):
+        """Quantization preserves ordering (monotone non-decreasing map)."""
+        order = np.argsort(x)
+        q = fake_quantize_np(x, step, 8)
+        assert (np.diff(q[order]) >= -1e-9).all()
+
+
+class TestGemmInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**31 - 1), st.sampled_from(["truncated4", "evoapprox228", "mitchell"]))
+    def test_row_additivity(self, seed, name):
+        """GEMM over stacked inputs equals stacked GEMMs."""
+        rng = np.random.default_rng(seed)
+        mult = get_multiplier(name)
+        a1 = rng.integers(-127, 128, size=(2, 6), dtype=np.int32)
+        a2 = rng.integers(-127, 128, size=(3, 6), dtype=np.int32)
+        b = rng.integers(-7, 8, size=(6, 4), dtype=np.int32)
+        stacked = approx_matmul(np.vstack([a1, a2]), b, mult)
+        np.testing.assert_array_equal(
+            stacked, np.vstack([approx_matmul(a1, b, mult), approx_matmul(a2, b, mult)])
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_zero_inputs_give_zero(self, seed):
+        rng = np.random.default_rng(seed)
+        mult = get_multiplier("truncated5")
+        b = rng.integers(-7, 8, size=(5, 3), dtype=np.int32)
+        out = approx_matmul(np.zeros((2, 5), dtype=np.int32), b, mult)
+        np.testing.assert_array_equal(out, np.zeros((2, 3), dtype=np.int64))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_exact_matmul_matches_numpy(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.integers(-127, 128, size=(4, 7), dtype=np.int64)
+        b = rng.integers(-7, 8, size=(7, 3), dtype=np.int64)
+        np.testing.assert_array_equal(exact_int_matmul(a, b), a @ b)
+
+
+class TestErrorModelInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.floats(-1.0, 1.0, allow_nan=False),
+        st.floats(-10.0, 10.0, allow_nan=False),
+        st.floats(0.1, 100.0, allow_nan=False),
+    )
+    def test_model_bounded_by_saturations(self, k, c, half_width):
+        model = PiecewiseLinearErrorModel(k=k, c=c, lower=-half_width, upper=half_width)
+        y = np.linspace(-1e6, 1e6, 201)
+        vals = model(y)
+        assert (vals >= -half_width - 1e-9).all()
+        assert (vals <= half_width + 1e-9).all()
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(-0.99, 0.99, allow_nan=False))
+    def test_gradient_scale_positive_for_small_slopes(self, k):
+        """|k| < 1 keeps (1 + K) positive — gradients never flip sign."""
+        model = PiecewiseLinearErrorModel(k=k, c=0.0, lower=-1e9, upper=1e9)
+        scales = model.gradient_scale(np.linspace(-1000, 1000, 101))
+        assert (scales > 0).all()

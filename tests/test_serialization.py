@@ -1,0 +1,91 @@
+"""Model/result serialization round trips."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.distill import clone_model
+from repro.errors import ReproError
+from repro.models import simplecnn
+from repro.quant import quant_layers, quantize_model
+from repro.sim import evaluate_accuracy
+from repro.utils.serialization import load_model, load_results, save_model, save_results
+
+
+class TestFloatModelRoundtrip:
+    def test_parameters_restored(self, tmp_path, rng):
+        src = simplecnn(base_width=4, rng=0)
+        path = tmp_path / "model.npz"
+        save_model(src, path)
+        dst = simplecnn(base_width=4, rng=1)  # different init
+        load_model(dst, path)
+        x = Tensor(rng.normal(size=(2, 3, 16, 16)).astype(np.float32))
+        src.eval(), dst.eval()
+        np.testing.assert_allclose(src(x).data, dst(x).data, atol=1e-6)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_model(simplecnn(base_width=4, rng=0), tmp_path / "nope.npz")
+
+
+class TestQuantizedModelRoundtrip:
+    def test_steps_and_accuracy_restored(self, tmp_path, quantized_model, tiny_dataset):
+        path = tmp_path / "quant.npz"
+        save_model(quantized_model, path)
+        dst = quantize_model(simplecnn(base_width=8, rng=3))
+        load_model(dst, path)
+        src_acc = evaluate_accuracy(
+            quantized_model, tiny_dataset.test_x, tiny_dataset.test_y
+        )
+        dst_acc = evaluate_accuracy(dst, tiny_dataset.test_x, tiny_dataset.test_y)
+        assert dst_acc == src_acc
+        for a, b in zip(quant_layers(quantized_model), quant_layers(dst)):
+            assert a.act_step == b.act_step
+            assert a.weight_step == b.weight_step
+
+    def test_bitwidth_mismatch_rejected(self, tmp_path, quantized_model):
+        from repro.quant import QConfig
+
+        path = tmp_path / "quant.npz"
+        save_model(quantized_model, path)
+        other = quantize_model(
+            simplecnn(base_width=8, rng=3), qconfig=QConfig(weight_bits=8)
+        )
+        with pytest.raises(ReproError):
+            load_model(other, path)
+
+    def test_uncalibrated_layers_skipped(self, tmp_path):
+        model = quantize_model(simplecnn(base_width=4, rng=0))
+        path = tmp_path / "uncal.npz"
+        save_model(model, path)  # no quant meta stored
+        dst = quantize_model(simplecnn(base_width=4, rng=1))
+        load_model(dst, path)
+        assert all(not layer.is_calibrated for layer in quant_layers(dst))
+
+
+class TestResults:
+    def test_roundtrip(self, tmp_path):
+        results = {
+            "accuracy": np.float32(0.91),
+            "curve": np.array([0.1, 0.5, 0.9]),
+            "config": {"epochs": 30, "method": "approxkd_ge"},
+            "methods": ["normal", "ge"],
+            "converged": True,
+            "note": None,
+        }
+        path = tmp_path / "results.json"
+        save_results(results, path)
+        loaded = load_results(path)
+        assert loaded["accuracy"] == pytest.approx(0.91)
+        assert loaded["curve"] == pytest.approx([0.1, 0.5, 0.9])
+        assert loaded["config"]["method"] == "approxkd_ge"
+        assert loaded["converged"] is True
+        assert loaded["note"] is None
+
+    def test_unserialisable_rejected(self, tmp_path):
+        with pytest.raises(ReproError):
+            save_results({"bad": object()}, tmp_path / "x.json")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_results(tmp_path / "missing.json")

@@ -1,0 +1,79 @@
+"""Baseline fine-tuning losses: alpha regularization."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.distill import clone_model
+from repro.errors import ConfigError
+from repro.models import simplecnn
+from repro.quant import quant_layers
+from repro.train import alpha_regularization_loss, remove_alpha_regularization
+
+
+class TestAlphaRegularization:
+    def test_requires_quantized_model(self):
+        with pytest.raises(ConfigError):
+            alpha_regularization_loss(simplecnn(base_width=4, rng=0))
+
+    def test_rejects_negative_alpha(self, quantized_model):
+        with pytest.raises(ConfigError):
+            alpha_regularization_loss(clone_model(quantized_model), alpha=-1.0)
+
+    def test_penalty_added_to_loss(self, quantized_model, tiny_dataset):
+        model = clone_model(quantized_model)
+        model.train()
+        x = Tensor(tiny_dataset.train_x[:8])
+        labels = tiny_dataset.train_y[:8]
+
+        # Large alpha: penalty dominates.
+        loss_fn = alpha_regularization_loss(model, alpha=1.0)
+        logits = model(x)
+        big = loss_fn(logits, labels, np.arange(8)).item()
+
+        remove_alpha_regularization(model)
+        loss_fn0 = alpha_regularization_loss(model, alpha=0.0)
+        logits = model(x)
+        base = loss_fn0(logits, labels, np.arange(8)).item()
+        remove_alpha_regularization(model)
+        assert big > base * 10
+
+    def test_penalty_gradients_reach_weights(self, quantized_model, tiny_dataset):
+        model = clone_model(quantized_model)
+        model.train()
+        model.zero_grad()
+        loss_fn = alpha_regularization_loss(model, alpha=1e-6)
+        logits = model(Tensor(tiny_dataset.train_x[:8]))
+        loss = loss_fn(logits, tiny_dataset.train_y[:8], np.arange(8))
+        loss.backward()
+        grads = [layer.weight.grad for layer in quant_layers(model)]
+        assert all(g is not None for g in grads)
+        remove_alpha_regularization(model)
+
+    def test_collector_cleared_between_batches(self, quantized_model, tiny_dataset):
+        model = clone_model(quantized_model)
+        model.train()
+        loss_fn = alpha_regularization_loss(model, alpha=1e-9)
+        x = Tensor(tiny_dataset.train_x[:4])
+        labels = tiny_dataset.train_y[:4]
+        first = loss_fn(model(x), labels, np.arange(4)).item()
+        second = loss_fn(model(x), labels, np.arange(4)).item()
+        assert first == pytest.approx(second, rel=1e-5)
+        remove_alpha_regularization(model)
+
+    def test_remove_detaches_collectors(self, quantized_model):
+        model = clone_model(quantized_model)
+        alpha_regularization_loss(model, alpha=1e-9)
+        remove_alpha_regularization(model)
+        assert all(layer.output_collector is None for layer in quant_layers(model))
+
+    def test_eval_forward_does_not_pollute(self, quantized_model, tiny_dataset):
+        model = clone_model(quantized_model)
+        loss_fn = alpha_regularization_loss(model, alpha=1e-9)
+        model.eval()
+        model(Tensor(tiny_dataset.test_x[:4]))  # eval pass: must not collect
+        model.train()
+        logits = model(Tensor(tiny_dataset.train_x[:4]))
+        loss = loss_fn(logits, tiny_dataset.train_y[:4], np.arange(4))
+        assert np.isfinite(loss.item())
+        remove_alpha_regularization(model)

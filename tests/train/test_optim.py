@@ -1,0 +1,100 @@
+"""Optimizers: convergence on quadratics, momentum and weight decay."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn import Parameter
+from repro.train import SGD, Adam
+
+
+def _quadratic_step(param, target=3.0):
+    """Gradient of 0.5*(w - target)^2."""
+    param.grad = param.data - target
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        w = Parameter(np.zeros(1))
+        opt = SGD([w], lr=0.1)
+        for _ in range(200):
+            _quadratic_step(w)
+            opt.step()
+        assert w.data[0] == pytest.approx(3.0, abs=1e-4)
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            w = Parameter(np.zeros(1))
+            opt = SGD([w], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                _quadratic_step(w)
+                opt.step()
+            return abs(w.data[0] - 3.0)
+
+        assert run(0.9) < run(0.0)
+
+    def test_weight_decay_shrinks_weights(self):
+        w = Parameter(np.full(1, 10.0))
+        opt = SGD([w], lr=0.1, weight_decay=0.5)
+        w.grad = np.zeros(1)
+        opt.step()
+        assert w.data[0] < 10.0
+
+    def test_skips_parameters_without_grad(self):
+        w = Parameter(np.ones(1))
+        opt = SGD([w], lr=0.1)
+        opt.step()  # no grad set
+        assert w.data[0] == 1.0
+
+    def test_zero_grad(self):
+        w = Parameter(np.ones(1))
+        w.grad = np.ones(1)
+        SGD([w], lr=0.1).zero_grad()
+        assert w.grad is None
+
+    def test_nesterov(self):
+        w = Parameter(np.zeros(1))
+        opt = SGD([w], lr=0.05, momentum=0.9, nesterov=True)
+        for _ in range(100):
+            _quadratic_step(w)
+            opt.step()
+        assert w.data[0] == pytest.approx(3.0, abs=0.01)
+
+    def test_validation(self):
+        w = Parameter(np.ones(1))
+        with pytest.raises(ConfigError):
+            SGD([w], lr=-0.1)
+        with pytest.raises(ConfigError):
+            SGD([w], lr=0.1, momentum=1.0)
+        with pytest.raises(ConfigError):
+            SGD([w], lr=0.1, nesterov=True)
+        with pytest.raises(ConfigError):
+            SGD([], lr=0.1)
+
+    def test_lr_mutable_mid_training(self):
+        w = Parameter(np.zeros(1))
+        opt = SGD([w], lr=1.0)
+        opt.lr = 0.5
+        w.grad = np.ones(1)
+        opt.step()
+        assert w.data[0] == pytest.approx(-0.5)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        w = Parameter(np.zeros(1))
+        opt = Adam([w], lr=0.1)
+        for _ in range(300):
+            _quadratic_step(w)
+            opt.step()
+        assert w.data[0] == pytest.approx(3.0, abs=1e-2)
+
+    def test_handles_sparse_grad_scale(self):
+        # Adam normalises per-coordinate: large and small gradient scales
+        # should converge similarly fast.
+        w = Parameter(np.zeros(2))
+        opt = Adam([w], lr=0.05)
+        for _ in range(500):
+            w.grad = np.array([1000.0, 0.001]) * (w.data - 1.0)
+            opt.step()
+        np.testing.assert_allclose(w.data, [1.0, 1.0], atol=0.05)

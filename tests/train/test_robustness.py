@@ -1,0 +1,89 @@
+"""Noisy-weight (active) retraining and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.models import TinyMLP
+from repro.nn import Parameter
+from repro.train import (
+    TrainConfig,
+    clip_grad_norm,
+    cross_entropy_loss,
+    noisy_weight_training,
+)
+
+
+class TestClipGradNorm:
+    def test_no_clipping_below_threshold(self):
+        p = Parameter(np.zeros(3))
+        p.grad = np.array([0.3, 0.0, 0.4])  # norm 0.5
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(0.5)
+        np.testing.assert_allclose(p.grad, [0.3, 0.0, 0.4])
+
+    def test_scales_down_to_max_norm(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([3.0, 4.0])  # norm 5
+        clip_grad_norm([p], max_norm=1.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0, rel=1e-6)
+
+    def test_global_norm_across_params(self):
+        a, b = Parameter(np.zeros(1)), Parameter(np.zeros(1))
+        a.grad, b.grad = np.array([3.0]), np.array([4.0])
+        clip_grad_norm([a, b], max_norm=5.0)
+        np.testing.assert_allclose(a.grad, [3.0])  # exactly at the limit
+
+    def test_skips_missing_grads(self):
+        a, b = Parameter(np.zeros(1)), Parameter(np.zeros(1))
+        a.grad = np.array([10.0])
+        clip_grad_norm([a, b], max_norm=1.0)
+        assert b.grad is None
+
+    def test_rejects_nonpositive_max(self):
+        with pytest.raises(ConfigError):
+            clip_grad_norm([], max_norm=0.0)
+
+
+class TestNoisyWeightTraining:
+    def test_trains_and_returns_history(self, tiny_dataset):
+        model = TinyMLP(3 * 16 * 16, hidden=16, rng=0)
+        cfg = TrainConfig(epochs=2, batch_size=64, lr=0.02, seed=0)
+        history = noisy_weight_training(
+            model, tiny_dataset, cross_entropy_loss(), cfg, noise_sigma=0.05
+        )
+        assert len(history.train_loss) == 2
+        assert history.train_loss[-1] <= history.train_loss[0] * 1.5
+        assert np.isfinite(history.train_loss).all()
+
+    def test_zero_sigma_matches_plain_training(self, tiny_dataset):
+        from repro.train import train_model
+
+        cfg = TrainConfig(epochs=1, batch_size=64, lr=0.02, seed=0)
+        a = TinyMLP(3 * 16 * 16, hidden=16, rng=0)
+        plain = train_model(a, tiny_dataset, cross_entropy_loss(), cfg)
+        b = TinyMLP(3 * 16 * 16, hidden=16, rng=0)
+        noisy = noisy_weight_training(
+            b, tiny_dataset, cross_entropy_loss(), cfg, noise_sigma=0.0
+        )
+        assert noisy.train_loss[0] == pytest.approx(plain.train_loss[0], rel=1e-5)
+
+    def test_weights_restored_each_step(self, tiny_dataset):
+        """After training, weights must be finite and not noise-corrupted."""
+        model = TinyMLP(3 * 16 * 16, hidden=16, rng=0)
+        cfg = TrainConfig(epochs=1, batch_size=64, lr=0.0001, seed=0)
+        noisy_weight_training(
+            model, tiny_dataset, cross_entropy_loss(), cfg, noise_sigma=0.5
+        )
+        for p in model.parameters():
+            assert np.isfinite(p.data).all()
+
+    def test_rejects_negative_sigma(self, tiny_dataset):
+        with pytest.raises(ConfigError):
+            noisy_weight_training(
+                TinyMLP(3 * 16 * 16, hidden=8, rng=0),
+                tiny_dataset,
+                cross_entropy_loss(),
+                TrainConfig(epochs=1, batch_size=64, lr=0.01),
+                noise_sigma=-0.1,
+            )

@@ -1,0 +1,95 @@
+"""The fine-tuning loop: convergence, history, reproducibility."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.models import TinyMLP, simplecnn
+from repro.train import History, TrainConfig, cross_entropy_loss, train_model
+
+
+class TestTrainConfig:
+    def test_defaults_match_paper(self):
+        cfg = TrainConfig()
+        assert cfg.epochs == 30
+        assert cfg.batch_size == 128
+        assert cfg.lr_decay == 0.1
+        assert cfg.lr_decay_every == 15
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TrainConfig(epochs=-1)
+
+    def test_schedule_factory(self):
+        sched = TrainConfig(lr=0.1, lr_decay=0.5, lr_decay_every=2).make_schedule()
+        assert sched.lr_at(2) == pytest.approx(0.05)
+
+
+class TestTraining:
+    def test_loss_decreases(self, tiny_dataset):
+        model = simplecnn(base_width=4, rng=0)
+        cfg = TrainConfig(epochs=4, batch_size=64, lr=0.05, seed=0)
+        history = train_model(model, tiny_dataset, cross_entropy_loss(), cfg)
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_accuracy_improves_over_random(self, tiny_dataset):
+        model = simplecnn(base_width=4, rng=0)
+        cfg = TrainConfig(epochs=5, batch_size=64, lr=0.05, seed=0)
+        history = train_model(model, tiny_dataset, cross_entropy_loss(), cfg)
+        assert history.final_accuracy > 0.3  # 10 classes -> random = 0.1
+
+    def test_history_lengths(self, tiny_dataset):
+        model = TinyMLP(3 * 16 * 16, hidden=16, rng=0)
+        cfg = TrainConfig(epochs=3, batch_size=64, lr=0.01, seed=0)
+        history = train_model(model, tiny_dataset, cross_entropy_loss(), cfg)
+        assert len(history.train_loss) == 3
+        assert len(history.test_accuracy) == 3
+        assert len(history.learning_rate) == 3
+        assert history.wall_time > 0
+
+    def test_eval_every(self, tiny_dataset):
+        model = TinyMLP(3 * 16 * 16, hidden=16, rng=0)
+        cfg = TrainConfig(epochs=4, batch_size=64, lr=0.01, seed=0, eval_every=2)
+        history = train_model(model, tiny_dataset, cross_entropy_loss(), cfg)
+        assert len(history.test_accuracy) == 2
+
+    def test_reproducible_given_seed(self, tiny_dataset):
+        results = []
+        for _ in range(2):
+            model = TinyMLP(3 * 16 * 16, hidden=16, rng=0)
+            cfg = TrainConfig(epochs=2, batch_size=64, lr=0.01, seed=3)
+            history = train_model(model, tiny_dataset, cross_entropy_loss(), cfg)
+            results.append(history.train_loss)
+        np.testing.assert_allclose(results[0], results[1])
+
+    def test_zero_epochs_still_evaluates(self, tiny_dataset):
+        model = TinyMLP(3 * 16 * 16, hidden=16, rng=0)
+        cfg = TrainConfig(epochs=0, batch_size=64, lr=0.01)
+        history = train_model(model, tiny_dataset, cross_entropy_loss(), cfg)
+        assert len(history.test_accuracy) == 1
+
+    def test_augmentation_path(self, tiny_dataset):
+        model = TinyMLP(3 * 16 * 16, hidden=16, rng=0)
+        cfg = TrainConfig(epochs=1, batch_size=64, lr=0.01, augment=True, seed=0)
+        history = train_model(model, tiny_dataset, cross_entropy_loss(), cfg)
+        assert np.isfinite(history.train_loss[0])
+
+    def test_lr_schedule_applied(self, tiny_dataset):
+        model = TinyMLP(3 * 16 * 16, hidden=16, rng=0)
+        cfg = TrainConfig(
+            epochs=4, batch_size=64, lr=0.1, lr_decay=0.1, lr_decay_every=2, seed=0
+        )
+        history = train_model(model, tiny_dataset, cross_entropy_loss(), cfg)
+        assert history.learning_rate[0] == pytest.approx(0.1)
+        assert history.learning_rate[3] == pytest.approx(0.01)
+
+
+class TestHistory:
+    def test_final_and_best(self):
+        h = History(test_accuracy=[0.5, 0.9, 0.7])
+        assert h.final_accuracy == 0.7
+        assert h.best_accuracy == 0.9
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigError):
+            History().final_accuracy
