@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.approx.multiplier import Multiplier
 from repro.errors import MultiplierError, ShapeError
+from repro.obs import profiling as prof
 
 # Largest |product|·K for which float64 accumulation is provably exact.
 _EXACT_FLOAT64_BOUND = 2.0**52
@@ -34,13 +35,14 @@ def exact_int_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """
     a = np.asarray(a)
     b = np.asarray(b)
-    if a.size and b.size:
-        max_sum = float(np.abs(a).max()) * float(np.abs(b).max()) * a.shape[1]
-        if max_sum < 2.0**23:
-            return np.rint(a.astype(np.float32) @ b.astype(np.float32)).astype(np.int64)
-        if max_sum < _EXACT_FLOAT64_BOUND:
-            return np.rint(a.astype(np.float64) @ b.astype(np.float64)).astype(np.int64)
-    return a.astype(np.int64) @ b.astype(np.int64)
+    with prof.timer("approx.exact_matmul", nbytes=a.nbytes + b.nbytes):
+        if a.size and b.size:
+            max_sum = float(np.abs(a).max()) * float(np.abs(b).max()) * a.shape[1]
+            if max_sum < 2.0**23:
+                return np.rint(a.astype(np.float32) @ b.astype(np.float32)).astype(np.int64)
+            if max_sum < _EXACT_FLOAT64_BOUND:
+                return np.rint(a.astype(np.float64) @ b.astype(np.float64)).astype(np.int64)
+        return a.astype(np.int64) @ b.astype(np.int64)
 
 
 def approx_matmul(a: np.ndarray, b: np.ndarray, multiplier: Multiplier) -> np.ndarray:
@@ -81,24 +83,27 @@ def approx_matmul(a: np.ndarray, b: np.ndarray, multiplier: Multiplier) -> np.nd
     n = b.shape[1]
     gathered: list[np.ndarray] = []
     masks: list[np.ndarray] = []
-    for v in range(1, whi + 1):
-        # v = 0 contributes g̃(a, 0) = 0 under sign-magnitude evaluation.
-        pos = b == v
-        neg = b == -v
-        any_pos, any_neg = pos.any(), neg.any()
-        if not (any_pos or any_neg):
-            continue
-        gathered.append(lut[:, whi + v].take(a_idx).reshape(m, k))
-        mask = pos.astype(dtype)
-        if any_neg:
-            mask -= neg
-        masks.append(mask)
+    with prof.timer("approx.lut_gather", nbytes=a.nbytes + b.nbytes):
+        for v in range(1, whi + 1):
+            # v = 0 contributes g̃(a, 0) = 0 under sign-magnitude evaluation.
+            pos = b == v
+            neg = b == -v
+            any_pos, any_neg = pos.any(), neg.any()
+            if not (any_pos or any_neg):
+                continue
+            gathered.append(lut[:, whi + v].take(a_idx).reshape(m, k))
+            mask = pos.astype(dtype)
+            if any_neg:
+                mask -= neg
+            masks.append(mask)
     if not gathered:
         return np.zeros((m, n), dtype=np.int64)
+    prof.count("approx.lut_gathered_values", n=len(gathered), nbytes=len(gathered) * m * k * 8)
     # One fused BLAS call over all active weight values.
-    big_g = np.concatenate(gathered, axis=1)
-    big_h = np.concatenate(masks, axis=0)
-    return np.rint(big_g @ big_h).astype(np.int64)
+    with prof.timer("approx.matmul_blas", nbytes=len(gathered) * (m * k + k * n) * 8):
+        big_g = np.concatenate(gathered, axis=1)
+        big_h = np.concatenate(masks, axis=0)
+        return np.rint(big_g @ big_h).astype(np.int64)
 
 
 def _check_magnitude(codes: np.ndarray, bound: int, name: str, operand: str) -> None:

@@ -12,6 +12,7 @@ import numpy as np
 from numpy.lib.stride_tricks import as_strided
 
 from repro.errors import ShapeError
+from repro.obs import profiling as prof
 
 
 def conv_out_size(size: int, kernel: int, stride: int, padding: int) -> int:
@@ -38,21 +39,22 @@ def im2col(
     """
     if x.ndim != 4:
         raise ShapeError(f"im2col expects NCHW input, got ndim={x.ndim}")
-    n, c, h, w = x.shape
-    kh, kw = kernel
-    oh = conv_out_size(h, kh, stride, padding)
-    ow = conv_out_size(w, kw, stride, padding)
-    if padding > 0:
-        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
-    sn, sc, sh, sw = x.strides
-    windows = as_strided(
-        x,
-        shape=(n, c, oh, ow, kh, kw),
-        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
-        writeable=False,
-    )
-    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * oh * ow, c * kh * kw)
-    return np.ascontiguousarray(cols), (oh, ow)
+    with prof.timer("autograd.im2col", nbytes=x.nbytes):
+        n, c, h, w = x.shape
+        kh, kw = kernel
+        oh = conv_out_size(h, kh, stride, padding)
+        ow = conv_out_size(w, kw, stride, padding)
+        if padding > 0:
+            x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+        sn, sc, sh, sw = x.strides
+        windows = as_strided(
+            x,
+            shape=(n, c, oh, ow, kh, kw),
+            strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+            writeable=False,
+        )
+        cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * oh * ow, c * kh * kw)
+        return np.ascontiguousarray(cols), (oh, ow)
 
 
 def col2im(
@@ -70,16 +72,17 @@ def col2im(
     expected = (n * oh * ow, c * kh * kw)
     if cols.shape != expected:
         raise ShapeError(f"col2im expected cols of shape {expected}, got {cols.shape}")
-    cols6 = cols.reshape(n, oh, ow, c, kh, kw)
-    dx = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
-    for i in range(kh):
-        for j in range(kw):
-            dx[:, :, i : i + stride * oh : stride, j : j + stride * ow : stride] += (
-                cols6[:, :, :, :, i, j].transpose(0, 3, 1, 2)
-            )
-    if padding > 0:
-        dx = dx[:, :, padding : padding + h, padding : padding + w]
-    return np.ascontiguousarray(dx)
+    with prof.timer("autograd.col2im", nbytes=cols.nbytes):
+        cols6 = cols.reshape(n, oh, ow, c, kh, kw)
+        dx = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+        for i in range(kh):
+            for j in range(kw):
+                dx[:, :, i : i + stride * oh : stride, j : j + stride * ow : stride] += (
+                    cols6[:, :, :, :, i, j].transpose(0, 3, 1, 2)
+                )
+        if padding > 0:
+            dx = dx[:, :, padding : padding + h, padding : padding + w]
+        return np.ascontiguousarray(dx)
 
 
 def sliding_windows(

@@ -9,6 +9,13 @@ Subcommands mirror the stages of Algorithm 1 plus inspection utilities:
   approximate multiplier.
 - ``repro multipliers``  — list available multipliers with MRE and savings.
 - ``repro profile``      — Monte-Carlo error model of one multiplier.
+- ``repro report``       — summarise a JSONL run log written by ``--log-json``.
+
+Every subcommand supports the observability flags (``docs/OBSERVABILITY.md``):
+``--log-json PATH`` streams structured events to a JSONL file, ``--quiet``
+suppresses progress chatter (final result lines stay on stdout for
+scripting), ``--verbose`` renders the event stream on the console, and
+``--profile`` prints the hot-path timer table after the command.
 
 Model checkpoints are ``.npz`` files (see
 :mod:`repro.utils.serialization`) with a ``.meta.json`` sidecar recording
@@ -18,8 +25,6 @@ the architecture so later stages can rebuild it.
 from __future__ import annotations
 
 import argparse
-import json
-import sys
 from pathlib import Path
 
 from repro.approx import (
@@ -32,6 +37,11 @@ from repro.data import make_synthetic_cifar
 from repro.errors import ReproError
 from repro.ge import estimate_error_model
 from repro.models import create_model
+from repro.obs import console as obs_console
+from repro.obs import events as obs_events
+from repro.obs import profiling as prof
+from repro.obs.report import render_summary, summarize_run
+from repro.obs.runmeta import run_metadata
 from repro.pipeline import METHODS, approximation_stage, quantization_stage
 from repro.quant import quantize_model
 from repro.sim import attach_multiplier, count_macs, evaluate_accuracy
@@ -91,12 +101,16 @@ def _meta_path(checkpoint: Path) -> Path:
 
 
 def _save_checkpoint(model, path: Path, meta: dict) -> None:
+    import json
+
     path.parent.mkdir(parents=True, exist_ok=True)
     save_model(model, path)
     _meta_path(path).write_text(json.dumps(meta, indent=2))
 
 
 def _load_checkpoint(path: Path):
+    import json
+
     meta_file = _meta_path(path)
     if not meta_file.exists():
         raise ReproError(f"missing checkpoint metadata: {meta_file}")
@@ -111,22 +125,24 @@ def _load_checkpoint(path: Path):
 # ----------------------------------------------------------------------
 # subcommands
 # ----------------------------------------------------------------------
-def cmd_train(args) -> int:
+def cmd_train(args, console: obs_console.Console, log: obs_events.EventLog) -> int:
     data = _dataset(args)
     model = _build_model(args.model, args.width_mult)
+    console.info(f"training {args.model} for {args.epochs} epochs")
     history = train_model(model, data, cross_entropy_loss(), _train_config(args))
-    print(f"final accuracy: {100 * history.final_accuracy:.2f}%")
+    log.eval("train/final", history.final_accuracy)
+    console.result(f"final accuracy: {100 * history.final_accuracy:.2f}%")
     out = Path(args.out)
     _save_checkpoint(
         model,
         out,
         {"model": args.model, "width_mult": args.width_mult, "quantized": False},
     )
-    print(f"saved: {out}")
+    console.result(f"saved: {out}")
     return 0
 
 
-def cmd_quantize(args) -> int:
+def cmd_quantize(args, console: obs_console.Console, log: obs_events.EventLog) -> int:
     data = _dataset(args)
     fp_model, meta = _load_checkpoint(Path(args.checkpoint))
     fold_bn = not args.keep_bn
@@ -138,19 +154,19 @@ def cmd_quantize(args) -> int:
         use_kd=not args.no_kd,
         fold_bn=fold_bn,
     )
-    print(f"accuracy before FT: {100 * result.accuracy_before:.2f}%")
-    print(f"accuracy after FT:  {100 * result.accuracy_after:.2f}%")
+    console.info(f"accuracy before FT: {100 * result.accuracy_before:.2f}%")
+    console.result(f"accuracy after FT:  {100 * result.accuracy_after:.2f}%")
     out = Path(args.out)
     _save_checkpoint(
         quant_model,
         out,
         {**meta, "quantized": True, "fold_bn": fold_bn},
     )
-    print(f"saved: {out}")
+    console.result(f"saved: {out}")
     return 0
 
 
-def cmd_approximate(args) -> int:
+def cmd_approximate(args, console: obs_console.Console, log: obs_events.EventLog) -> int:
     data = _dataset(args)
     quant_model, meta = _load_checkpoint(Path(args.checkpoint))
     if not meta.get("quantized"):
@@ -163,19 +179,19 @@ def cmd_approximate(args) -> int:
         train_config=_train_config(args),
         temperature=args.temperature,
     )
-    print(f"initial accuracy: {100 * result.accuracy_before:.2f}%")
-    print(f"final accuracy:   {100 * result.accuracy_after:.2f}%")
+    console.info(f"initial accuracy: {100 * result.accuracy_before:.2f}%")
+    console.result(f"final accuracy:   {100 * result.accuracy_after:.2f}%")
     macs = count_macs(approx_model, data.image_shape).total_macs
     report = network_energy(macs, get_multiplier(args.multiplier))
-    print(f"energy savings:   {report.savings_percent:.0f}%")
+    console.result(f"energy savings:   {report.savings_percent:.0f}%")
     if args.out:
         out = Path(args.out)
         _save_checkpoint(approx_model, out, meta)
-        print(f"saved: {out}")
+        console.result(f"saved: {out}")
     return 0
 
 
-def cmd_evaluate(args) -> int:
+def cmd_evaluate(args, console: obs_console.Console, log: obs_events.EventLog) -> int:
     data = _dataset(args)
     model, meta = _load_checkpoint(Path(args.checkpoint))
     if args.multiplier:
@@ -183,11 +199,12 @@ def cmd_evaluate(args) -> int:
             raise ReproError("--multiplier requires a quantized checkpoint")
         attach_multiplier(model, args.multiplier)
     acc = evaluate_accuracy(model, data.test_x, data.test_y)
-    print(f"accuracy: {100 * acc:.2f}%")
+    log.eval("evaluate", acc, multiplier=args.multiplier)
+    console.result(f"accuracy: {100 * acc:.2f}%")
     return 0
 
 
-def cmd_sweep(args) -> int:
+def cmd_sweep(args, console: obs_console.Console, log: obs_events.EventLog) -> int:
     from repro.pipeline import run_sweep
 
     data = _dataset(args)
@@ -201,19 +218,21 @@ def cmd_sweep(args) -> int:
         methods=tuple(args.methods),
         train_config=_train_config(args),
     )
-    print(f"{'multiplier':16s} {'method':12s} {'T2':>4s} {'init[%]':>8s} {'final[%]':>9s}")
+    console.result(
+        f"{'multiplier':16s} {'method':12s} {'T2':>4s} {'init[%]':>8s} {'final[%]':>9s}"
+    )
     for p in result.points:
-        print(
+        console.result(
             f"{p.multiplier:16s} {p.method:12s} {p.temperature:4.0f} "
             f"{100 * p.initial_accuracy:8.2f} {100 * p.final_accuracy:9.2f}"
         )
     if args.out:
         result.to_json(args.out)
-        print(f"saved: {args.out}")
+        console.result(f"saved: {args.out}")
     return 0
 
 
-def cmd_resiliency(args) -> int:
+def cmd_resiliency(args, console: obs_console.Console, log: obs_events.EventLog) -> int:
     from repro.sim import layer_resiliency
 
     data = _dataset(args)
@@ -221,55 +240,89 @@ def cmd_resiliency(args) -> int:
     if not meta.get("quantized"):
         raise ReproError("resiliency requires a quantized checkpoint")
     entries = layer_resiliency(quant_model, data.test_x, data.test_y, args.multiplier)
-    print(f"per-layer accuracy drop under {args.multiplier} (most resilient first):")
+    console.info(
+        f"per-layer accuracy drop under {args.multiplier} (most resilient first):"
+    )
     for entry in entries:
-        print(f"  {entry.layer_name:36s} {100 * entry.drop:7.2f}%")
+        console.result(f"  {entry.layer_name:36s} {100 * entry.drop:7.2f}%")
     return 0
 
 
-def cmd_multipliers(args) -> int:
+def cmd_multipliers(args, console: obs_console.Console, log: obs_events.EventLog) -> int:
     names = available_multipliers()
     if args.extended:
         names += ["truncated4bc", "truncated5bc", "mitchell", "drum3", "drum4"]
-    print(f"{'name':16s} {'MRE[%]':>7s} {'savings[%]':>10s}")
+    console.result(f"{'name':16s} {'MRE[%]':>7s} {'savings[%]':>10s}")
     for name in names:
         mult = get_multiplier(name)
-        print(
+        console.result(
             f"{name:16s} {100 * mean_relative_error(mult):7.1f} "
             f"{100 * mult.energy_savings:10.0f}"
         )
     return 0
 
 
-def cmd_profile(args) -> int:
+def cmd_profile(args, console: obs_console.Console, log: obs_events.EventLog) -> int:
     mult = get_multiplier(args.multiplier)
     model = estimate_error_model(mult, rng=args.seed)
-    print(f"multiplier: {mult.name} (MRE {100 * mean_relative_error(mult):.1f}%)")
+    console.info(f"multiplier: {mult.name} (MRE {100 * mean_relative_error(mult):.1f}%)")
     if model.is_constant:
-        print(f"error model: constant f(y) = {model.c:.2f} -> GE degenerates to STE")
+        console.result(f"error model: constant f(y) = {model.c:.2f} -> GE degenerates to STE")
     else:
-        print(
+        console.result(
             f"error model: f(y) = min({model.upper:.1f}, "
             f"max({model.k:.4f}*y + {model.c:.2f}, {model.lower:.1f}))"
         )
     return 0
 
 
+def cmd_report(args, console: obs_console.Console, log: obs_events.EventLog) -> int:
+    summary = summarize_run(args.logfile)
+    console.result(render_summary(summary))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# parser / entry point
+# ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
+    obs_flags = argparse.ArgumentParser(add_help=False)
+    group = obs_flags.add_argument_group("observability")
+    group.add_argument(
+        "--log-json",
+        metavar="PATH",
+        help="write structured JSONL events to PATH (see 'repro report')",
+    )
+    group.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress progress output; final result lines stay on stdout",
+    )
+    group.add_argument(
+        "--verbose",
+        action="store_true",
+        help="render the structured event stream on the console",
+    )
+    group.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the hot paths and print the timer table afterwards",
+    )
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Approximate-CNN optimization flow (DATE 2021 reproduction)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("train", help="train a full-precision model")
+    p = sub.add_parser("train", help="train a full-precision model", parents=[obs_flags])
     _add_model_args(p)
     _add_data_args(p)
     _add_train_args(p, default_lr=0.05)
     p.add_argument("--out", required=True)
     p.set_defaults(func=cmd_train)
 
-    p = sub.add_parser("quantize", help="8A4W quantization stage")
+    p = sub.add_parser("quantize", help="8A4W quantization stage", parents=[obs_flags])
     _add_data_args(p)
     _add_train_args(p, default_lr=0.02)
     p.add_argument("--checkpoint", required=True)
@@ -279,7 +332,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--keep-bn", action="store_true", help="do not fold BatchNorm")
     p.set_defaults(func=cmd_quantize)
 
-    p = sub.add_parser("approximate", help="approximation stage")
+    p = sub.add_parser("approximate", help="approximation stage", parents=[obs_flags])
     _add_data_args(p)
     _add_train_args(p, default_lr=0.02)
     p.add_argument("--checkpoint", required=True)
@@ -289,13 +342,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out")
     p.set_defaults(func=cmd_approximate)
 
-    p = sub.add_parser("evaluate", help="evaluate a checkpoint")
+    p = sub.add_parser("evaluate", help="evaluate a checkpoint", parents=[obs_flags])
     _add_data_args(p)
     p.add_argument("--checkpoint", required=True)
     p.add_argument("--multiplier")
     p.set_defaults(func=cmd_evaluate)
 
-    p = sub.add_parser("sweep", help="multiplier x method sweep on a quantized checkpoint")
+    p = sub.add_parser(
+        "sweep",
+        help="multiplier x method sweep on a quantized checkpoint",
+        parents=[obs_flags],
+    )
     _add_data_args(p)
     _add_train_args(p, default_lr=0.02)
     p.add_argument("--checkpoint", required=True)
@@ -304,31 +361,95 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", help="write the sweep as JSON")
     p.set_defaults(func=cmd_sweep)
 
-    p = sub.add_parser("resiliency", help="per-layer resiliency analysis")
+    p = sub.add_parser(
+        "resiliency", help="per-layer resiliency analysis", parents=[obs_flags]
+    )
     _add_data_args(p)
     p.add_argument("--checkpoint", required=True)
     p.add_argument("--multiplier", required=True)
     p.set_defaults(func=cmd_resiliency)
 
-    p = sub.add_parser("multipliers", help="list available multipliers")
+    p = sub.add_parser(
+        "multipliers", help="list available multipliers", parents=[obs_flags]
+    )
     p.add_argument("--extended", action="store_true", help="include extension families")
     p.set_defaults(func=cmd_multipliers)
 
-    p = sub.add_parser("profile", help="fit a multiplier's error model")
+    p = sub.add_parser(
+        "profile", help="fit a multiplier's error model", parents=[obs_flags]
+    )
     p.add_argument("--multiplier", required=True)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_profile)
 
+    p = sub.add_parser(
+        "report", help="summarise a JSONL run log", parents=[obs_flags]
+    )
+    p.add_argument("logfile", help="event log written with --log-json")
+    p.set_defaults(func=cmd_report)
+
     return parser
+
+
+def _loggable_config(args) -> dict:
+    """JSON-safe view of the parsed arguments for the run_start event."""
+    skip = {"func", "log_json", "quiet", "verbose", "profile"}
+    return {
+        key: value
+        for key, value in vars(args).items()
+        if key not in skip and isinstance(value, (str, int, float, bool, list, type(None)))
+    }
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    console = obs_console.get_console()
+    if args.quiet:
+        console.level = obs_events.WARNING
+    elif args.verbose:
+        console.level = obs_events.DEBUG
+    else:
+        console.level = obs_events.INFO
+
+    log = obs_events.EventLog()
+    if args.log_json:
+        log.add_sink(obs_events.JsonlSink(args.log_json))
+    if args.verbose:
+        log.add_sink(obs_console.ConsoleSink(console, level=obs_events.DEBUG))
+    previous_log = obs_events.set_event_log(log)
+
+    if args.profile:
+        prof.reset_profiling()
+        prof.enable_profiling()
+
+    log.run_start(
+        command=args.command,
+        config=_loggable_config(args),
+        meta=run_metadata(command=args.command),
+    )
     try:
-        return args.func(args)
-    except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
+        error: str | None = None
+        try:
+            code = args.func(args, console, log)
+            status = "ok" if code == 0 else "failed"
+        except ReproError as exc:
+            console.error(str(exc))
+            code, status, error = 1, "error", str(exc)
+        if args.profile:
+            report = prof.profile_report()
+            prof.disable_profiling()
+            log.emit(obs_events.PROFILE, **report.to_dict())
+            console.result(report.to_table())
+        if error is not None:
+            log.run_end(status=status, error=error)
+        else:
+            log.run_end(status=status, exit_code=code)
+    finally:
+        if args.profile:
+            prof.disable_profiling()
+        obs_events.set_event_log(previous_log)
+        log.close()
+    return code
 
 
 if __name__ == "__main__":

@@ -17,8 +17,16 @@ from repro.nn.module import Module
 
 
 def clone_model(model: Module) -> Module:
-    """Deep copy of a model (parameters, buffers and quantization state)."""
-    return copy.deepcopy(model)
+    """Deep copy of a model (parameters, buffers and quantization state).
+
+    Forward hooks (e.g. :class:`repro.obs.StatsHook`) are dropped from the
+    clone — observability attachments on a source model must not silently
+    tax every teacher/student copy derived from it.
+    """
+    clone = copy.deepcopy(model)
+    for module in clone.modules():
+        module._forward_hooks.clear()
+    return clone
 
 
 def precompute_teacher_logits(

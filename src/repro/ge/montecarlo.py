@@ -17,6 +17,7 @@ import numpy as np
 from repro.approx.gemm import approx_matmul, exact_int_matmul
 from repro.approx.multiplier import Multiplier
 from repro.ge.error_model import PiecewiseLinearErrorModel, fit_error_model
+from repro.obs import profiling as prof
 from repro.quant.quantizer import qrange
 from repro.utils.rng import new_rng
 
@@ -59,13 +60,15 @@ def profile_multiplier_error(
     rng = new_rng(rng)
     ys: list[np.ndarray] = []
     errs: list[np.ndarray] = []
-    for _ in range(num_simulations):
-        a = _sample_codes(rng, (gemm_rows, reduce_dim), act_bits, sigma_fraction)
-        b = _sample_codes(rng, (reduce_dim, out_dim), weight_bits, sigma_fraction)
-        exact = exact_int_matmul(a, b)
-        approx = approx_matmul(a, b, multiplier)
-        ys.append(exact.reshape(-1))
-        errs.append((approx - exact).reshape(-1))
+    with prof.timer("ge.montecarlo_profile"):
+        prof.count("ge.montecarlo_simulations", n=num_simulations)
+        for _ in range(num_simulations):
+            a = _sample_codes(rng, (gemm_rows, reduce_dim), act_bits, sigma_fraction)
+            b = _sample_codes(rng, (reduce_dim, out_dim), weight_bits, sigma_fraction)
+            exact = exact_int_matmul(a, b)
+            approx = approx_matmul(a, b, multiplier)
+            ys.append(exact.reshape(-1))
+            errs.append((approx - exact).reshape(-1))
     y = np.concatenate(ys)
     eps = np.concatenate(errs)
     return ErrorProfile(y=y, eps=eps, multiplier_name=multiplier.name)

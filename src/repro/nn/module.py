@@ -23,6 +23,7 @@ class Module:
         object.__setattr__(self, "_parameters", {})
         object.__setattr__(self, "_buffers", {})
         object.__setattr__(self, "_modules", {})
+        object.__setattr__(self, "_forward_hooks", {})
         object.__setattr__(self, "training", True)
 
     # -- attribute registration -------------------------------------------
@@ -135,13 +136,45 @@ class Module:
             p.size for p in self.parameters() if p.requires_grad or not trainable_only
         )
 
+    # -- forward hooks ----------------------------------------------------------
+    def register_forward_hook(self, hook) -> "HookHandle":
+        """Call ``hook(module, args, output)`` after every forward.
+
+        A hook returning a non-None value replaces the module's output
+        (observability hooks return None). Returns a :class:`HookHandle`
+        whose ``remove()`` detaches the hook.
+        """
+        handle = HookHandle(self._forward_hooks)
+        self._forward_hooks[handle.key] = hook
+        return handle
+
     # -- forward ----------------------------------------------------------------
     def forward(self, *args, **kwargs) -> Tensor:
         raise NotImplementedError
 
     def __call__(self, *args, **kwargs) -> Tensor:
-        return self.forward(*args, **kwargs)
+        out = self.forward(*args, **kwargs)
+        if self._forward_hooks:
+            for hook in list(self._forward_hooks.values()):
+                result = hook(self, args, out)
+                if result is not None:
+                    out = result
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         children = ", ".join(self._modules)
         return f"{type(self).__name__}({children})"
+
+
+class HookHandle:
+    """Removable registration of one forward hook."""
+
+    _next_key = 0
+
+    def __init__(self, registry: dict):
+        self._registry = registry
+        self.key = HookHandle._next_key
+        HookHandle._next_key += 1
+
+    def remove(self) -> None:
+        self._registry.pop(self.key, None)

@@ -1,0 +1,120 @@
+"""Observability: structured run telemetry, profiling and layer statistics.
+
+Four cooperating pieces (see ``docs/OBSERVABILITY.md``):
+
+- :mod:`repro.obs.events` — process-wide :class:`EventLog` writing typed
+  JSONL records (``run_start``/``stage``/``epoch``/``eval``/
+  ``layer_stats``/``profile``/``run_end``) to pluggable sinks;
+- :mod:`repro.obs.console` — leveled human console and the event →
+  console rendering sink;
+- :mod:`repro.obs.profiling` — permanently-installed, off-by-default
+  timers/counters on the hot paths, aggregated into a
+  :class:`ProfileReport`;
+- :mod:`repro.obs.stats` — opt-in :class:`StatsHook` recording per-layer
+  activation ranges, approximation-error deltas ``ε(y)`` and gradient
+  norms;
+- :mod:`repro.obs.report` — offline summarisation of a JSONL log
+  (``repro report``).
+"""
+
+from repro.obs.console import Console, ConsoleSink, format_event, get_console, set_verbosity
+from repro.obs.events import (
+    DEBUG,
+    EPOCH,
+    ERROR,
+    EVAL,
+    EVENT_TYPES,
+    INFO,
+    LAYER_STATS,
+    PROFILE,
+    RUN_END,
+    RUN_START,
+    STAGE,
+    WARNING,
+    CollectingSink,
+    EventLog,
+    JsonlSink,
+    Sink,
+    get_event_log,
+    iter_events,
+    logging_to,
+    read_events,
+    set_event_log,
+)
+from repro.obs.profiling import (
+    COUNTER_MAX,
+    ProfileReport,
+    TimerStat,
+    count,
+    disable_profiling,
+    enable_profiling,
+    profile_report,
+    profiled,
+    reset_profiling,
+    timer,
+)
+from repro.obs.report import RunSummary, StageTime, render_summary, summarize_run
+from repro.obs.runmeta import environment_metadata, git_metadata, new_run_id, run_metadata
+from repro.obs.stats import (
+    LayerStats,
+    StatsHook,
+    attach_stats_hooks,
+    detach_stats_hooks,
+)
+
+__all__ = [
+    # events
+    "EventLog",
+    "Sink",
+    "JsonlSink",
+    "CollectingSink",
+    "get_event_log",
+    "set_event_log",
+    "logging_to",
+    "read_events",
+    "iter_events",
+    "EVENT_TYPES",
+    "RUN_START",
+    "RUN_END",
+    "STAGE",
+    "EPOCH",
+    "EVAL",
+    "LAYER_STATS",
+    "PROFILE",
+    "DEBUG",
+    "INFO",
+    "WARNING",
+    "ERROR",
+    # console
+    "Console",
+    "ConsoleSink",
+    "format_event",
+    "get_console",
+    "set_verbosity",
+    # profiling
+    "timer",
+    "count",
+    "profiled",
+    "profile_report",
+    "enable_profiling",
+    "disable_profiling",
+    "reset_profiling",
+    "ProfileReport",
+    "TimerStat",
+    "COUNTER_MAX",
+    # stats
+    "StatsHook",
+    "LayerStats",
+    "attach_stats_hooks",
+    "detach_stats_hooks",
+    # report
+    "RunSummary",
+    "StageTime",
+    "summarize_run",
+    "render_summary",
+    # runmeta
+    "new_run_id",
+    "run_metadata",
+    "git_metadata",
+    "environment_metadata",
+]

@@ -1,0 +1,255 @@
+"""Structured event log: machine-readable JSONL records of a run.
+
+An :class:`EventLog` is a sequence of typed records — ``run_start``,
+``stage``, ``epoch``, ``eval``, ``layer_stats``, ``profile``, ``run_end``
+— each stamped with the run id, a monotonic elapsed time ``t`` (seconds
+since the log was opened) and a sequence number ``seq``. Records fan out
+to any number of sinks: :class:`JsonlSink` writes one JSON object per
+line; :class:`repro.obs.console.ConsoleSink` renders them for humans.
+
+The process-wide default log (:func:`get_event_log`) starts with no sinks,
+so instrumented code paths (trainer, pipeline stages) pay only a boolean
+check until someone opts in — the CLI's ``--log-json`` flag, a test, or
+:func:`logging_to`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Callable, Iterator, TextIO
+
+from repro.errors import ReproError
+from repro.obs.runmeta import new_run_id
+
+# Canonical event types. Free-form types are allowed (the schema is open),
+# but everything the library itself emits is one of these.
+RUN_START = "run_start"
+RUN_END = "run_end"
+STAGE = "stage"
+EPOCH = "epoch"
+EVAL = "eval"
+LAYER_STATS = "layer_stats"
+PROFILE = "profile"
+
+EVENT_TYPES = (RUN_START, RUN_END, STAGE, EPOCH, EVAL, LAYER_STATS, PROFILE)
+
+# Severity levels, mirroring the stdlib logging scale.
+DEBUG, INFO, WARNING, ERROR = 10, 20, 30, 40
+_LEVEL_NAMES = {DEBUG: "debug", INFO: "info", WARNING: "warning", ERROR: "error"}
+
+
+def level_name(level: int) -> str:
+    """Human name of a severity level (exact match or nearest below)."""
+    if level in _LEVEL_NAMES:
+        return _LEVEL_NAMES[level]
+    candidates = [k for k in _LEVEL_NAMES if k <= level]
+    return _LEVEL_NAMES[max(candidates)] if candidates else "debug"
+
+
+class Sink:
+    """A destination for event records. Subclasses override :meth:`emit`."""
+
+    def emit(self, record: dict) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any resources; further emits are undefined."""
+
+
+class JsonlSink(Sink):
+    """Write each record as one JSON line to a file or stream."""
+
+    def __init__(self, target: str | Path | TextIO):
+        if isinstance(target, (str, Path)):
+            path = Path(target)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._stream = path.open("w", encoding="utf-8")
+            self._owns_stream = True
+        else:
+            self._stream = target
+            self._owns_stream = False
+
+    def emit(self, record: dict) -> None:
+        self._stream.write(json.dumps(record, sort_keys=True) + "\n")
+        self._stream.flush()
+
+    def close(self) -> None:
+        if self._owns_stream:
+            self._stream.close()
+
+
+class CollectingSink(Sink):
+    """Keep records in memory — convenient for tests and notebooks."""
+
+    def __init__(self):
+        self.records: list[dict] = []
+
+    def emit(self, record: dict) -> None:
+        self.records.append(record)
+
+
+class EventLog:
+    """Fan-out event recorder with monotonic timestamps and a run id."""
+
+    def __init__(
+        self,
+        run_id: str | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.run_id = run_id or new_run_id()
+        self._clock = clock
+        self._t0 = clock()
+        self._seq = 0
+        self._sinks: list[Sink] = []
+
+    # -- sink management -------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        """True when at least one sink is attached (emits are not no-ops)."""
+        return bool(self._sinks)
+
+    def add_sink(self, sink: Sink) -> Sink:
+        self._sinks.append(sink)
+        return sink
+
+    def remove_sink(self, sink: Sink) -> None:
+        if sink in self._sinks:
+            self._sinks.remove(sink)
+
+    def close(self) -> None:
+        """Close and detach every sink."""
+        for sink in self._sinks:
+            sink.close()
+        self._sinks.clear()
+
+    # -- emission --------------------------------------------------------
+    def emit(self, type: str, level: int = INFO, **payload) -> dict | None:
+        """Record one event; returns the record, or None when disabled.
+
+        Payload values must be JSON-serialisable (numpy scalars are
+        normalised); the reserved keys ``type``/``run``/``seq``/``t``/
+        ``level`` are stamped by the log itself.
+        """
+        if not self._sinks:
+            return None
+        record = {
+            "type": type,
+            "run": self.run_id,
+            "seq": self._seq,
+            "t": round(self._clock() - self._t0, 6),
+            "level": level_name(level),
+        }
+        for key, value in payload.items():
+            record[key] = _jsonable(value)
+        self._seq += 1
+        for sink in self._sinks:
+            sink.emit(record)
+        return record
+
+    # -- typed convenience emitters --------------------------------------
+    def run_start(self, command: str | None = None, config: dict | None = None,
+                  meta: dict | None = None) -> dict | None:
+        return self.emit(RUN_START, command=command, config=config or {}, meta=meta or {})
+
+    def run_end(self, status: str = "ok", **payload) -> dict | None:
+        return self.emit(RUN_END, status=status, **payload)
+
+    def stage(self, name: str, phase: str, **payload) -> dict | None:
+        return self.emit(STAGE, name=name, phase=phase, **payload)
+
+    def epoch(self, epoch: int, epochs: int, **payload) -> dict | None:
+        return self.emit(EPOCH, epoch=epoch, epochs=epochs, **payload)
+
+    def eval(self, name: str, accuracy: float, **payload) -> dict | None:
+        return self.emit(EVAL, name=name, accuracy=float(accuracy), **payload)
+
+
+def _jsonable(value):
+    """Normalise payload values (numpy scalars/arrays, paths) to JSON types."""
+    import numpy as np
+
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.floating, np.integer, np.bool_)):
+        return value.item()
+    if isinstance(value, Path):
+        return str(value)
+    return value
+
+
+# ----------------------------------------------------------------------
+# process-wide default log
+# ----------------------------------------------------------------------
+_global_log = EventLog()
+
+
+def get_event_log() -> EventLog:
+    """The process-wide default :class:`EventLog` (no sinks until opted in)."""
+    return _global_log
+
+
+def set_event_log(log: EventLog) -> EventLog:
+    """Replace the default log; returns the previous one."""
+    global _global_log
+    previous, _global_log = _global_log, log
+    return previous
+
+
+class logging_to:
+    """Context manager: route the default log to ``path`` for a block.
+
+    >>> with logging_to("run.jsonl"):
+    ...     train_model(...)
+    """
+
+    def __init__(self, target: str | Path | TextIO, run_id: str | None = None):
+        self._target = target
+        self._run_id = run_id
+
+    def __enter__(self) -> EventLog:
+        self._log = EventLog(run_id=self._run_id)
+        self._log.add_sink(JsonlSink(self._target))
+        self._previous = set_event_log(self._log)
+        return self._log
+
+    def __exit__(self, *exc) -> None:
+        set_event_log(self._previous)
+        self._log.close()
+
+
+# ----------------------------------------------------------------------
+# reading logs back
+# ----------------------------------------------------------------------
+def read_events(path: str | Path) -> list[dict]:
+    """Parse a JSONL event log, validating the envelope of every record."""
+    path = Path(path)
+    if not path.exists():
+        raise ReproError(f"event log not found: {path}")
+    records = []
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"{path}:{lineno}: invalid JSON record: {exc}") from exc
+        if not isinstance(record, dict):
+            raise ReproError(f"{path}:{lineno}: record is not an object")
+        missing = {"type", "run", "seq", "t"} - set(record)
+        if missing:
+            raise ReproError(
+                f"{path}:{lineno}: record missing envelope keys {sorted(missing)}"
+            )
+        records.append(record)
+    return records
+
+
+def iter_events(records: list[dict], type: str) -> Iterator[dict]:
+    """Records of one event type, in sequence order."""
+    return (r for r in records if r.get("type") == type)

@@ -1,0 +1,213 @@
+"""Low-overhead profiling: named timers and counters on the hot paths.
+
+The approximate-GEMM engine, im2col, fake quantization and Monte-Carlo
+profiling are instrumented with :func:`timer` blocks and :func:`count`
+calls. Profiling is **off by default**: a disabled timer costs one module
+attribute read and a branch, so instrumentation can live permanently in
+the hot paths. Enable it around a region of interest::
+
+    with profiled() as report:
+        run_sweep(...)
+    print(report.to_table())
+
+Aggregation is by name: every ``timer("approx.matmul")`` block adds to the
+same :class:`TimerStat` regardless of call site. Timers nest naturally —
+each block measures its own wall time, so a parent's total includes its
+children's (the table is a flat inclusive-time profile, not a call tree).
+``self_time`` subtracts directly-nested child time for the common
+one-level case.
+
+Counters saturate at ``2**63 - 1`` instead of growing unbounded so the
+JSONL records they feed stay representable as int64 downstream.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+# int64 saturation bound for counters and byte tallies.
+COUNTER_MAX = 2**63 - 1
+
+enabled = False
+
+
+@dataclass
+class TimerStat:
+    """Aggregated statistics of one named timer or counter."""
+
+    name: str
+    calls: int = 0
+    total: float = 0.0  # inclusive wall seconds (0 for pure counters)
+    self_time: float = 0.0  # total minus directly-nested timer time
+    bytes: int = 0
+
+    def add(self, elapsed: float, nbytes: int, child_time: float) -> None:
+        self.calls = min(self.calls + 1, COUNTER_MAX)
+        self.total += elapsed
+        self.self_time += max(elapsed - child_time, 0.0)
+        self.bytes = min(self.bytes + int(nbytes), COUNTER_MAX)
+
+
+_timers: dict[str, TimerStat] = {}
+_counters: dict[str, TimerStat] = {}
+_stack: list[list[float]] = []  # per-active-timer accumulator of child time
+
+
+def enable_profiling() -> None:
+    global enabled
+    enabled = True
+
+
+def disable_profiling() -> None:
+    global enabled
+    enabled = False
+
+
+def reset_profiling() -> None:
+    """Drop all aggregated timer and counter state."""
+    _timers.clear()
+    _counters.clear()
+    _stack.clear()
+
+
+class timer:
+    """Context manager timing a named block (no-op while disabled).
+
+    ``nbytes`` attributes a payload size to the block, so the profile can
+    report throughput alongside wall time.
+    """
+
+    __slots__ = ("name", "nbytes", "_start", "_children", "_active")
+
+    def __init__(self, name: str, nbytes: int = 0):
+        self.name = name
+        self.nbytes = nbytes
+
+    def __enter__(self) -> "timer":
+        self._active = enabled
+        if self._active:
+            self._children = [0.0]
+            _stack.append(self._children)
+            self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if not self._active:
+            return
+        elapsed = time.perf_counter() - self._start
+        _stack.pop()
+        stat = _timers.get(self.name)
+        if stat is None:
+            stat = _timers[self.name] = TimerStat(self.name)
+        stat.add(elapsed, self.nbytes, self._children[0])
+        if _stack:
+            _stack[-1][0] += elapsed
+
+
+def count(name: str, n: int = 1, nbytes: int = 0) -> None:
+    """Bump a named counter (no-op while disabled)."""
+    if not enabled:
+        return
+    stat = _counters.get(name)
+    if stat is None:
+        stat = _counters[name] = TimerStat(name)
+    stat.calls = min(stat.calls + int(n), COUNTER_MAX)
+    stat.bytes = min(stat.bytes + int(nbytes), COUNTER_MAX)
+
+
+@dataclass
+class ProfileReport:
+    """Snapshot of all timers and counters, renderable as a table."""
+
+    timers: list[TimerStat] = field(default_factory=list)
+    counters: list[TimerStat] = field(default_factory=list)
+
+    def top(self, n: int = 10) -> list[TimerStat]:
+        """The ``n`` hottest timers by inclusive wall time."""
+        return sorted(self.timers, key=lambda s: s.total, reverse=True)[:n]
+
+    def timer(self, name: str) -> TimerStat | None:
+        for stat in self.timers:
+            if stat.name == name:
+                return stat
+        return None
+
+    def counter(self, name: str) -> TimerStat | None:
+        for stat in self.counters:
+            if stat.name == name:
+                return stat
+        return None
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload for a ``profile`` event."""
+        def row(s: TimerStat) -> dict:
+            return {
+                "name": s.name,
+                "calls": s.calls,
+                "total": round(s.total, 6),
+                "self": round(s.self_time, 6),
+                "bytes": s.bytes,
+            }
+
+        return {
+            "timers": [row(s) for s in self.top(len(self.timers))],
+            "counters": [row(s) for s in sorted(self.counters, key=lambda s: s.name)],
+        }
+
+    def to_table(self, top: int = 10) -> str:
+        """Fixed-width text table of the hottest timers plus all counters."""
+        lines = [
+            f"{'timer':32s} {'calls':>9s} {'total[s]':>10s} {'self[s]':>10s} {'MB':>9s}"
+        ]
+        for s in self.top(top):
+            lines.append(
+                f"{s.name:32s} {s.calls:9d} {s.total:10.4f} "
+                f"{s.self_time:10.4f} {s.bytes / 1e6:9.2f}"
+            )
+        if self.counters:
+            lines.append(f"{'counter':32s} {'count':>9s} {'MB':>32s}")
+            for s in sorted(self.counters, key=lambda c: c.name):
+                lines.append(f"{s.name:32s} {s.calls:9d} {s.bytes / 1e6:32.2f}")
+        return "\n".join(lines)
+
+
+def profile_report() -> ProfileReport:
+    """Snapshot the current registries into a :class:`ProfileReport`."""
+    from copy import copy
+
+    return ProfileReport(
+        timers=[copy(s) for s in _timers.values()],
+        counters=[copy(s) for s in _counters.values()],
+    )
+
+
+class profiled:
+    """Enable profiling for a block and hand back its report.
+
+    >>> with profiled() as report:
+    ...     approx_matmul(a, b, mult)
+    >>> report.to_table()
+
+    The report object is filled at exit; it also works as a fresh-slate
+    wrapper (the registries are reset on entry).
+    """
+
+    def __init__(self, reset: bool = True):
+        self._reset = reset
+        self._was_enabled = False
+
+    def __enter__(self) -> ProfileReport:
+        if self._reset:
+            reset_profiling()
+        self._was_enabled = enabled
+        enable_profiling()
+        self._report = ProfileReport()
+        return self._report
+
+    def __exit__(self, *exc) -> None:
+        if not self._was_enabled:
+            disable_profiling()
+        snapshot = profile_report()
+        self._report.timers = snapshot.timers
+        self._report.counters = snapshot.counters

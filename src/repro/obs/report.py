@@ -1,0 +1,145 @@
+"""Offline summarisation of a JSONL run log (``repro report``).
+
+Reconstructs, from the event stream alone, the things someone asks first
+about a finished run: what command ran, how accuracy evolved, where the
+wall time went (per epoch and per stage), and which timers were hottest.
+The final accuracy reported here is byte-identical to what the producing
+command printed — both read the same ``eval`` events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.obs import events as ev
+
+
+@dataclass
+class StageTime:
+    """Duration of one named pipeline stage."""
+
+    name: str
+    duration: float
+    accuracy_before: float | None = None
+    accuracy_after: float | None = None
+
+
+@dataclass
+class RunSummary:
+    """Everything ``repro report`` prints, as structured data."""
+
+    run_id: str
+    command: str | None = None
+    status: str | None = None
+    wall_time: float = 0.0
+    num_events: int = 0
+    final_accuracy: float | None = None
+    final_accuracy_name: str | None = None
+    evals: list[tuple[str, float]] = field(default_factory=list)
+    accuracy_trajectory: list[float] = field(default_factory=list)
+    epoch_times: list[float] = field(default_factory=list)
+    train_loss: list[float] = field(default_factory=list)
+    stages: list[StageTime] = field(default_factory=list)
+    hottest: list[dict] = field(default_factory=list)
+
+
+def summarize_run(path: str | Path) -> RunSummary:
+    """Parse and summarise one JSONL event log."""
+    records = ev.read_events(path)
+    if not records:
+        raise ReproError(f"event log is empty: {path}")
+    summary = RunSummary(run_id=str(records[0].get("run", "?")), num_events=len(records))
+    summary.wall_time = max(float(r.get("t", 0.0)) for r in records)
+
+    for r in ev.iter_events(records, ev.RUN_START):
+        summary.command = r.get("command") or summary.command
+    for r in ev.iter_events(records, ev.RUN_END):
+        summary.status = r.get("status")
+
+    for r in ev.iter_events(records, ev.EPOCH):
+        if r.get("accuracy") is not None:
+            summary.accuracy_trajectory.append(float(r["accuracy"]))
+        if r.get("epoch_time") is not None:
+            summary.epoch_times.append(float(r["epoch_time"]))
+        if r.get("loss") is not None:
+            summary.train_loss.append(float(r["loss"]))
+
+    for r in ev.iter_events(records, ev.EVAL):
+        summary.evals.append((str(r.get("name", "?")), float(r["accuracy"])))
+    if summary.evals:
+        summary.final_accuracy_name, summary.final_accuracy = summary.evals[-1]
+    elif summary.accuracy_trajectory:
+        summary.final_accuracy_name = "last epoch"
+        summary.final_accuracy = summary.accuracy_trajectory[-1]
+
+    starts: dict[str, float] = {}
+    for r in ev.iter_events(records, ev.STAGE):
+        name = str(r.get("name", "?"))
+        if r.get("phase") == "start":
+            starts[name] = float(r.get("t", 0.0))
+        elif r.get("phase") == "end":
+            duration = r.get("duration")
+            if duration is None and name in starts:
+                duration = float(r.get("t", 0.0)) - starts[name]
+            summary.stages.append(
+                StageTime(
+                    name=name,
+                    duration=float(duration or 0.0),
+                    accuracy_before=r.get("accuracy_before"),
+                    accuracy_after=r.get("accuracy_after"),
+                )
+            )
+
+    for r in ev.iter_events(records, ev.PROFILE):
+        summary.hottest = list(r.get("timers", []))[:10]
+
+    return summary
+
+
+def render_summary(summary: RunSummary) -> str:
+    """Human-readable multi-line rendering of a :class:`RunSummary`."""
+    lines = [f"run {summary.run_id}: {summary.command or '(unknown command)'}"]
+    status = summary.status or "(no run_end event)"
+    lines.append(f"status: {status}   events: {summary.num_events}   "
+                 f"wall time: {summary.wall_time:.2f}s")
+
+    if summary.evals:
+        lines.append("evaluations:")
+        for name, accuracy in summary.evals:
+            lines.append(f"  {name:28s} {100 * accuracy:7.2f}%")
+    if summary.accuracy_trajectory:
+        traj = "  ".join(f"{100 * a:.2f}" for a in summary.accuracy_trajectory)
+        lines.append(f"accuracy by epoch [%]: {traj}")
+    if summary.epoch_times:
+        total = sum(summary.epoch_times)
+        mean = total / len(summary.epoch_times)
+        times = "  ".join(f"{t:.2f}" for t in summary.epoch_times)
+        lines.append(
+            f"epoch wall time [s]: {times}  (total {total:.2f}, mean {mean:.2f})"
+        )
+    if summary.stages:
+        lines.append("stages:")
+        for stage in summary.stages:
+            accs = ""
+            if stage.accuracy_before is not None and stage.accuracy_after is not None:
+                accs = (
+                    f"  {100 * stage.accuracy_before:.2f}% -> "
+                    f"{100 * stage.accuracy_after:.2f}%"
+                )
+            lines.append(f"  {stage.name:36s} {stage.duration:8.2f}s{accs}")
+    if summary.hottest:
+        lines.append("hottest timers:")
+        lines.append(f"  {'name':32s} {'calls':>9s} {'total[s]':>10s}")
+        for row in summary.hottest:
+            lines.append(
+                f"  {row.get('name', '?'):32s} {row.get('calls', 0):9d} "
+                f"{row.get('total', 0.0):10.4f}"
+            )
+    if summary.final_accuracy is not None:
+        lines.append(
+            f"final accuracy:   {100 * summary.final_accuracy:.2f}% "
+            f"({summary.final_accuracy_name})"
+        )
+    return "\n".join(lines)

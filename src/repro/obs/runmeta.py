@@ -1,0 +1,80 @@
+"""Run identity and environment metadata for telemetry records.
+
+Every structured run (:mod:`repro.obs.events`) is stamped with a short run
+id plus enough environment metadata — git commit, python/numpy versions,
+platform — that a JSONL log read months later identifies exactly what
+produced it. All collection is best-effort: a missing git binary or a
+non-repo working directory degrades to absent keys, never to an error.
+"""
+
+from __future__ import annotations
+
+import platform
+import subprocess
+import sys
+import time
+import uuid
+
+
+def new_run_id() -> str:
+    """Short unique run identifier (12 hex chars)."""
+    return uuid.uuid4().hex[:12]
+
+
+def git_metadata(cwd: str | None = None) -> dict:
+    """Best-effort ``{commit, branch, dirty}`` of the working directory.
+
+    Returns ``{}`` when git is unavailable or ``cwd`` is not a repository.
+    """
+
+    def _git(*args: str) -> str | None:
+        try:
+            out = subprocess.run(
+                ["git", *args],
+                cwd=cwd,
+                capture_output=True,
+                text=True,
+                timeout=5,
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        return out.stdout.strip() if out.returncode == 0 else None
+
+    commit = _git("rev-parse", "HEAD")
+    if commit is None:
+        return {}
+    meta = {"commit": commit}
+    branch = _git("rev-parse", "--abbrev-ref", "HEAD")
+    if branch:
+        meta["branch"] = branch
+    status = _git("status", "--porcelain")
+    if status is not None:
+        meta["dirty"] = bool(status)
+    return meta
+
+
+def environment_metadata() -> dict:
+    """Python/numpy versions and platform identity."""
+    import numpy as np
+
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "argv": list(sys.argv),
+    }
+
+
+def run_metadata(command: str | None = None, include_git: bool = True) -> dict:
+    """Full metadata block for a ``run_start`` event."""
+    meta = {
+        "started_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        **environment_metadata(),
+    }
+    if command is not None:
+        meta["command"] = command
+    if include_git:
+        git = git_metadata()
+        if git:
+            meta["git"] = git
+    return meta

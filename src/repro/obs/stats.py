@@ -1,0 +1,236 @@
+"""Opt-in per-layer statistics hooks.
+
+A :class:`StatsHook` attaches to any :class:`~repro.nn.module.Module`
+through the forward-hook mechanism and accumulates, per epoch:
+
+- **activation range** — min/max/mean/std of the layer's output;
+- **approximation error** ``ε(y) = ỹ − y`` — for quantized layers with a
+  non-exact multiplier attached, the hook re-runs the layer exactly on the
+  same input and accumulates the output delta (mean/std/|max|), i.e. the
+  quantities the paper's Figs. 2/3 characterise per multiplier;
+- **gradient norm** — L2 norm over the layer's parameter gradients,
+  sampled by :meth:`observe_gradients` (the trainer's telemetry callback
+  calls it once per epoch, after the last batch).
+
+Error tracking doubles the layer's forward cost (one exact re-execution
+per call), which is why hooks are opt-in and detachable; activation
+statistics alone are a few vector reductions per forward.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # runtime use is duck-typed to keep repro.obs import-light
+    from repro.nn.module import Module
+
+
+@dataclass
+class LayerStats:
+    """One epoch's accumulated statistics for one layer."""
+
+    name: str
+    calls: int = 0
+    samples: int = 0
+    act_min: float = math.inf
+    act_max: float = -math.inf
+    act_mean: float = 0.0
+    act_std: float = 0.0
+    eps_samples: int = 0
+    eps_mean: float = 0.0
+    eps_std: float = 0.0
+    eps_absmax: float = 0.0
+    grad_norm: float | None = None
+
+    def to_dict(self) -> dict:
+        record = {
+            "layer": self.name,
+            "calls": self.calls,
+            "samples": self.samples,
+            "act_min": self.act_min if self.samples else None,
+            "act_max": self.act_max if self.samples else None,
+            "act_mean": self.act_mean,
+            "act_std": self.act_std,
+        }
+        if self.eps_samples:
+            record.update(
+                eps_mean=self.eps_mean,
+                eps_std=self.eps_std,
+                eps_absmax=self.eps_absmax,
+            )
+        if self.grad_norm is not None:
+            record["grad_norm"] = self.grad_norm
+        return record
+
+
+class _Accumulator:
+    """Streaming count/sum/sumsq/min/max over arrays."""
+
+    __slots__ = ("n", "total", "total_sq", "lo", "hi")
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self) -> None:
+        self.n = 0
+        self.total = 0.0
+        self.total_sq = 0.0
+        self.lo = math.inf
+        self.hi = -math.inf
+
+    def observe(self, values: np.ndarray) -> None:
+        if values.size == 0:
+            return
+        v = values.astype(np.float64, copy=False)
+        self.n += v.size
+        self.total += float(v.sum())
+        self.total_sq += float(np.square(v).sum())
+        self.lo = min(self.lo, float(v.min()))
+        self.hi = max(self.hi, float(v.max()))
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.n if self.n else 0.0
+
+    @property
+    def std(self) -> float:
+        if not self.n:
+            return 0.0
+        var = self.total_sq / self.n - self.mean**2
+        return math.sqrt(max(var, 0.0))
+
+
+class StatsHook:
+    """Forward hook recording activation and approximation-error statistics.
+
+    Parameters
+    ----------
+    module:
+        The layer to observe.
+    name:
+        Qualified layer name used in snapshots and events.
+    track_error:
+        Re-run quantized layers exactly to measure ``ε(y)``. Only takes
+        effect on modules exposing ``set_multiplier`` (the quantized GEMM
+        layers) with a non-exact multiplier attached.
+    """
+
+    def __init__(self, module: Module, name: str = "", track_error: bool = True):
+        self.module = module
+        self.name = name or type(module).__name__
+        self.track_error = track_error
+        self._act = _Accumulator()
+        self._eps = _Accumulator()
+        self._calls = 0
+        self._grad_norm: float | None = None
+        self._reentrant = False
+        self._handle = module.register_forward_hook(self._on_forward)
+
+    # -- collection ------------------------------------------------------
+    def _on_forward(self, module: Module, args: tuple, output) -> None:
+        if self._reentrant:
+            return
+        out = output.data if hasattr(output, "data") else np.asarray(output)
+        self._calls += 1
+        self._act.observe(out)
+        if self.track_error and self._has_approximation(module):
+            exact = self._exact_forward(module, args)
+            if exact is not None:
+                self._eps.observe(out - exact)
+
+    @staticmethod
+    def _has_approximation(module: Module) -> bool:
+        mult = getattr(module, "multiplier", None)
+        return (
+            hasattr(module, "set_multiplier")
+            and mult is not None
+            and not getattr(mult, "is_exact", True)
+        )
+
+    def _exact_forward(self, module: Module, args: tuple) -> np.ndarray | None:
+        """Re-run ``module`` with exact integer execution on the same input."""
+        from repro.autograd.grad_mode import no_grad
+
+        mult, error_model = module.multiplier, module.error_model
+        self._reentrant = True
+        try:
+            module.set_multiplier(None, None)
+            with no_grad():
+                exact = module(*args)
+        finally:
+            module.set_multiplier(mult, error_model)
+            self._reentrant = False
+        return exact.data if hasattr(exact, "data") else np.asarray(exact)
+
+    def observe_gradients(self) -> float | None:
+        """L2 norm over all parameter gradients currently on the module."""
+        total = 0.0
+        seen = False
+        for p in self.module.parameters():
+            if p.grad is not None:
+                total += float(np.square(p.grad).sum())
+                seen = True
+        self._grad_norm = math.sqrt(total) if seen else None
+        return self._grad_norm
+
+    # -- snapshotting ----------------------------------------------------
+    def snapshot(self, reset: bool = True) -> LayerStats:
+        """Current accumulated statistics; ``reset`` starts a fresh epoch."""
+        stats = LayerStats(
+            name=self.name,
+            calls=self._calls,
+            samples=self._act.n,
+            act_min=self._act.lo,
+            act_max=self._act.hi,
+            act_mean=self._act.mean,
+            act_std=self._act.std,
+            eps_samples=self._eps.n,
+            eps_mean=self._eps.mean,
+            eps_std=self._eps.std,
+            eps_absmax=max(abs(self._eps.lo), abs(self._eps.hi)) if self._eps.n else 0.0,
+            grad_norm=self._grad_norm,
+        )
+        if reset:
+            self._act.reset()
+            self._eps.reset()
+            self._calls = 0
+        return stats
+
+    def remove(self) -> None:
+        """Detach the hook from the module."""
+        self._handle.remove()
+
+
+def attach_stats_hooks(
+    model: Module,
+    layer_types: tuple[type, ...] | None = None,
+    track_error: bool = True,
+) -> dict[str, StatsHook]:
+    """Attach a :class:`StatsHook` to selected layers of ``model``.
+
+    By default hooks every *leaf* module (no submodules of its own); pass
+    ``layer_types`` to restrict — e.g. ``(QuantConv2d, QuantLinear)``.
+    Returns ``{qualified_name: hook}``; call :func:`detach_stats_hooks`
+    (or each hook's ``remove``) when done.
+    """
+    hooks: dict[str, StatsHook] = {}
+    for name, module in model.named_modules():
+        if not name:
+            continue
+        if layer_types is not None:
+            if not isinstance(module, layer_types):
+                continue
+        elif module._modules:
+            continue
+        hooks[name] = StatsHook(module, name=name, track_error=track_error)
+    return hooks
+
+
+def detach_stats_hooks(hooks: dict[str, StatsHook]) -> None:
+    """Remove every hook previously attached by :func:`attach_stats_hooks`."""
+    for hook in hooks.values():
+        hook.remove()

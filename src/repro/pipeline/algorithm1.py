@@ -15,6 +15,7 @@ Two sequential stages over a pre-trained full-precision model:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro.approx.multiplier import Multiplier
@@ -24,6 +25,7 @@ from repro.distill.teacher import clone_model, kd_batch_loss, precompute_teacher
 from repro.errors import ConfigError
 from repro.ge.montecarlo import estimate_error_model
 from repro.nn.module import Module
+from repro.obs import events as obs_events
 from repro.quant.convert import calibrate_model, quantize_model, refresh_weight_steps
 from repro.quant.qconfig import QConfig
 from repro.sim.proxsim import attach_multiplier, detach_multiplier, evaluate_accuracy, resolve_multiplier
@@ -51,13 +53,18 @@ def quantization_stage(
     use_kd: bool = True,
     fold_bn: bool = True,
     calibration_batches: int = 4,
+    callbacks: list | None = None,
 ) -> tuple[Module, StageResult]:
     """Quantize ``fp_model`` and fine-tune it (first half of Algorithm 1).
 
     Returns the trained quantized model and the stage result. ``fp_model``
-    is not modified.
+    is not modified. ``callbacks`` are forwarded to the fine-tuning loop;
+    note they observe the internal quantized student, not ``fp_model``.
     """
     train_config = train_config or TrainConfig()
+    log = obs_events.get_event_log()
+    started = time.perf_counter()
+    log.stage("quantization", "start", use_kd=use_kd, temperature=temperature)
     student = quantize_model(clone_model(fp_model), qconfig, fold_bn=fold_bn)
     calibrate_model(
         student,
@@ -67,6 +74,7 @@ def quantization_stage(
         max_batches=calibration_batches,
     )
     accuracy_before = evaluate_accuracy(student, data.test_x, data.test_y)
+    log.eval("quantization/before_ft", accuracy_before)
     if use_kd:
         teacher_logits = precompute_teacher_logits(
             fp_model, data.train_x, train_config.batch_size
@@ -74,8 +82,16 @@ def quantization_stage(
         loss = kd_batch_loss(teacher_logits, temperature)
     else:
         loss = cross_entropy_loss()
-    history = train_model(student, data, loss, train_config)
+    history = train_model(student, data, loss, train_config, callbacks=callbacks)
     accuracy_after = evaluate_accuracy(student, data.test_x, data.test_y)
+    log.eval("quantization/after_ft", accuracy_after)
+    log.stage(
+        "quantization",
+        "end",
+        accuracy_before=accuracy_before,
+        accuracy_after=accuracy_after,
+        duration=time.perf_counter() - started,
+    )
     return student, StageResult(accuracy_before, accuracy_after, history)
 
 
@@ -88,17 +104,29 @@ def approximation_stage(
     temperature: float = 5.0,
     alpha: float = 1e-11,
     rng: int = 0,
+    callbacks: list | None = None,
 ) -> tuple[Module, StageResult]:
     """Attach ``multiplier`` and fine-tune (second half of Algorithm 1).
 
     ``quant_model`` is not modified; the student starts from a deep copy.
     The frozen quantized model (exact integer execution) serves as the KD
     teacher for the ``approxkd*`` methods, per the paper's Fig. 1.
+    ``callbacks`` are forwarded to the fine-tuning loop; note they observe
+    the internal student copy, not ``quant_model``.
     """
     if method not in METHODS:
         raise ConfigError(f"unknown method {method!r}; choose from {METHODS}")
     train_config = train_config or TrainConfig()
     mult = resolve_multiplier(multiplier)
+    log = obs_events.get_event_log()
+    started = time.perf_counter()
+    log.stage(
+        "approximation",
+        "start",
+        multiplier=mult.name if mult is not None else None,
+        method=method,
+        temperature=temperature,
+    )
 
     student = clone_model(quant_model)
     remove_alpha_regularization(student)
@@ -109,6 +137,7 @@ def approximation_stage(
         error_model = estimate_error_model(mult, rng=rng)
     attach_multiplier(student, mult, error_model)
     accuracy_before = evaluate_accuracy(student, data.test_x, data.test_y)
+    log.eval("approximation/before_ft", accuracy_before)
 
     if method in ("approxkd", "approxkd_ge"):
         teacher = clone_model(quant_model)
@@ -123,9 +152,17 @@ def approximation_stage(
     else:  # normal, ge
         loss = cross_entropy_loss()
 
-    history = train_model(student, data, loss, train_config)
+    history = train_model(student, data, loss, train_config, callbacks=callbacks)
     remove_alpha_regularization(student)
     accuracy_after = evaluate_accuracy(student, data.test_x, data.test_y)
+    log.eval("approximation/after_ft", accuracy_after)
+    log.stage(
+        "approximation",
+        "end",
+        accuracy_before=accuracy_before,
+        accuracy_after=accuracy_after,
+        duration=time.perf_counter() - started,
+    )
     return student, StageResult(accuracy_before, accuracy_after, history)
 
 

@@ -17,6 +17,7 @@ from repro.data.synthetic_cifar import Dataset
 from repro.distill.approxkd import recommended_t2
 from repro.errors import ConfigError
 from repro.nn.module import Module
+from repro.obs import events as obs_events
 from repro.pipeline.algorithm1 import METHODS, approximation_stage
 from repro.sim.proxsim import resolve_multiplier
 from repro.train.trainer import TrainConfig
@@ -95,12 +96,15 @@ def run_sweep(
             "lr": train_config.lr,
         }
     )
+    log = obs_events.get_event_log()
     for item in multipliers:
         mult = resolve_multiplier(item)
         mre = mean_relative_error(mult)
         temps = temperatures or (recommended_t2(mre),)
         for temperature in temps:
             for method in methods:
+                cell = f"sweep[{mult.name}/{method}/T{temperature:g}]"
+                log.stage(cell, "start")
                 _, stage = approximation_stage(
                     quant_model,
                     data,
@@ -109,6 +113,13 @@ def run_sweep(
                     train_config=train_config,
                     temperature=temperature,
                     rng=rng,
+                )
+                log.stage(
+                    cell,
+                    "end",
+                    accuracy_before=stage.accuracy_before,
+                    accuracy_after=stage.accuracy_after,
+                    duration=stage.history.wall_time,
                 )
                 result.points.append(
                     SweepPoint(

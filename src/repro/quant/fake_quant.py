@@ -12,6 +12,7 @@ import numpy as np
 
 from repro.autograd.function import Function
 from repro.autograd.tensor import Tensor, as_tensor
+from repro.obs import profiling as prof
 from repro.quant.quantizer import dequantize, qrange, quantize
 
 
@@ -20,9 +21,11 @@ class FakeQuantize(Function):
 
     def forward(self, x, step: float, bits: int):
         x = np.asarray(x)
-        lo, hi = qrange(bits)
-        self.pass_mask = (x >= lo * step) & (x <= hi * step)
-        return dequantize(quantize(x, step, bits), step).astype(x.dtype)
+        with prof.timer("quant.fake_quantize", nbytes=x.nbytes):
+            prof.count("quant.fake_quantized_elements", n=x.size)
+            lo, hi = qrange(bits)
+            self.pass_mask = (x >= lo * step) & (x <= hi * step)
+            return dequantize(quantize(x, step, bits), step).astype(x.dtype)
 
     def backward(self, grad_out):
         return (grad_out * self.pass_mask, None, None)

@@ -1,7 +1,12 @@
 """Optimizers, schedules, the fine-tuning loop and baseline methods."""
 
 from repro.train.baselines import alpha_regularization_loss, remove_alpha_regularization
-from repro.train.callbacks import BestWeightsKeeper, Callback, EarlyStopping
+from repro.train.callbacks import (
+    BestWeightsKeeper,
+    Callback,
+    EarlyStopping,
+    TelemetryCallback,
+)
 from repro.train.lr_schedule import ConstantLR, CosineDecay, LRSchedule, StepDecay
 from repro.train.metrics import confusion_matrix, top1_accuracy, topk_accuracy
 from repro.train.optim import SGD, Adam, Optimizer, clip_grad_norm
@@ -23,6 +28,7 @@ __all__ = [
     "Callback",
     "EarlyStopping",
     "BestWeightsKeeper",
+    "TelemetryCallback",
     "LRSchedule",
     "ConstantLR",
     "StepDecay",

@@ -1,4 +1,4 @@
-"""Trainer callbacks: early stopping and best-weights tracking.
+"""Trainer callbacks: early stopping, best-weights tracking, telemetry.
 
 Callbacks observe the training loop after each evaluated epoch and may
 request a stop. They compose: ``train_model(..., callbacks=[...])``.
@@ -10,6 +10,8 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.nn.module import Module
+from repro.obs import events as obs_events
+from repro.obs.stats import LayerStats, StatsHook
 from repro.train.trainer import History
 
 
@@ -70,3 +72,37 @@ class BestWeightsKeeper(Callback):
         if self._state is None:
             raise ConfigError("no snapshot recorded yet")
         model.load_state_dict(self._state)
+
+
+class TelemetryCallback(Callback):
+    """Drain :class:`~repro.obs.StatsHook` accumulators once per epoch.
+
+    At each evaluated epoch the callback samples gradient norms, snapshots
+    (and resets) every hook, keeps the snapshots in ``per_epoch`` for
+    programmatic use, and emits one ``layer_stats`` event per layer to the
+    event log. Never requests a stop.
+
+    >>> hooks = attach_stats_hooks(model, layer_types=(QuantConv2d,))
+    >>> train_model(model, data, loss, cfg, callbacks=[TelemetryCallback(hooks)])
+    """
+
+    def __init__(
+        self,
+        hooks: dict[str, StatsHook],
+        event_log: "obs_events.EventLog | None" = None,
+    ):
+        self.hooks = hooks
+        self._log = event_log
+        self.per_epoch: list[dict[str, LayerStats]] = []
+
+    def on_epoch_end(self, epoch: int, history: History, model: Module) -> bool:
+        log = self._log or obs_events.get_event_log()
+        snapshots: dict[str, LayerStats] = {}
+        for name, hook in self.hooks.items():
+            hook.observe_gradients()
+            stats = hook.snapshot(reset=True)
+            snapshots[name] = stats
+            if log.enabled:
+                log.emit(obs_events.LAYER_STATS, epoch=epoch + 1, **stats.to_dict())
+        self.per_epoch.append(snapshots)
+        return False

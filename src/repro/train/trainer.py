@@ -22,6 +22,7 @@ from repro.data.dataloader import augment_batch
 from repro.data.synthetic_cifar import Dataset
 from repro.errors import ConfigError
 from repro.nn.module import Module
+from repro.obs import events as obs_events
 from repro.sim.proxsim import evaluate_accuracy
 from repro.train.lr_schedule import LRSchedule, StepDecay
 from repro.train.optim import SGD
@@ -61,11 +62,17 @@ class TrainConfig:
 
 @dataclass
 class History:
-    """Per-epoch training record."""
+    """Per-epoch training record.
+
+    ``epoch_time`` holds the wall seconds of each individual epoch
+    (training batches plus that epoch's evaluation, if any); ``wall_time``
+    remains the total of the whole run for backwards compatibility.
+    """
 
     train_loss: list[float] = field(default_factory=list)
     test_accuracy: list[float] = field(default_factory=list)
     learning_rate: list[float] = field(default_factory=list)
+    epoch_time: list[float] = field(default_factory=list)
     wall_time: float = 0.0
 
     @property
@@ -105,8 +112,10 @@ def train_model(
     history = History()
     started = time.perf_counter()
 
+    log = obs_events.get_event_log()
     n = len(data.train_x)
     for epoch in range(config.epochs):
+        epoch_started = time.perf_counter()
         lr = schedule.apply(optimizer, epoch)
         model.train()
         order = rng.permutation(n)
@@ -126,9 +135,21 @@ def train_model(
             batches += 1
         history.train_loss.append(epoch_loss / max(batches, 1))
         history.learning_rate.append(lr)
+        acc = None
         if (epoch + 1) % config.eval_every == 0 or epoch == config.epochs - 1:
             acc = evaluate_accuracy(model, data.test_x, data.test_y, config.batch_size)
             history.test_accuracy.append(acc)
+        history.epoch_time.append(time.perf_counter() - epoch_started)
+        if log.enabled:
+            log.epoch(
+                epoch=epoch + 1,
+                epochs=config.epochs,
+                loss=history.train_loss[-1],
+                lr=lr,
+                accuracy=acc,
+                epoch_time=history.epoch_time[-1],
+            )
+        if acc is not None:
             if config.verbose:
                 print(
                     f"epoch {epoch + 1:3d}/{config.epochs}  lr={lr:.2e}  "

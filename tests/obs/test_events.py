@@ -1,0 +1,147 @@
+"""Event log: JSONL round-trip, envelope stamping, sinks, validation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import events as ev
+
+pytestmark = pytest.mark.obs
+
+
+class TestEmission:
+    def test_disabled_log_is_a_noop(self):
+        log = ev.EventLog()
+        assert not log.enabled
+        assert log.emit("epoch", epoch=1) is None
+
+    def test_envelope_keys_and_sequence(self):
+        log = ev.EventLog(run_id="test-run")
+        sink = log.add_sink(ev.CollectingSink())
+        log.emit("stage", name="s", phase="start")
+        log.emit("epoch", epoch=1, epochs=2)
+        assert [r["seq"] for r in sink.records] == [0, 1]
+        first = sink.records[0]
+        assert first["type"] == "stage"
+        assert first["run"] == "test-run"
+        assert first["level"] == "info"
+        assert first["t"] >= 0.0
+
+    def test_monotonic_timestamps(self):
+        ticks = iter([0.0, 1.5, 2.25])
+        log = ev.EventLog(clock=lambda: next(ticks))
+        sink = log.add_sink(ev.CollectingSink())
+        log.emit("a")
+        log.emit("b")
+        assert [r["t"] for r in sink.records] == [1.5, 2.25]
+
+    def test_numpy_payloads_are_normalised(self):
+        log = ev.EventLog()
+        sink = log.add_sink(ev.CollectingSink())
+        log.emit(
+            "eval",
+            accuracy=np.float32(0.5),
+            counts=np.array([1, 2]),
+            nested={"k": np.int64(3)},
+        )
+        record = sink.records[0]
+        assert record["accuracy"] == 0.5 and isinstance(record["accuracy"], float)
+        assert record["counts"] == [1, 2]
+        assert record["nested"] == {"k": 3}
+        json.dumps(record)  # fully serialisable
+
+    def test_typed_emitters(self):
+        log = ev.EventLog()
+        sink = log.add_sink(ev.CollectingSink())
+        log.run_start(command="train", config={"epochs": 3})
+        log.epoch(epoch=1, epochs=3, loss=0.5)
+        log.eval("final", 0.9)
+        log.stage("quantization", "start")
+        log.run_end(status="ok")
+        assert [r["type"] for r in sink.records] == [
+            ev.RUN_START,
+            ev.EPOCH,
+            ev.EVAL,
+            ev.STAGE,
+            ev.RUN_END,
+        ]
+
+
+class TestJsonlRoundTrip:
+    def test_write_then_read_preserves_records(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        log = ev.EventLog(run_id="rt")
+        log.add_sink(ev.JsonlSink(path))
+        log.run_start(command="x", config={"lr": 0.1})
+        log.epoch(epoch=1, epochs=1, loss=1.25, accuracy=0.5)
+        log.run_end(status="ok")
+        log.close()
+
+        records = ev.read_events(path)
+        assert len(records) == 3
+        assert [r["type"] for r in records] == [ev.RUN_START, ev.EPOCH, ev.RUN_END]
+        assert records[1]["loss"] == 1.25
+        assert records[1]["accuracy"] == 0.5
+        assert all(r["run"] == "rt" for r in records)
+        # sequence and time are monotone
+        assert [r["seq"] for r in records] == [0, 1, 2]
+        assert records[0]["t"] <= records[1]["t"] <= records[2]["t"]
+
+    def test_logging_to_routes_the_default_log(self, tmp_path):
+        path = tmp_path / "scoped.jsonl"
+        before = ev.get_event_log()
+        with ev.logging_to(path) as log:
+            assert ev.get_event_log() is log
+            log.emit("custom", value=1)
+        assert ev.get_event_log() is before
+        records = ev.read_events(path)
+        assert len(records) == 1 and records[0]["value"] == 1
+
+    def test_iter_events_filters_by_type(self, tmp_path):
+        path = tmp_path / "f.jsonl"
+        with ev.logging_to(path) as log:
+            log.epoch(epoch=1, epochs=2)
+            log.eval("a", 0.1)
+            log.epoch(epoch=2, epochs=2)
+        records = ev.read_events(path)
+        epochs = list(ev.iter_events(records, ev.EPOCH))
+        assert [r["epoch"] for r in epochs] == [1, 2]
+
+
+class TestValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ReproError, match="not found"):
+            ev.read_events(tmp_path / "nope.jsonl")
+
+    def test_invalid_json_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "a", "run": "r", "seq": 0, "t": 0}\nnot json\n')
+        with pytest.raises(ReproError, match="invalid JSON"):
+            ev.read_events(path)
+
+    def test_missing_envelope_keys(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "a"}\n')
+        with pytest.raises(ReproError, match="envelope"):
+            ev.read_events(path)
+
+    def test_non_object_record(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("[1, 2]\n")
+        with pytest.raises(ReproError, match="not an object"):
+            ev.read_events(path)
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "ok.jsonl"
+        path.write_text('\n{"type": "a", "run": "r", "seq": 0, "t": 0}\n\n')
+        assert len(ev.read_events(path)) == 1
+
+
+class TestLevels:
+    def test_level_names(self):
+        assert ev.level_name(ev.DEBUG) == "debug"
+        assert ev.level_name(ev.INFO) == "info"
+        assert ev.level_name(25) == "info"  # nearest below
+        assert ev.level_name(5) == "debug"  # below the scale

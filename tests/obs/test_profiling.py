@@ -1,0 +1,185 @@
+"""Profiling registry: timer nesting/aggregation, counters, saturation."""
+
+import time
+
+import pytest
+
+from repro.obs import profiling as prof
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    prof.reset_profiling()
+    prof.disable_profiling()
+    yield
+    prof.reset_profiling()
+    prof.disable_profiling()
+
+
+class TestTimer:
+    def test_disabled_timer_records_nothing(self):
+        with prof.timer("idle"):
+            pass
+        assert prof.profile_report().timers == []
+
+    def test_aggregation_by_name(self):
+        prof.enable_profiling()
+        for _ in range(3):
+            with prof.timer("work", nbytes=100):
+                pass
+        report = prof.profile_report()
+        stat = report.timer("work")
+        assert stat.calls == 3
+        assert stat.bytes == 300
+        assert stat.total >= 0.0
+
+    def test_nesting_parent_includes_child(self):
+        prof.enable_profiling()
+        with prof.timer("outer"):
+            with prof.timer("inner"):
+                time.sleep(0.02)
+        report = prof.profile_report()
+        outer, inner = report.timer("outer"), report.timer("inner")
+        assert inner.total >= 0.02
+        assert outer.total >= inner.total
+        # self time excludes the directly nested child
+        assert outer.self_time <= outer.total - inner.total + 1e-3
+
+    def test_sibling_children_both_subtracted(self):
+        prof.enable_profiling()
+        with prof.timer("parent"):
+            with prof.timer("child"):
+                time.sleep(0.01)
+            with prof.timer("child"):
+                time.sleep(0.01)
+        report = prof.profile_report()
+        child = report.timer("child")
+        parent = report.timer("parent")
+        assert child.calls == 2
+        assert parent.self_time <= parent.total - child.total + 1e-3
+
+    def test_enable_mid_block_does_not_crash(self):
+        t = prof.timer("late")
+        with t:
+            prof.enable_profiling()
+        # the block started disabled, so nothing was recorded
+        assert prof.profile_report().timer("late") is None
+
+
+class TestCounters:
+    def test_count_accumulates(self):
+        prof.enable_profiling()
+        prof.count("items", n=5, nbytes=10)
+        prof.count("items", n=2, nbytes=20)
+        stat = prof.profile_report().counter("items")
+        assert stat.calls == 7
+        assert stat.bytes == 30
+
+    def test_disabled_count_is_noop(self):
+        prof.count("items", n=5)
+        assert prof.profile_report().counters == []
+
+    def test_counter_saturates_instead_of_overflowing(self):
+        prof.enable_profiling()
+        prof.count("big", n=prof.COUNTER_MAX - 1)
+        prof.count("big", n=12345)
+        stat = prof.profile_report().counter("big")
+        assert stat.calls == prof.COUNTER_MAX  # clamped to int64 max
+        prof.count("big", nbytes=prof.COUNTER_MAX + 10**9)
+        assert prof.profile_report().counter("big").bytes == prof.COUNTER_MAX
+
+    def test_timer_call_saturation(self):
+        stat = prof.TimerStat("x", calls=prof.COUNTER_MAX)
+        stat.add(0.0, nbytes=prof.COUNTER_MAX, child_time=0.0)
+        assert stat.calls == prof.COUNTER_MAX
+        assert stat.bytes == prof.COUNTER_MAX
+
+
+class TestReport:
+    def test_top_orders_by_total(self):
+        prof.enable_profiling()
+        with prof.timer("slow"):
+            time.sleep(0.02)
+        with prof.timer("fast"):
+            pass
+        top = prof.profile_report().top(2)
+        assert [s.name for s in top] == ["slow", "fast"]
+
+    def test_to_table_and_dict(self):
+        prof.enable_profiling()
+        with prof.timer("t1", nbytes=1_000_000):
+            pass
+        prof.count("c1", n=3)
+        report = prof.profile_report()
+        table = report.to_table()
+        assert "t1" in table and "c1" in table
+        payload = report.to_dict()
+        assert payload["timers"][0]["name"] == "t1"
+        assert payload["counters"][0]["calls"] == 3
+
+    def test_profiled_context_resets_and_fills_report(self):
+        prof.enable_profiling()
+        with prof.timer("stale"):
+            pass
+        with prof.profiled() as report:
+            with prof.timer("fresh"):
+                pass
+        assert report.timer("stale") is None
+        assert report.timer("fresh").calls == 1
+        # profiling was not previously enabled inside this fixture-reset state?
+        # it was, so it must still be enabled afterwards
+        assert prof.enabled
+
+    def test_profiled_restores_disabled_state(self):
+        prof.disable_profiling()
+        with prof.profiled() as report:
+            with prof.timer("x"):
+                pass
+        assert not prof.enabled
+        assert report.timer("x").calls == 1
+
+
+class TestHotPathsAreInstrumented:
+    def test_approx_matmul_hits_timers_and_counters(self):
+        import numpy as np
+
+        from repro.approx import get_multiplier
+        from repro.approx.gemm import approx_matmul
+
+        rng = np.random.default_rng(0)
+        a = rng.integers(-100, 100, size=(8, 12)).astype(np.int32)
+        b = rng.integers(-7, 8, size=(12, 4)).astype(np.int32)
+        with prof.profiled() as report:
+            approx_matmul(a, b, get_multiplier("truncated4"))
+        assert report.timer("approx.lut_gather").calls == 1
+        assert report.timer("approx.matmul_blas").calls == 1
+        assert report.counter("approx.lut_gathered_values").calls >= 1
+
+    def test_im2col_and_fake_quant_hit_timers(self):
+        import numpy as np
+
+        from repro.autograd.im2col import im2col
+        from repro.quant.fake_quant import fake_quantize
+
+        with prof.profiled() as report:
+            im2col(np.zeros((1, 2, 6, 6), dtype=np.float32), (3, 3))
+            fake_quantize(np.linspace(-1, 1, 16, dtype=np.float32), 0.1, 8)
+        assert report.timer("autograd.im2col").calls == 1
+        assert report.timer("quant.fake_quantize").calls == 1
+        assert report.counter("quant.fake_quantized_elements").calls == 16
+
+    def test_montecarlo_hits_timer(self):
+        from repro.approx import get_multiplier
+        from repro.ge.montecarlo import profile_multiplier_error
+
+        with prof.profiled() as report:
+            profile_multiplier_error(
+                get_multiplier("truncated4"), num_simulations=2, gemm_rows=4,
+                reduce_dim=6, out_dim=2,
+            )
+        assert report.timer("ge.montecarlo_profile").calls == 1
+        assert report.counter("ge.montecarlo_simulations").calls == 2
+        # nested exact/approx GEMM timers attribute into the MC profile
+        assert report.timer("approx.exact_matmul").calls >= 2

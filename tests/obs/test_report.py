@@ -1,0 +1,110 @@
+"""`repro report`: summarising a synthetic JSONL event stream."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import events as ev
+from repro.obs.report import render_summary, summarize_run
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture
+def run_log(tmp_path):
+    """A synthetic but fully representative pipeline run."""
+    path = tmp_path / "run.jsonl"
+    ticks = iter([float(i) for i in range(100)])
+    log = ev.EventLog(run_id="synth", clock=lambda: next(ticks))
+    log.add_sink(ev.JsonlSink(path))
+    log.run_start(command="approximate", config={"multiplier": "truncated4"})
+    log.stage("quantization", "start")
+    log.epoch(epoch=1, epochs=2, loss=2.0, accuracy=0.50, epoch_time=1.5)
+    log.epoch(epoch=2, epochs=2, loss=1.0, accuracy=0.60, epoch_time=2.5)
+    log.eval("quantization/after_ft", 0.60)
+    log.stage("quantization", "end", accuracy_before=0.40, accuracy_after=0.60,
+              duration=12.5)
+    log.stage("approximation", "start")
+    log.eval("approximation/after_ft", 0.5833)
+    log.stage("approximation", "end", accuracy_before=0.10, accuracy_after=0.5833)
+    log.emit(
+        ev.PROFILE,
+        timers=[{"name": "approx.lut_gather", "calls": 7, "total": 0.25}],
+        counters=[],
+    )
+    log.run_end(status="ok", exit_code=0)
+    log.close()
+    return path
+
+
+class TestSummarize:
+    def test_core_fields(self, run_log):
+        summary = summarize_run(run_log)
+        assert summary.run_id == "synth"
+        assert summary.command == "approximate"
+        assert summary.status == "ok"
+        assert summary.num_events == 11
+        assert summary.wall_time == 11.0  # t of the last record
+
+    def test_accuracy_and_epoch_times(self, run_log):
+        summary = summarize_run(run_log)
+        assert summary.accuracy_trajectory == [0.50, 0.60]
+        assert summary.epoch_times == [1.5, 2.5]
+        assert summary.train_loss == [2.0, 1.0]
+
+    def test_final_accuracy_is_last_eval(self, run_log):
+        summary = summarize_run(run_log)
+        assert summary.final_accuracy == 0.5833
+        assert summary.final_accuracy_name == "approximation/after_ft"
+        assert summary.evals == [
+            ("quantization/after_ft", 0.60),
+            ("approximation/after_ft", 0.5833),
+        ]
+
+    def test_stage_durations(self, run_log):
+        summary = summarize_run(run_log)
+        by_name = {s.name: s for s in summary.stages}
+        # explicit duration wins over the timestamp difference
+        assert by_name["quantization"].duration == 12.5
+        # no explicit duration -> end.t - start.t (events at t=7..9 -> 2.0)
+        assert by_name["approximation"].duration == 2.0
+        assert by_name["approximation"].accuracy_after == 0.5833
+
+    def test_profile_rows(self, run_log):
+        summary = summarize_run(run_log)
+        assert summary.hottest[0]["name"] == "approx.lut_gather"
+
+    def test_fallback_to_epoch_accuracy(self, tmp_path):
+        path = tmp_path / "train.jsonl"
+        with ev.logging_to(path) as log:
+            log.run_start(command="train", config={})
+            log.epoch(epoch=1, epochs=1, loss=0.1, accuracy=0.75)
+            log.run_end(status="ok")
+        summary = summarize_run(path)
+        assert summary.final_accuracy == 0.75
+        assert summary.final_accuracy_name == "last epoch"
+
+    def test_empty_log_raises(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ReproError, match="empty"):
+            summarize_run(path)
+
+
+class TestRender:
+    def test_mentions_every_section(self, run_log):
+        text = render_summary(summarize_run(run_log))
+        assert "run synth: approximate" in text
+        assert "status: ok" in text
+        assert "quantization/after_ft" in text
+        assert "accuracy by epoch [%]: 50.00  60.00" in text
+        assert "epoch wall time [s]: 1.50  2.50  (total 4.00, mean 2.00)" in text
+        assert "approx.lut_gather" in text
+        # identical formatting to the `repro approximate` result line
+        assert "final accuracy:   58.33% (approximation/after_ft)" in text
+
+    def test_minimal_log_renders(self, tmp_path):
+        path = tmp_path / "min.jsonl"
+        with ev.logging_to(path) as log:
+            log.emit("custom")
+        text = render_summary(summarize_run(path))
+        assert "(no run_end event)" in text

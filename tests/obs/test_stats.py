@@ -1,0 +1,193 @@
+"""StatsHook: hand-computable activation stats, ε(y) deltas, grad norms."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.approx import get_multiplier
+from repro.approx.gemm import approx_matmul, exact_int_matmul
+from repro.autograd.tensor import Tensor
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.obs.stats import StatsHook, attach_stats_hooks, detach_stats_hooks
+from repro.quant.qlayers import QuantLinear
+
+pytestmark = pytest.mark.obs
+
+
+class Doubler(Module):
+    """Hand-computable layer: y = 2x."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x * 2.0
+
+
+class TestActivationStats:
+    def test_hand_computed_values(self):
+        layer = Doubler()
+        hook = StatsHook(layer, name="double")
+        x = np.array([[1.0, -2.0], [3.0, 0.0]], dtype=np.float32)
+        layer(Tensor(x))
+        stats = hook.snapshot()
+        out = 2.0 * x
+        assert stats.calls == 1
+        assert stats.samples == 4
+        assert stats.act_min == out.min()
+        assert stats.act_max == out.max()
+        assert stats.act_mean == pytest.approx(out.mean())
+        assert stats.act_std == pytest.approx(out.std())
+        hook.remove()
+
+    def test_accumulates_across_forwards_and_resets(self):
+        layer = Doubler()
+        hook = StatsHook(layer, name="double")
+        layer(Tensor(np.array([[1.0]], dtype=np.float32)))
+        layer(Tensor(np.array([[5.0]], dtype=np.float32)))
+        stats = hook.snapshot(reset=True)
+        assert stats.calls == 2
+        assert stats.samples == 2
+        assert stats.act_min == 2.0 and stats.act_max == 10.0
+        fresh = hook.snapshot()
+        assert fresh.calls == 0 and fresh.samples == 0
+        hook.remove()
+
+    def test_removed_hook_stops_recording(self):
+        layer = Doubler()
+        hook = StatsHook(layer, name="double")
+        hook.remove()
+        layer(Tensor(np.array([[1.0]], dtype=np.float32)))
+        assert hook.snapshot().calls == 0
+
+
+def _calibrated_qlinear(weight: np.ndarray) -> QuantLinear:
+    layer = QuantLinear(weight.shape[1], weight.shape[0], bias=False)
+    layer.weight.data = weight.astype(np.float32)
+    layer.act_step = 1.0
+    layer.weight_step = 1.0
+    return layer
+
+
+class TestEpsilonStats:
+    def test_matches_direct_gemm_difference(self):
+        rng = np.random.default_rng(3)
+        weight = rng.integers(-7, 8, size=(4, 10)).astype(np.float32)
+        x = rng.integers(-100, 101, size=(6, 10)).astype(np.float32)
+        layer = _calibrated_qlinear(weight)
+        mult = get_multiplier("truncated4")
+        layer.set_multiplier(mult)
+        hook = StatsHook(layer, name="fc", track_error=True)
+        layer.eval()
+        layer(Tensor(x))
+        stats = hook.snapshot()
+
+        # Steps are 1.0, so the dequantized delta equals ε(y) = ỹ - y in
+        # integer-code space, computable directly from the GEMM primitives.
+        xq = x.astype(np.int32)
+        wq = weight.astype(np.int32)
+        eps = (approx_matmul(xq, wq.T, mult) - exact_int_matmul(xq, wq.T)).astype(np.float64)
+        assert stats.eps_samples == eps.size
+        assert stats.eps_mean == pytest.approx(eps.mean(), abs=1e-6)
+        assert stats.eps_std == pytest.approx(eps.std(), abs=1e-6)
+        assert stats.eps_absmax == pytest.approx(np.abs(eps).max(), abs=1e-6)
+        # multiplier state restored after the exact re-run
+        assert layer.multiplier is mult
+        hook.remove()
+
+    def test_no_eps_for_exact_execution(self):
+        layer = _calibrated_qlinear(np.ones((2, 3), dtype=np.float32))
+        hook = StatsHook(layer, name="fc")
+        layer(Tensor(np.ones((1, 3), dtype=np.float32)))
+        stats = hook.snapshot()
+        assert stats.eps_samples == 0
+        hook.remove()
+
+    def test_track_error_false_skips_recompute(self):
+        layer = _calibrated_qlinear(np.ones((2, 3), dtype=np.float32))
+        layer.set_multiplier(get_multiplier("truncated4"))
+        hook = StatsHook(layer, name="fc", track_error=False)
+        layer(Tensor(np.full((1, 3), 5.0, dtype=np.float32)))
+        stats = hook.snapshot()
+        assert stats.eps_samples == 0
+        assert stats.calls == 1
+        hook.remove()
+
+
+class TestGradNorms:
+    def test_grad_norm_over_parameters(self):
+        layer = Linear(3, 2, rng=0)
+        hook = StatsHook(layer, name="fc")
+        layer.weight.grad = np.full_like(layer.weight.data, 2.0)
+        layer.bias.grad = np.zeros_like(layer.bias.data)
+        expected = math.sqrt(float((layer.weight.grad**2).sum()))
+        assert hook.observe_gradients() == pytest.approx(expected)
+        assert hook.snapshot().grad_norm == pytest.approx(expected)
+        hook.remove()
+
+    def test_no_gradients_yields_none(self):
+        layer = Linear(3, 2, rng=0)
+        layer.zero_grad()
+        hook = StatsHook(layer, name="fc")
+        assert hook.observe_gradients() is None
+        hook.remove()
+
+
+class TestAttachHelpers:
+    def test_attach_to_leaves_and_detach(self):
+        from repro.models import simplecnn
+
+        model = simplecnn(base_width=4, rng=0)
+        hooks = attach_stats_hooks(model)
+        assert hooks  # every leaf module got one
+        assert all("." in name or name for name in hooks)
+        x = np.zeros((1, 3, 12, 12), dtype=np.float32)
+        model.eval()
+        model(Tensor(x))
+        snaps = [h.snapshot() for h in hooks.values()]
+        assert any(s.calls for s in snaps)
+        detach_stats_hooks(hooks)
+        model(Tensor(x))
+        assert all(h.snapshot().calls == 0 for h in hooks.values())
+
+    def test_layer_type_filter(self):
+        from repro.models import simplecnn
+        from repro.nn.conv import Conv2d
+
+        model = simplecnn(base_width=4, rng=0)
+        hooks = attach_stats_hooks(model, layer_types=(Conv2d,))
+        assert hooks
+        assert all(isinstance(h.module, Conv2d) for h in hooks.values())
+        detach_stats_hooks(hooks)
+
+    def test_clone_model_drops_hooks(self):
+        from repro.distill.teacher import clone_model
+        from repro.models import simplecnn
+
+        model = simplecnn(base_width=4, rng=0)
+        hooks = attach_stats_hooks(model)
+        clone = clone_model(model)
+        assert all(not m._forward_hooks for m in clone.modules())
+        # original still hooked
+        assert any(m._forward_hooks for m in model.modules())
+        detach_stats_hooks(hooks)
+
+
+class TestForwardHookMechanism:
+    def test_hook_can_replace_output(self):
+        layer = Doubler()
+        handle = layer.register_forward_hook(lambda mod, args, out: out * 3.0)
+        out = layer(Tensor(np.array([[1.0]], dtype=np.float32)))
+        assert out.data[0, 0] == pytest.approx(6.0)
+        handle.remove()
+        out = layer(Tensor(np.array([[1.0]], dtype=np.float32)))
+        assert out.data[0, 0] == pytest.approx(2.0)
+
+    def test_multiple_hooks_fire_in_order(self):
+        layer = Doubler()
+        seen = []
+        h1 = layer.register_forward_hook(lambda m, a, o: seen.append("first"))
+        h2 = layer.register_forward_hook(lambda m, a, o: seen.append("second"))
+        layer(Tensor(np.ones((1, 1), dtype=np.float32)))
+        assert seen == ["first", "second"]
+        h1.remove()
+        h2.remove()
