@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""End-to-end crash/resume smoke test: train, SIGKILL, resume, verify.
+
+Launches ``repro train`` with checkpointing as a subprocess, kills it with
+SIGKILL as soon as the first checkpoint manifest appears (the harshest
+interruption the OS offers — no cleanup handlers run), then reruns the
+same command with ``--resume`` and asserts it finishes successfully and
+wrote its model. Exercises the full stack documented in
+``docs/RESILIENCE.md`` the way a real crash would, which in-process tests
+cannot.
+
+Usage: python scripts/resilience_smoke.py [workdir]
+Exit code 0 means the crash/resume cycle worked end to end.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+POLL_S = 0.05
+FIRST_CHECKPOINT_TIMEOUT_S = 300.0
+RESUME_TIMEOUT_S = 600.0
+
+
+def train_command(out: Path, ckpt_dir: Path, resume: bool) -> list[str]:
+    cmd = [
+        sys.executable, "-m", "repro.cli", "train",
+        "--num-train", "1200", "--num-test", "300", "--image-size", "16",
+        "--epochs", "4", "--batch-size", "64",
+        "--out", str(out), "--checkpoint-dir", str(ckpt_dir),
+    ]
+    if resume:
+        cmd.append("--resume")
+    return cmd
+
+
+def main() -> int:
+    workdir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(
+        tempfile.mkdtemp(prefix="resilience-smoke-")
+    )
+    workdir.mkdir(parents=True, exist_ok=True)
+    out = workdir / "model.npz"
+    ckpt_dir = workdir / "ckpt"
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+
+    print(f"[smoke] workdir: {workdir}")
+    print("[smoke] starting training run to be killed...")
+    victim = subprocess.Popen(
+        train_command(out, ckpt_dir, resume=False), env=env, cwd=REPO
+    )
+    deadline = time.monotonic() + FIRST_CHECKPOINT_TIMEOUT_S
+    try:
+        while not list(ckpt_dir.glob("epoch-*.ckpt.json")):
+            code = victim.poll()
+            if code is not None:
+                if code != 0:
+                    print(f"[smoke] FAIL: run died (code {code}) before checkpointing")
+                    return 1
+                print("[smoke] WARN: run finished before the kill could land")
+                break
+            if time.monotonic() > deadline:
+                print("[smoke] FAIL: no checkpoint appeared in time")
+                return 1
+            time.sleep(POLL_S)
+        if victim.poll() is None:
+            print("[smoke] first checkpoint on disk -- sending SIGKILL")
+            victim.send_signal(signal.SIGKILL)
+            victim.wait(timeout=30)
+            print(f"[smoke] victim killed (code {victim.returncode})")
+    finally:
+        if victim.poll() is None:
+            victim.kill()
+
+    if not list(ckpt_dir.glob("epoch-*.ckpt.json")):
+        print("[smoke] FAIL: no checkpoint manifest on disk after the kill")
+        return 1
+
+    print("[smoke] rerunning with --resume...")
+    resumed = subprocess.run(
+        train_command(out, ckpt_dir, resume=True),
+        env=env, cwd=REPO, timeout=RESUME_TIMEOUT_S,
+    )
+    if resumed.returncode != 0:
+        print(f"[smoke] FAIL: resume exited with code {resumed.returncode}")
+        return 1
+    if not out.exists():
+        print(f"[smoke] FAIL: resumed run wrote no model to {out}")
+        return 1
+    print("[smoke] PASS: kill/resume cycle completed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,8 +23,10 @@ The package is organised as one subpackage per subsystem:
 
 from repro.errors import (
     AutogradError,
+    CheckpointError,
     ConfigError,
     DataError,
+    DivergenceError,
     MultiplierError,
     QuantizationError,
     ReproError,
@@ -35,8 +37,10 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AutogradError",
+    "CheckpointError",
     "ConfigError",
     "DataError",
+    "DivergenceError",
     "MultiplierError",
     "QuantizationError",
     "ReproError",

@@ -17,6 +17,13 @@ suppresses progress chatter (final result lines stay on stdout for
 scripting), ``--verbose`` renders the event stream on the console, and
 ``--profile`` prints the hot-path timer table after the command.
 
+The training subcommands (``train``/``quantize``/``approximate``/``sweep``)
+additionally support the resilience flags (``docs/RESILIENCE.md``):
+``--resume`` restarts from the last good epoch (or, for ``sweep``, the
+next grid cell), ``--checkpoint-dir`` overrides the checkpoint location
+(default: ``<out>.ckpt``), and ``--guard`` arms the divergence guard that
+rolls back NaN/exploding epochs and retries them at a reduced LR.
+
 Model checkpoints are ``.npz`` files (see
 :mod:`repro.utils.serialization`) with a ``.meta.json`` sidecar recording
 the architecture so later stages can rebuild it.
@@ -89,6 +96,34 @@ def _train_config(args) -> TrainConfig:
     )
 
 
+def _resilience(args, console: obs_console.Console):
+    """Build (CheckpointManager | None, DivergenceGuard | None) from flags.
+
+    Checkpointing turns on when ``--checkpoint-dir`` is given, or when
+    ``--resume`` is requested and a default directory can be derived from
+    ``--out``.
+    """
+    from repro.resilience import CheckpointManager, DivergenceGuard, GuardConfig
+
+    directory = args.checkpoint_dir
+    if directory is None and getattr(args, "out", None):
+        directory = f"{args.out}.ckpt"
+    manager = None
+    if args.checkpoint_dir is not None or (args.resume and directory is not None):
+        if directory is None:
+            raise ReproError("--resume needs --checkpoint-dir (or --out to derive it)")
+        manager = CheckpointManager(
+            directory, keep=args.keep_checkpoints, every=args.checkpoint_every
+        )
+        console.info(f"checkpoints: {directory}")
+    guard = None
+    if args.guard:
+        guard = DivergenceGuard(
+            GuardConfig(max_retries=args.max_retries, lr_backoff=args.lr_backoff)
+        )
+    return manager, guard
+
+
 def _build_model(name: str, width_mult: float):
     kwargs = {"rng": 0}
     if name != "simplecnn":
@@ -128,8 +163,17 @@ def _load_checkpoint(path: Path):
 def cmd_train(args, console: obs_console.Console, log: obs_events.EventLog) -> int:
     data = _dataset(args)
     model = _build_model(args.model, args.width_mult)
+    checkpoints, guard = _resilience(args, console)
     console.info(f"training {args.model} for {args.epochs} epochs")
-    history = train_model(model, data, cross_entropy_loss(), _train_config(args))
+    history = train_model(
+        model,
+        data,
+        cross_entropy_loss(),
+        _train_config(args),
+        guard=guard,
+        checkpoints=checkpoints,
+        resume=args.resume,
+    )
     log.eval("train/final", history.final_accuracy)
     console.result(f"final accuracy: {100 * history.final_accuracy:.2f}%")
     out = Path(args.out)
@@ -146,6 +190,7 @@ def cmd_quantize(args, console: obs_console.Console, log: obs_events.EventLog) -
     data = _dataset(args)
     fp_model, meta = _load_checkpoint(Path(args.checkpoint))
     fold_bn = not args.keep_bn
+    checkpoints, guard = _resilience(args, console)
     quant_model, result = quantization_stage(
         fp_model,
         data,
@@ -153,6 +198,9 @@ def cmd_quantize(args, console: obs_console.Console, log: obs_events.EventLog) -
         temperature=args.temperature,
         use_kd=not args.no_kd,
         fold_bn=fold_bn,
+        guard=guard,
+        checkpoints=checkpoints,
+        resume=args.resume,
     )
     console.info(f"accuracy before FT: {100 * result.accuracy_before:.2f}%")
     console.result(f"accuracy after FT:  {100 * result.accuracy_after:.2f}%")
@@ -171,6 +219,7 @@ def cmd_approximate(args, console: obs_console.Console, log: obs_events.EventLog
     quant_model, meta = _load_checkpoint(Path(args.checkpoint))
     if not meta.get("quantized"):
         raise ReproError("approximate requires a quantized checkpoint; run quantize first")
+    checkpoints, guard = _resilience(args, console)
     approx_model, result = approximation_stage(
         quant_model,
         data,
@@ -178,6 +227,9 @@ def cmd_approximate(args, console: obs_console.Console, log: obs_events.EventLog
         method=args.method,
         train_config=_train_config(args),
         temperature=args.temperature,
+        guard=guard,
+        checkpoints=checkpoints,
+        resume=args.resume,
     )
     console.info(f"initial accuracy: {100 * result.accuracy_before:.2f}%")
     console.result(f"final accuracy:   {100 * result.accuracy_after:.2f}%")
@@ -211,21 +263,35 @@ def cmd_sweep(args, console: obs_console.Console, log: obs_events.EventLog) -> i
     quant_model, meta = _load_checkpoint(Path(args.checkpoint))
     if not meta.get("quantized"):
         raise ReproError("sweep requires a quantized checkpoint; run quantize first")
+    state_path = args.state or (f"{args.out}.partial.json" if args.out else None)
+    if args.resume and state_path is None:
+        raise ReproError("sweep --resume needs --state (or --out to derive it)")
     result = run_sweep(
         quant_model,
         data,
         multipliers=args.multipliers,
         methods=tuple(args.methods),
         train_config=_train_config(args),
+        retries=args.retries,
+        state_path=state_path,
+        resume=args.resume,
     )
     console.result(
         f"{'multiplier':16s} {'method':12s} {'T2':>4s} {'init[%]':>8s} {'final[%]':>9s}"
     )
     for p in result.points:
-        console.result(
-            f"{p.multiplier:16s} {p.method:12s} {p.temperature:4.0f} "
-            f"{100 * p.initial_accuracy:8.2f} {100 * p.final_accuracy:9.2f}"
-        )
+        if p.ok:
+            console.result(
+                f"{p.multiplier:16s} {p.method:12s} {p.temperature:4.0f} "
+                f"{100 * p.initial_accuracy:8.2f} {100 * p.final_accuracy:9.2f}"
+            )
+        else:
+            console.result(
+                f"{p.multiplier:16s} {p.method:12s} {p.temperature:4.0f} "
+                f"FAILED ({p.error_type}, {p.attempts} attempt(s))"
+            )
+    if result.failures():
+        console.warning(f"{len(result.failures())} cell(s) failed; see --log-json for faults")
     if args.out:
         result.to_json(args.out)
         console.result(f"saved: {args.out}")
@@ -277,7 +343,11 @@ def cmd_profile(args, console: obs_console.Console, log: obs_events.EventLog) ->
 
 
 def cmd_report(args, console: obs_console.Console, log: obs_events.EventLog) -> int:
-    summary = summarize_run(args.logfile)
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")  # the summary itself reports skips
+        summary = summarize_run(args.logfile, strict=args.strict)
     console.result(render_summary(summary))
     return 0
 
@@ -309,20 +379,70 @@ def build_parser() -> argparse.ArgumentParser:
         help="profile the hot paths and print the timer table afterwards",
     )
 
+    res_flags = argparse.ArgumentParser(add_help=False)
+    res = res_flags.add_argument_group("resilience")
+    res.add_argument(
+        "--resume",
+        action="store_true",
+        help="restart from the last good checkpoint (or sweep cell) instead of scratch",
+    )
+    res.add_argument(
+        "--checkpoint-dir",
+        metavar="PATH",
+        help="directory for crash-safe epoch checkpoints (default: <out>.ckpt)",
+    )
+    res.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="save a checkpoint every N epochs (default: 1)",
+    )
+    res.add_argument(
+        "--keep-checkpoints",
+        type=int,
+        default=3,
+        metavar="N",
+        help="retain the newest N checkpoints (default: 3)",
+    )
+    res.add_argument(
+        "--guard",
+        action="store_true",
+        help="arm the divergence guard (rollback + LR backoff on NaN/explosion)",
+    )
+    res.add_argument(
+        "--max-retries",
+        type=int,
+        default=3,
+        metavar="N",
+        help="guard: rollback retries per epoch before giving up (default: 3)",
+    )
+    res.add_argument(
+        "--lr-backoff",
+        type=float,
+        default=0.5,
+        metavar="F",
+        help="guard: LR scale factor applied on each rollback (default: 0.5)",
+    )
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Approximate-CNN optimization flow (DATE 2021 reproduction)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("train", help="train a full-precision model", parents=[obs_flags])
+    p = sub.add_parser(
+        "train", help="train a full-precision model", parents=[obs_flags, res_flags]
+    )
     _add_model_args(p)
     _add_data_args(p)
     _add_train_args(p, default_lr=0.05)
     p.add_argument("--out", required=True)
     p.set_defaults(func=cmd_train)
 
-    p = sub.add_parser("quantize", help="8A4W quantization stage", parents=[obs_flags])
+    p = sub.add_parser(
+        "quantize", help="8A4W quantization stage", parents=[obs_flags, res_flags]
+    )
     _add_data_args(p)
     _add_train_args(p, default_lr=0.02)
     p.add_argument("--checkpoint", required=True)
@@ -332,7 +452,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--keep-bn", action="store_true", help="do not fold BatchNorm")
     p.set_defaults(func=cmd_quantize)
 
-    p = sub.add_parser("approximate", help="approximation stage", parents=[obs_flags])
+    p = sub.add_parser(
+        "approximate", help="approximation stage", parents=[obs_flags, res_flags]
+    )
     _add_data_args(p)
     _add_train_args(p, default_lr=0.02)
     p.add_argument("--checkpoint", required=True)
@@ -351,7 +473,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "sweep",
         help="multiplier x method sweep on a quantized checkpoint",
-        parents=[obs_flags],
+        parents=[obs_flags, res_flags],
     )
     _add_data_args(p)
     _add_train_args(p, default_lr=0.02)
@@ -359,6 +481,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--multipliers", nargs="+", required=True)
     p.add_argument("--methods", nargs="+", default=["normal", "approxkd_ge"], choices=METHODS)
     p.add_argument("--out", help="write the sweep as JSON")
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="retry a failing sweep cell this many times before recording the failure",
+    )
+    p.add_argument(
+        "--state",
+        metavar="PATH",
+        help="partial-result file persisted after every cell (default: <out>.partial.json)",
+    )
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser(
@@ -386,6 +519,11 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="summarise a JSONL run log", parents=[obs_flags]
     )
     p.add_argument("logfile", help="event log written with --log-json")
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on a truncated final record instead of skipping it",
+    )
     p.set_defaults(func=cmd_report)
 
     return parser

@@ -34,3 +34,11 @@ class ConfigError(ReproError):
 
 class DataError(ReproError):
     """Raised on invalid dataset parameters or corrupted batches."""
+
+
+class CheckpointError(ReproError):
+    """Raised on unreadable, corrupt or incompatible checkpoints."""
+
+
+class DivergenceError(ReproError):
+    """Raised when training diverges and the guard's retry budget is spent."""

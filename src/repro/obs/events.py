@@ -32,8 +32,22 @@ EPOCH = "epoch"
 EVAL = "eval"
 LAYER_STATS = "layer_stats"
 PROFILE = "profile"
+CHECKPOINT = "checkpoint"
+GUARD = "guard"
+FAULT = "fault"
 
-EVENT_TYPES = (RUN_START, RUN_END, STAGE, EPOCH, EVAL, LAYER_STATS, PROFILE)
+EVENT_TYPES = (
+    RUN_START,
+    RUN_END,
+    STAGE,
+    EPOCH,
+    EVAL,
+    LAYER_STATS,
+    PROFILE,
+    CHECKPOINT,
+    GUARD,
+    FAULT,
+)
 
 # Severity levels, mirroring the stdlib logging scale.
 DEBUG, INFO, WARNING, ERROR = 10, 20, 30, 40
@@ -165,6 +179,19 @@ class EventLog:
     def eval(self, name: str, accuracy: float, **payload) -> dict | None:
         return self.emit(EVAL, name=name, accuracy=float(accuracy), **payload)
 
+    def checkpoint(self, action: str, **payload) -> dict | None:
+        """Checkpoint lifecycle: ``save``/``resume``/``prune``/``corrupt``/…"""
+        level = WARNING if action == "corrupt" else INFO
+        return self.emit(CHECKPOINT, level=level, action=action, **payload)
+
+    def guard(self, action: str, reason: str | None = None, **payload) -> dict | None:
+        """Divergence-guard lifecycle: ``rollback``/``giveup``."""
+        return self.emit(GUARD, level=WARNING, action=action, reason=reason, **payload)
+
+    def fault(self, where: str, error_type: str, **payload) -> dict | None:
+        """An isolated failure (e.g. one sweep cell) that did not kill the run."""
+        return self.emit(FAULT, level=ERROR, where=where, error_type=error_type, **payload)
+
 
 def _jsonable(value):
     """Normalise payload values (numpy scalars/arrays, paths) to JSON types."""
@@ -226,28 +253,65 @@ class logging_to:
 # ----------------------------------------------------------------------
 # reading logs back
 # ----------------------------------------------------------------------
-def read_events(path: str | Path) -> list[dict]:
-    """Parse a JSONL event log, validating the envelope of every record."""
+def read_events(
+    path: str | Path,
+    strict: bool = True,
+    skipped: list[str] | None = None,
+) -> list[dict]:
+    """Parse a JSONL event log, validating the envelope of every record.
+
+    A run killed mid-write (the normal artifact of a crash) leaves a
+    truncated final line behind. With ``strict=False`` that final bad line
+    is skipped with a :class:`UserWarning` — and appended to ``skipped``
+    when a list is passed — instead of raising; corruption anywhere else
+    in the file still raises, in both modes.
+    """
     path = Path(path)
     if not path.exists():
         raise ReproError(f"event log not found: {path}")
+    lines = [
+        (lineno, line)
+        for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1)
+        if line.strip()
+    ]
     records = []
-    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
-        if not line.strip():
-            continue
+    for index, (lineno, line) in enumerate(lines):
+        is_last = index == len(lines) - 1
         try:
             record = json.loads(line)
+            if not isinstance(record, dict):
+                raise ReproError(f"{path}:{lineno}: record is not an object")
+            missing = {"type", "run", "seq", "t"} - set(record)
+            if missing:
+                raise ReproError(
+                    f"{path}:{lineno}: record missing envelope keys {sorted(missing)}"
+                )
         except json.JSONDecodeError as exc:
+            if not strict and is_last:
+                _skip_final_line(path, lineno, line, skipped)
+                continue
             raise ReproError(f"{path}:{lineno}: invalid JSON record: {exc}") from exc
-        if not isinstance(record, dict):
-            raise ReproError(f"{path}:{lineno}: record is not an object")
-        missing = {"type", "run", "seq", "t"} - set(record)
-        if missing:
-            raise ReproError(
-                f"{path}:{lineno}: record missing envelope keys {sorted(missing)}"
-            )
+        except ReproError:
+            if not strict and is_last:
+                _skip_final_line(path, lineno, line, skipped)
+                continue
+            raise
         records.append(record)
     return records
+
+
+def _skip_final_line(
+    path: Path, lineno: int, line: str, skipped: list[str] | None
+) -> None:
+    import warnings
+
+    warnings.warn(
+        f"{path}:{lineno}: skipping truncated final record "
+        f"(likely a crashed run); pass strict=True to raise instead",
+        stacklevel=3,
+    )
+    if skipped is not None:
+        skipped.append(line)
 
 
 def iter_events(records: list[dict], type: str) -> Iterator[dict]:

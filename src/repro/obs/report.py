@@ -35,6 +35,7 @@ class RunSummary:
     status: str | None = None
     wall_time: float = 0.0
     num_events: int = 0
+    skipped_records: int = 0
     final_accuracy: float | None = None
     final_accuracy_name: str | None = None
     evals: list[tuple[str, float]] = field(default_factory=list)
@@ -45,12 +46,19 @@ class RunSummary:
     hottest: list[dict] = field(default_factory=list)
 
 
-def summarize_run(path: str | Path) -> RunSummary:
-    """Parse and summarise one JSONL event log."""
-    records = ev.read_events(path)
+def summarize_run(path: str | Path, strict: bool = False) -> RunSummary:
+    """Parse and summarise one JSONL event log.
+
+    By default a truncated final line (the normal artifact of a crashed
+    run) is skipped and counted in ``skipped_records``; ``strict=True``
+    restores the old raise-on-any-corruption behaviour.
+    """
+    skipped: list[str] = []
+    records = ev.read_events(path, strict=strict, skipped=skipped)
     if not records:
         raise ReproError(f"event log is empty: {path}")
     summary = RunSummary(run_id=str(records[0].get("run", "?")), num_events=len(records))
+    summary.skipped_records = len(skipped)
     summary.wall_time = max(float(r.get("t", 0.0)) for r in records)
 
     for r in ev.iter_events(records, ev.RUN_START):
@@ -104,6 +112,11 @@ def render_summary(summary: RunSummary) -> str:
     status = summary.status or "(no run_end event)"
     lines.append(f"status: {status}   events: {summary.num_events}   "
                  f"wall time: {summary.wall_time:.2f}s")
+    if summary.skipped_records:
+        lines.append(
+            f"warning: skipped {summary.skipped_records} truncated record(s) "
+            f"at end of log (crashed run?)"
+        )
 
     if summary.evals:
         lines.append("evaluations:")

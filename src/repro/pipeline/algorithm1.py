@@ -17,12 +17,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.approx.multiplier import Multiplier
 from repro.data.dataloader import iterate_batches
 from repro.data.synthetic_cifar import Dataset
 from repro.distill.teacher import clone_model, kd_batch_loss, precompute_teacher_logits
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ReproError
 from repro.ge.montecarlo import estimate_error_model
 from repro.nn.module import Module
 from repro.obs import events as obs_events
@@ -30,7 +32,18 @@ from repro.quant.convert import calibrate_model, quantize_model, refresh_weight_
 from repro.quant.qconfig import QConfig
 from repro.sim.proxsim import attach_multiplier, detach_multiplier, evaluate_accuracy, resolve_multiplier
 from repro.train.baselines import alpha_regularization_loss, remove_alpha_regularization
-from repro.train.trainer import History, TrainConfig, cross_entropy_loss, train_model
+from repro.train.trainer import (
+    History,
+    TrainConfig,
+    cross_entropy_loss,
+    history_from_dict,
+    history_to_dict,
+    train_model,
+)
+
+if TYPE_CHECKING:  # imported lazily at runtime to keep import costs low
+    from repro.resilience.checkpoint import CheckpointManager
+    from repro.resilience.guard import DivergenceGuard, GuardConfig
 
 METHODS = ("normal", "ge", "alpha", "approxkd", "approxkd_ge")
 
@@ -54,12 +67,18 @@ def quantization_stage(
     fold_bn: bool = True,
     calibration_batches: int = 4,
     callbacks: list | None = None,
+    guard: "DivergenceGuard | None" = None,
+    checkpoints: "CheckpointManager | None" = None,
+    resume: bool = False,
 ) -> tuple[Module, StageResult]:
     """Quantize ``fp_model`` and fine-tune it (first half of Algorithm 1).
 
     Returns the trained quantized model and the stage result. ``fp_model``
     is not modified. ``callbacks`` are forwarded to the fine-tuning loop;
     note they observe the internal quantized student, not ``fp_model``.
+    ``guard``/``checkpoints``/``resume`` (see ``docs/RESILIENCE.md``) are
+    forwarded as well — a resumed stage re-runs calibration, then the
+    checkpoint overwrites the calibrated state with the saved one.
     """
     train_config = train_config or TrainConfig()
     log = obs_events.get_event_log()
@@ -82,7 +101,16 @@ def quantization_stage(
         loss = kd_batch_loss(teacher_logits, temperature)
     else:
         loss = cross_entropy_loss()
-    history = train_model(student, data, loss, train_config, callbacks=callbacks)
+    history = train_model(
+        student,
+        data,
+        loss,
+        train_config,
+        callbacks=callbacks,
+        guard=guard,
+        checkpoints=checkpoints,
+        resume=resume,
+    )
     accuracy_after = evaluate_accuracy(student, data.test_x, data.test_y)
     log.eval("quantization/after_ft", accuracy_after)
     log.stage(
@@ -105,6 +133,9 @@ def approximation_stage(
     alpha: float = 1e-11,
     rng: int = 0,
     callbacks: list | None = None,
+    guard: "DivergenceGuard | None" = None,
+    checkpoints: "CheckpointManager | None" = None,
+    resume: bool = False,
 ) -> tuple[Module, StageResult]:
     """Attach ``multiplier`` and fine-tune (second half of Algorithm 1).
 
@@ -112,7 +143,10 @@ def approximation_stage(
     The frozen quantized model (exact integer execution) serves as the KD
     teacher for the ``approxkd*`` methods, per the paper's Fig. 1.
     ``callbacks`` are forwarded to the fine-tuning loop; note they observe
-    the internal student copy, not ``quant_model``.
+    the internal student copy, not ``quant_model``. ``guard`` is
+    especially relevant here — approximate retraining is where losses
+    spike — and ``checkpoints``/``resume`` continue a killed fine-tune
+    from its last epoch (see ``docs/RESILIENCE.md``).
     """
     if method not in METHODS:
         raise ConfigError(f"unknown method {method!r}; choose from {METHODS}")
@@ -152,7 +186,16 @@ def approximation_stage(
     else:  # normal, ge
         loss = cross_entropy_loss()
 
-    history = train_model(student, data, loss, train_config, callbacks=callbacks)
+    history = train_model(
+        student,
+        data,
+        loss,
+        train_config,
+        callbacks=callbacks,
+        guard=guard,
+        checkpoints=checkpoints,
+        resume=resume,
+    )
     remove_alpha_regularization(student)
     accuracy_after = evaluate_accuracy(student, data.test_x, data.test_y)
     log.eval("approximation/after_ft", accuracy_after)
@@ -187,16 +230,67 @@ def run_algorithm1(
     qconfig: QConfig | None = None,
     method: str = "approxkd_ge",
     fold_bn: bool = True,
+    checkpoint_dir: str | Path | None = None,
+    resume: bool = False,
+    guard_config: "GuardConfig | None" = None,
 ) -> Algorithm1Result:
-    """Run both stages of Algorithm 1 and return all artifacts."""
-    quant_model, quant_result = quantization_stage(
-        fp_model,
-        data,
-        qconfig=qconfig,
-        train_config=quant_config,
-        temperature=t1,
-        fold_bn=fold_bn,
-    )
+    """Run both stages of Algorithm 1 and return all artifacts.
+
+    With ``checkpoint_dir`` set, each stage checkpoints every epoch under
+    its own subdirectory and the finished quantization stage is persisted
+    as a stage artifact; ``resume=True`` then skips the whole quantization
+    stage when its artifact exists (falling back to its epoch checkpoints
+    otherwise) and continues the approximation stage from its last epoch.
+    ``guard_config`` arms a fresh :class:`~repro.resilience.DivergenceGuard`
+    per stage.
+    """
+    quant_ckpts = approx_ckpts = None
+    quant_artifact = quant_result_path = None
+    if checkpoint_dir is not None:
+        from repro.resilience.checkpoint import CheckpointManager
+
+        checkpoint_dir = Path(checkpoint_dir)
+        quant_ckpts = CheckpointManager(checkpoint_dir / "quantization")
+        approx_ckpts = CheckpointManager(checkpoint_dir / "approximation")
+        quant_artifact = checkpoint_dir / "quantized-model.npz"
+        quant_result_path = checkpoint_dir / "quantized-stage.json"
+
+    def make_guard():
+        if guard_config is None:
+            return None
+        from repro.resilience.guard import DivergenceGuard
+
+        return DivergenceGuard(guard_config)
+
+    quant_model = quant_result = None
+    if resume and quant_artifact is not None and quant_artifact.exists():
+        quant_model, quant_result = _load_quantization_artifact(
+            fp_model, quant_artifact, quant_result_path, qconfig, fold_bn
+        )
+    if quant_model is None:
+        quant_model, quant_result = quantization_stage(
+            fp_model,
+            data,
+            qconfig=qconfig,
+            train_config=quant_config,
+            temperature=t1,
+            fold_bn=fold_bn,
+            guard=make_guard(),
+            checkpoints=quant_ckpts,
+            resume=resume,
+        )
+        if quant_artifact is not None:
+            from repro.utils.serialization import save_model, save_results
+
+            save_model(quant_model, quant_artifact)
+            save_results(
+                {
+                    "accuracy_before": quant_result.accuracy_before,
+                    "accuracy_after": quant_result.accuracy_after,
+                    "history": history_to_dict(quant_result.history),
+                },
+                quant_result_path,
+            )
     approx_model, approx_result = approximation_stage(
         quant_model,
         data,
@@ -204,5 +298,41 @@ def run_algorithm1(
         method=method,
         train_config=approx_config,
         temperature=t2,
+        guard=make_guard(),
+        checkpoints=approx_ckpts,
+        resume=resume,
     )
     return Algorithm1Result(quant_model, approx_model, quant_result, approx_result)
+
+
+def _load_quantization_artifact(
+    fp_model: Module,
+    artifact: Path,
+    result_path: Path | None,
+    qconfig: QConfig | None,
+    fold_bn: bool,
+) -> tuple[Module, StageResult] | tuple[None, None]:
+    """Rebuild the stage-1 output from its persisted artifact, if intact.
+
+    Any corruption degrades to re-running the stage (returning
+    ``(None, None)``) rather than failing the pipeline.
+    """
+    from repro.utils.serialization import load_model, load_results
+
+    log = obs_events.get_event_log()
+    try:
+        student = quantize_model(clone_model(fp_model), qconfig, fold_bn=fold_bn)
+        load_model(student, artifact)
+        payload = load_results(result_path) if result_path and result_path.exists() else {}
+    except ReproError as exc:
+        if log.enabled:
+            log.checkpoint("corrupt", path=str(artifact), error=str(exc))
+        return None, None
+    result = StageResult(
+        accuracy_before=float(payload.get("accuracy_before", 0.0)),
+        accuracy_after=float(payload.get("accuracy_after", 0.0)),
+        history=history_from_dict(payload.get("history", {})),
+    )
+    if log.enabled:
+        log.checkpoint("stage_resume", stage="quantization", path=str(artifact))
+    return student, result

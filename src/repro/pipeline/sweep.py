@@ -4,11 +4,19 @@ Productises what the table benchmarks do: run the approximation stage of
 Algorithm 1 over a grid, collect a structured result set, and export it as
 JSON for downstream analysis. Used by the examples and available to
 library users who want the paper's protocol on their own models.
+
+The sweep is fault-isolated (``docs/RESILIENCE.md``): every cell runs
+inside a try/except boundary with optional per-cell retries, so one bad
+multiplier becomes a recorded :class:`SweepPoint` failure (error type,
+message, traceback, attempt count) instead of killing the grid. With
+``state_path`` set, the partial result is persisted atomically after
+every cell, and ``resume=True`` skips already-completed cells — an
+interrupted sweep continues from the next cell, not from scratch.
 """
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
 
 from repro.approx.metrics import mean_relative_error
@@ -19,24 +27,40 @@ from repro.errors import ConfigError
 from repro.nn.module import Module
 from repro.obs import events as obs_events
 from repro.pipeline.algorithm1 import METHODS, approximation_stage
+from repro.resilience.retry import call_with_retry
 from repro.sim.proxsim import resolve_multiplier
 from repro.train.trainer import TrainConfig
-from repro.utils.serialization import save_results
+from repro.utils.serialization import load_results, save_results
 
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One (multiplier, method, temperature) cell of the sweep grid."""
+    """One (multiplier, method, temperature) cell of the sweep grid.
+
+    ``status`` is ``"ok"`` for a completed cell and ``"failed"`` for one
+    whose every attempt raised; failed cells carry the error as data
+    (``error_type``/``error``/``traceback``/``attempts``) and ``None`` in
+    the accuracy fields.
+    """
 
     multiplier: str
     method: str
     temperature: float
     mre: float
     energy_savings: float
-    initial_accuracy: float
-    final_accuracy: float
-    best_accuracy: float
+    initial_accuracy: float | None
+    final_accuracy: float | None
+    best_accuracy: float | None
     wall_time: float
+    status: str = "ok"
+    error_type: str | None = None
+    error: str | None = None
+    traceback: str | None = None
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
 
 
 @dataclass
@@ -47,25 +71,53 @@ class SweepResult:
     config: dict = field(default_factory=dict)
 
     def best_point(self) -> SweepPoint:
-        if not self.points:
-            raise ConfigError("empty sweep")
-        return max(self.points, key=lambda p: p.final_accuracy)
+        candidates = [p for p in self.points if p.ok]
+        if not candidates:
+            raise ConfigError(
+                "empty sweep" if not self.points else "sweep has no successful points"
+            )
+        return max(candidates, key=lambda p: p.final_accuracy)
 
-    def filter(self, multiplier: str | None = None, method: str | None = None):
-        """Points matching the given multiplier and/or method."""
+    def filter(
+        self,
+        multiplier: str | None = None,
+        method: str | None = None,
+        include_failed: bool = False,
+    ):
+        """Successful points matching the given multiplier and/or method.
+
+        ``include_failed=True`` also returns the recorded failure cells.
+        """
         return [
             p
             for p in self.points
-            if (multiplier is None or p.multiplier == multiplier)
+            if (include_failed or p.ok)
+            and (multiplier is None or p.multiplier == multiplier)
             and (method is None or p.method == method)
         ]
 
+    def failures(self) -> list[SweepPoint]:
+        """The recorded failure cells of the sweep."""
+        return [p for p in self.points if not p.ok]
+
     def to_json(self, path: str | Path) -> None:
-        """Serialise the sweep (points + config) to a JSON file."""
+        """Serialise the sweep (points + config) to a JSON file (atomic)."""
         save_results(
             {"config": self.config, "points": [asdict(p) for p in self.points]},
             path,
         )
+
+    @classmethod
+    def from_json(cls, path: str | Path) -> "SweepResult":
+        """Load a sweep saved by :meth:`to_json` (old files load fine —
+        pre-resilience points default to ``status="ok"``)."""
+        payload = load_results(path)
+        known = {f.name for f in fields(SweepPoint)}
+        points = [
+            SweepPoint(**{k: v for k, v in p.items() if k in known})
+            for p in payload.get("points", [])
+        ]
+        return cls(points=points, config=payload.get("config", {}))
 
 
 def run_sweep(
@@ -76,12 +128,22 @@ def run_sweep(
     temperatures: tuple[float, ...] | None = None,
     train_config: TrainConfig | None = None,
     rng: int = 0,
+    retries: int = 0,
+    state_path: str | Path | None = None,
+    resume: bool = False,
 ) -> SweepResult:
     """Run the approximation stage for every grid cell.
 
     ``temperatures=None`` uses the paper's MRE-based policy per multiplier
     (one temperature each); passing a tuple sweeps every temperature for
     every multiplier (the Table III protocol).
+
+    A raising cell is retried ``retries`` times, then recorded as a
+    structured failure — the grid always completes. ``state_path``
+    persists the partial result atomically after every cell;
+    ``resume=True`` reloads it and skips cells already present (completed
+    *or* recorded as failed), so a killed sweep restarts from the
+    interrupted cell.
     """
     for method in methods:
         if method not in METHODS:
@@ -97,23 +159,97 @@ def run_sweep(
         }
     )
     log = obs_events.get_event_log()
+    if resume:
+        if state_path is None:
+            raise ConfigError("resume=True requires state_path")
+        if Path(state_path).exists():
+            previous = SweepResult.from_json(state_path)
+            result.points = previous.points
+            if log.enabled:
+                log.checkpoint(
+                    "sweep_resume", path=str(state_path), completed=len(result.points)
+                )
+    done = {(p.multiplier, p.method, float(p.temperature)) for p in result.points}
+
+    def record(point: SweepPoint) -> None:
+        result.points.append(point)
+        if state_path is not None:
+            result.to_json(state_path)
+
     for item in multipliers:
-        mult = resolve_multiplier(item)
-        mre = mean_relative_error(mult)
+        resolved, failure = call_with_retry(
+            lambda item=item: _resolve(item), where=f"sweep[{item}]"
+        )
+        if failure is not None:
+            # The multiplier itself is broken: record one failed cell per
+            # method so the grid shape stays predictable.
+            for temperature in temperatures or (0.0,):
+                for method in methods:
+                    key = (str(item), method, float(temperature))
+                    if key in done:
+                        continue
+                    record(
+                        SweepPoint(
+                            multiplier=str(item),
+                            method=method,
+                            temperature=float(temperature),
+                            mre=0.0,
+                            energy_savings=0.0,
+                            initial_accuracy=None,
+                            final_accuracy=None,
+                            best_accuracy=None,
+                            wall_time=0.0,
+                            status="failed",
+                            error_type=failure.error_type,
+                            error=failure.error,
+                            traceback=failure.traceback,
+                            attempts=failure.attempts,
+                        )
+                    )
+            continue
+        mult, mre = resolved
         temps = temperatures or (recommended_t2(mre),)
         for temperature in temps:
             for method in methods:
+                key = (mult.name, method, float(temperature))
+                if key in done:
+                    continue
                 cell = f"sweep[{mult.name}/{method}/T{temperature:g}]"
                 log.stage(cell, "start")
-                _, stage = approximation_stage(
-                    quant_model,
-                    data,
-                    mult,
-                    method=method,
-                    train_config=train_config,
-                    temperature=temperature,
-                    rng=rng,
+                stage, failure = call_with_retry(
+                    lambda: approximation_stage(
+                        quant_model,
+                        data,
+                        mult,
+                        method=method,
+                        train_config=train_config,
+                        temperature=temperature,
+                        rng=rng,
+                    )[1],
+                    where=cell,
+                    retries=retries,
                 )
+                if failure is not None:
+                    log.stage(cell, "end", status="failed", error=failure.error)
+                    record(
+                        SweepPoint(
+                            multiplier=mult.name,
+                            method=method,
+                            temperature=temperature,
+                            mre=mre,
+                            energy_savings=mult.energy_savings,
+                            initial_accuracy=None,
+                            final_accuracy=None,
+                            best_accuracy=None,
+                            wall_time=0.0,
+                            status="failed",
+                            error_type=failure.error_type,
+                            error=failure.error,
+                            traceback=failure.traceback,
+                            attempts=failure.attempts,
+                        )
+                    )
+                    continue
                 log.stage(
                     cell,
                     "end",
@@ -121,7 +257,7 @@ def run_sweep(
                     accuracy_after=stage.accuracy_after,
                     duration=stage.history.wall_time,
                 )
-                result.points.append(
+                record(
                     SweepPoint(
                         multiplier=mult.name,
                         method=method,
@@ -135,3 +271,8 @@ def run_sweep(
                     )
                 )
     return result
+
+
+def _resolve(item: "str | Multiplier") -> tuple[Multiplier, float]:
+    mult = resolve_multiplier(item)
+    return mult, mean_relative_error(mult)

@@ -1,0 +1,254 @@
+"""Crash-safe, checksummed training checkpoints.
+
+A checkpoint is one ``.npz`` archive holding the complete state needed to
+continue a run bit-for-bit where it stopped:
+
+- the model arrays of :func:`repro.utils.serialization.model_state_arrays`
+  (parameters, buffers and quantization step sizes/bit widths),
+- the optimizer state (momentum/Adam buffers) under ``__opt__/`` keys,
+- a JSON payload under ``__resilience__/state`` with the epoch count, RNG
+  state, training history and any caller extras (e.g. the divergence
+  guard's LR scale).
+
+Next to each archive sits a small JSON manifest with the archive's SHA-256
+digest. Both files are written atomically (temp file + ``os.replace``), so
+a SIGKILL at any instant leaves either a complete epoch-N checkpoint or a
+complete epoch-(N-1) one — never a torn file that silently resumes wrong.
+:meth:`CheckpointManager.load_latest` verifies the digest and falls back to
+the newest earlier checkpoint when one is corrupt.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import zipfile
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import CheckpointError
+from repro.nn.module import Module
+from repro.obs import events as obs_events
+from repro.train.optim import Optimizer
+from repro.utils.atomic import atomic_write_json, atomic_writer, file_sha256
+from repro.utils.serialization import load_model_arrays, model_state_arrays
+
+FORMAT_VERSION = 1
+
+_OPT_PREFIX = "__opt__/"
+_STATE_KEY = "__resilience__/state"
+_NAME_RE = re.compile(r"^epoch-(\d{6})\.ckpt\.npz$")
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """A loaded checkpoint: where it came from and its JSON payload."""
+
+    path: Path
+    epoch: int
+    state: dict
+
+
+class CheckpointManager:
+    """Manage the checkpoints of one training run in one directory.
+
+    ``keep`` bounds disk use (older checkpoints are pruned after each
+    save); ``every`` sets the epoch cadence the trainer saves at. The
+    manager is deliberately model-agnostic: it persists whatever arrays
+    the model/optimizer expose, so it works for FP training, the
+    quantization stage and approximate retraining alike.
+    """
+
+    def __init__(self, directory: str | Path, keep: int = 3, every: int = 1):
+        if keep < 1:
+            raise CheckpointError(f"keep must be >= 1, got {keep}")
+        if every < 1:
+            raise CheckpointError(f"every must be >= 1, got {every}")
+        self.directory = Path(directory)
+        self.keep = int(keep)
+        self.every = int(every)
+
+    # -- paths -----------------------------------------------------------
+    def path_for(self, epoch: int) -> Path:
+        return self.directory / f"epoch-{epoch:06d}.ckpt.npz"
+
+    @staticmethod
+    def manifest_for(path: Path) -> Path:
+        return path.with_suffix(".json")  # epoch-NNNNNN.ckpt.json
+
+    def checkpoints(self) -> list[tuple[int, Path]]:
+        """All on-disk checkpoint archives, oldest first (unverified)."""
+        if not self.directory.is_dir():
+            return []
+        found = []
+        for path in self.directory.iterdir():
+            match = _NAME_RE.match(path.name)
+            if match:
+                found.append((int(match.group(1)), path))
+        return sorted(found)
+
+    # -- save ------------------------------------------------------------
+    def save(
+        self,
+        epoch: int,
+        model: Module,
+        optimizer: Optimizer | None = None,
+        state: dict | None = None,
+    ) -> Path:
+        """Write the epoch-``epoch`` checkpoint atomically and prune."""
+        arrays = model_state_arrays(model)
+        payload = {"format": FORMAT_VERSION, "epoch": int(epoch)}
+        if state:
+            payload.update(state)
+        if optimizer is not None:
+            opt_arrays, opt_scalars = _flatten_optimizer_state(optimizer.state_dict())
+            arrays.update(opt_arrays)
+            payload["optimizer"] = opt_scalars
+        arrays[_STATE_KEY] = np.frombuffer(
+            json.dumps(payload, sort_keys=True).encode("utf-8"), dtype=np.uint8
+        )
+
+        path = self.path_for(epoch)
+        with atomic_writer(path, "wb") as stream:
+            np.savez(stream, **arrays)
+        atomic_write_json(
+            self.manifest_for(path),
+            {
+                "file": path.name,
+                "sha256": file_sha256(path),
+                "epoch": int(epoch),
+                "format": FORMAT_VERSION,
+            },
+        )
+        log = obs_events.get_event_log()
+        if log.enabled:
+            log.checkpoint("save", epoch=int(epoch), path=str(path))
+        self.prune()
+        return path
+
+    # -- load ------------------------------------------------------------
+    def verify(self, path: Path) -> bool:
+        """True when ``path`` exists and matches its manifest's digest."""
+        manifest_path = self.manifest_for(path)
+        if not path.exists() or not manifest_path.exists():
+            return False
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except json.JSONDecodeError:
+            return False
+        return manifest.get("sha256") == file_sha256(path)
+
+    def load(
+        self,
+        path: str | Path,
+        model: Module,
+        optimizer: Optimizer | None = None,
+    ) -> Checkpoint:
+        """Load one verified checkpoint into ``model`` (and ``optimizer``)."""
+        path = Path(path)
+        if not self.verify(path):
+            raise CheckpointError(
+                f"checkpoint failed verification (missing or corrupt): {path}"
+            )
+        try:
+            with np.load(path) as archive:
+                arrays = {key: archive[key] for key in archive.files}
+        except (zipfile.BadZipFile, ValueError, OSError, EOFError, KeyError) as exc:
+            raise CheckpointError(f"unreadable checkpoint {path}: {exc}") from exc
+        if _STATE_KEY not in arrays:
+            raise CheckpointError(f"checkpoint {path} has no resilience state")
+        payload = json.loads(bytes(arrays.pop(_STATE_KEY)).decode("utf-8"))
+        if payload.get("format") != FORMAT_VERSION:
+            raise CheckpointError(
+                f"checkpoint {path} has unsupported format {payload.get('format')!r}"
+            )
+        opt_arrays = {
+            key.removeprefix(_OPT_PREFIX): value
+            for key, value in arrays.items()
+            if key.startswith(_OPT_PREFIX)
+        }
+        model_arrays = {
+            key: value for key, value in arrays.items() if not key.startswith(_OPT_PREFIX)
+        }
+        load_model_arrays(model, model_arrays, context=f"checkpoint {path}")
+        if optimizer is not None:
+            scalars = payload.get("optimizer")
+            if scalars is None:
+                raise CheckpointError(
+                    f"checkpoint {path} has no optimizer state but an optimizer "
+                    f"was passed to restore"
+                )
+            optimizer.load_state_dict(_unflatten_optimizer_state(opt_arrays, scalars))
+        return Checkpoint(path=path, epoch=int(payload["epoch"]), state=payload)
+
+    def load_latest(
+        self,
+        model: Module,
+        optimizer: Optimizer | None = None,
+    ) -> Checkpoint | None:
+        """Load the newest checkpoint that verifies; None when none does.
+
+        Corrupt or unreadable checkpoints are skipped (newest first) with a
+        ``checkpoint``/``corrupt`` event, so a crash during the final save
+        degrades to resuming one epoch earlier instead of failing the run.
+        """
+        log = obs_events.get_event_log()
+        for _, path in reversed(self.checkpoints()):
+            try:
+                return self.load(path, model, optimizer)
+            except CheckpointError as exc:
+                if log.enabled:
+                    log.checkpoint("corrupt", path=str(path), error=str(exc))
+        return None
+
+    # -- retention -------------------------------------------------------
+    def prune(self) -> list[Path]:
+        """Delete all but the newest ``keep`` checkpoints; returns removals."""
+        removed = []
+        stale = self.checkpoints()[: -self.keep] if self.keep else []
+        for _, path in stale:
+            path.unlink(missing_ok=True)
+            self.manifest_for(path).unlink(missing_ok=True)
+            removed.append(path)
+        log = obs_events.get_event_log()
+        if removed and log.enabled:
+            log.checkpoint("prune", removed=[str(p) for p in removed])
+        return removed
+
+
+def _flatten_optimizer_state(state: dict) -> tuple[dict[str, np.ndarray], dict]:
+    """Split an optimizer state dict into npz arrays and JSON scalars."""
+    arrays: dict[str, np.ndarray] = {}
+    scalars: dict = {}
+    for key, value in state.items():
+        if isinstance(value, list) and all(isinstance(v, np.ndarray) for v in value):
+            for i, buf in enumerate(value):
+                arrays[f"{_OPT_PREFIX}{key}/{i:04d}"] = buf
+            scalars[key] = {"__buffers__": len(value)}
+        elif isinstance(value, (int, float)):
+            scalars[key] = value
+        else:
+            raise CheckpointError(
+                f"cannot checkpoint optimizer state {key!r} of type "
+                f"{type(value).__name__}"
+            )
+    return arrays, scalars
+
+
+def _unflatten_optimizer_state(arrays: dict[str, np.ndarray], scalars: dict) -> dict:
+    """Inverse of :func:`_flatten_optimizer_state`."""
+    state: dict = {}
+    for key, value in scalars.items():
+        if isinstance(value, dict) and "__buffers__" in value:
+            count = int(value["__buffers__"])
+            try:
+                state[key] = [arrays[f"{key}/{i:04d}"] for i in range(count)]
+            except KeyError as exc:
+                raise CheckpointError(
+                    f"optimizer buffer list {key!r} is incomplete: missing {exc}"
+                ) from exc
+        else:
+            state[key] = value
+    return state

@@ -1,0 +1,208 @@
+"""Divergence guard: detect blow-ups, roll back, retry with a smaller LR.
+
+Approximate retraining is where runs blow up: AM-induced error makes
+losses spike and gradients explode (the reason the gradient-estimation
+line of work exists at all). The guard watches three signals —
+
+- **non-finite loss** per batch, checked *before* the backward/step so a
+  NaN never reaches the weights,
+- **exploding gradient norm** per batch, checked after the backward but
+  before the step,
+- **accuracy collapse** per evaluated epoch (absolute floor and/or drop
+  from the best seen),
+
+and on a trip restores the model, optimizer and RNG to the snapshot taken
+at the start of the epoch, shrinks its learning-rate scale by
+``lr_backoff``, and lets the trainer retry the epoch. Retries are bounded
+per epoch; when the budget is spent the trainer raises
+:class:`repro.errors.DivergenceError`. Every rollback and give-up emits a
+``guard`` event on the active :class:`repro.obs.EventLog`.
+
+The LR scale persists for the rest of the run (and across resume — the
+trainer checkpoints it), so a run that needed backing off does not
+immediately re-diverge at the next epoch.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.module import Module
+from repro.obs import events as obs_events
+from repro.train.optim import Optimizer
+from repro.utils.rng import get_rng_state, set_rng_state
+
+
+@dataclass(frozen=True)
+class GuardConfig:
+    """Thresholds and retry policy of a :class:`DivergenceGuard`."""
+
+    max_retries: int = 3
+    lr_backoff: float = 0.5
+    min_lr_scale: float = 1e-4
+    max_grad_norm: float | None = 1e3
+    min_accuracy: float | None = None
+    max_accuracy_drop: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigError(f"max_retries must be >= 0, got {self.max_retries}")
+        if not 0.0 < self.lr_backoff < 1.0:
+            raise ConfigError(f"lr_backoff must be in (0, 1), got {self.lr_backoff}")
+        if self.min_lr_scale <= 0:
+            raise ConfigError(f"min_lr_scale must be > 0, got {self.min_lr_scale}")
+        if self.max_grad_norm is not None and self.max_grad_norm <= 0:
+            raise ConfigError(f"max_grad_norm must be > 0, got {self.max_grad_norm}")
+        if self.max_accuracy_drop is not None and self.max_accuracy_drop <= 0:
+            raise ConfigError(
+                f"max_accuracy_drop must be > 0, got {self.max_accuracy_drop}"
+            )
+
+
+@dataclass(frozen=True)
+class GuardTrip:
+    """Record of one rollback (or final give-up)."""
+
+    epoch: int
+    reason: str
+    detail: str
+    attempt: int
+    lr_scale: float
+    retrying: bool
+
+
+@dataclass
+class _Snapshot:
+    epoch: int
+    model_state: dict
+    optimizer_state: dict
+    rng_state: dict
+
+
+class DivergenceGuard:
+    """Stateful watchdog used by :func:`repro.train.train_model`.
+
+    The trainer drives the protocol:
+
+    1. :meth:`remember` at the start of every epoch (snapshot),
+    2. :meth:`check_loss` / :meth:`check_grad_norm` per batch and
+       :meth:`check_accuracy` after the evaluation — a non-None return is
+       the trip reason,
+    3. :meth:`trip` to roll back; its return says whether to retry,
+    4. :meth:`record_accuracy` once an epoch is accepted.
+    """
+
+    def __init__(self, config: GuardConfig | None = None):
+        self.config = config or GuardConfig()
+        self.lr_scale: float = 1.0
+        self.trips: list[GuardTrip] = []
+        self._snapshot: _Snapshot | None = None
+        self._attempts = 0
+        self._best_accuracy = -math.inf
+
+    # -- snapshotting ----------------------------------------------------
+    def remember(
+        self, epoch: int, model: Module, optimizer: Optimizer, rng: np.random.Generator
+    ) -> None:
+        """Snapshot the run state at the start of ``epoch``."""
+        if self._snapshot is None or self._snapshot.epoch != epoch:
+            self._attempts = 0
+        self._snapshot = _Snapshot(
+            epoch=epoch,
+            model_state=model.state_dict(),
+            optimizer_state=optimizer.state_dict(),
+            rng_state=get_rng_state(rng),
+        )
+
+    # -- detection -------------------------------------------------------
+    def check_loss(self, loss_value: float) -> str | None:
+        if not math.isfinite(loss_value):
+            return "non_finite_loss"
+        return None
+
+    def check_grad_norm(self, grad_norm: float) -> str | None:
+        if self.config.max_grad_norm is None:
+            return None
+        if not math.isfinite(grad_norm) or grad_norm > self.config.max_grad_norm:
+            return "grad_explosion"
+        return None
+
+    def check_accuracy(self, accuracy: float) -> str | None:
+        if not math.isfinite(accuracy):
+            return "non_finite_accuracy"
+        if self.config.min_accuracy is not None and accuracy < self.config.min_accuracy:
+            return "accuracy_floor"
+        if (
+            self.config.max_accuracy_drop is not None
+            and self._best_accuracy > -math.inf
+            and accuracy < self._best_accuracy - self.config.max_accuracy_drop
+        ):
+            return "accuracy_collapse"
+        return None
+
+    def record_accuracy(self, accuracy: float) -> None:
+        """Track the best accepted accuracy (collapse baseline)."""
+        if accuracy > self._best_accuracy:
+            self._best_accuracy = accuracy
+
+    # -- rollback --------------------------------------------------------
+    @property
+    def attempts(self) -> int:
+        """Rollbacks of the epoch currently being retried."""
+        return self._attempts
+
+    def trip(
+        self,
+        epoch: int,
+        reason: str,
+        detail: str,
+        model: Module,
+        optimizer: Optimizer,
+        rng: np.random.Generator,
+    ) -> bool:
+        """Roll back to the epoch-start snapshot; True when a retry is due.
+
+        Each trip multiplies the guard's LR scale by ``lr_backoff``
+        (exponential backoff). Retries stop when the per-epoch budget is
+        spent or the scale falls below ``min_lr_scale``.
+        """
+        if self._snapshot is None or self._snapshot.epoch != epoch:
+            raise ConfigError(
+                f"guard tripped at epoch {epoch} without a matching snapshot"
+            )
+        self._attempts += 1
+        model.load_state_dict(self._snapshot.model_state)
+        optimizer.load_state_dict(self._snapshot.optimizer_state)
+        set_rng_state(rng, self._snapshot.rng_state)
+
+        new_scale = self.lr_scale * self.config.lr_backoff
+        retrying = (
+            self._attempts <= self.config.max_retries
+            and new_scale >= self.config.min_lr_scale
+        )
+        if retrying:
+            self.lr_scale = new_scale
+        record = GuardTrip(
+            epoch=epoch,
+            reason=reason,
+            detail=detail,
+            attempt=self._attempts,
+            lr_scale=self.lr_scale,
+            retrying=retrying,
+        )
+        self.trips.append(record)
+        log = obs_events.get_event_log()
+        if log.enabled:
+            log.guard(
+                "rollback" if retrying else "giveup",
+                reason=reason,
+                epoch=epoch + 1,
+                attempt=self._attempts,
+                lr_scale=self.lr_scale,
+                detail=detail,
+            )
+        return retrying

@@ -1,0 +1,73 @@
+"""Fault isolation for independent units of work (e.g. sweep cells).
+
+A sweep over dozens of multipliers must not die because one cell raises —
+the grid should complete and the failure should become *data*. This
+module provides the boundary: :func:`call_with_retry` runs a callable up
+to ``1 + retries`` times and, instead of propagating, returns a structured
+:class:`FailureRecord` (error type, message, traceback, attempt count)
+when every attempt failed. ``KeyboardInterrupt``/``SystemExit`` always
+propagate — interrupting a sweep must still interrupt it.
+
+Every failed attempt emits a ``fault`` event on the active event log.
+"""
+
+from __future__ import annotations
+
+import traceback as _traceback
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from repro.obs import events as obs_events
+
+T = TypeVar("T")
+
+_TRACEBACK_LIMIT = 4000  # characters kept per recorded traceback
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """Structured description of an exhausted unit of work."""
+
+    where: str
+    error_type: str
+    error: str
+    traceback: str
+    attempts: int
+
+
+def call_with_retry(
+    fn: Callable[[], T],
+    where: str,
+    retries: int = 0,
+) -> tuple[T | None, FailureRecord | None]:
+    """Run ``fn`` with up to ``retries`` retries; never raises on failure.
+
+    Returns ``(result, None)`` on success and ``(None, FailureRecord)``
+    when every attempt raised. The record carries the *last* attempt's
+    error and the total attempt count.
+    """
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    log = obs_events.get_event_log()
+    last: FailureRecord | None = None
+    attempts = retries + 1
+    for attempt in range(1, attempts + 1):
+        try:
+            return fn(), None
+        except Exception as exc:  # noqa: BLE001 — the boundary is the point
+            last = FailureRecord(
+                where=where,
+                error_type=type(exc).__name__,
+                error=str(exc),
+                traceback=_traceback.format_exc()[-_TRACEBACK_LIMIT:],
+                attempts=attempt,
+            )
+            if log.enabled:
+                log.fault(
+                    where,
+                    last.error_type,
+                    error=last.error,
+                    attempt=attempt,
+                    attempts=attempts,
+                )
+    return None, last

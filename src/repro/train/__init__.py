@@ -9,13 +9,15 @@ from repro.train.callbacks import (
 )
 from repro.train.lr_schedule import ConstantLR, CosineDecay, LRSchedule, StepDecay
 from repro.train.metrics import confusion_matrix, top1_accuracy, topk_accuracy
-from repro.train.optim import SGD, Adam, Optimizer, clip_grad_norm
+from repro.train.optim import SGD, Adam, Optimizer, clip_grad_norm, global_grad_norm
 from repro.train.robustness import noisy_weight_training
 from repro.train.trainer import (
     BatchLoss,
     History,
     TrainConfig,
     cross_entropy_loss,
+    history_from_dict,
+    history_to_dict,
     train_model,
 )
 
@@ -24,6 +26,7 @@ __all__ = [
     "SGD",
     "Adam",
     "clip_grad_norm",
+    "global_grad_norm",
     "noisy_weight_training",
     "Callback",
     "EarlyStopping",
@@ -41,6 +44,8 @@ __all__ = [
     "BatchLoss",
     "train_model",
     "cross_entropy_loss",
+    "history_to_dict",
+    "history_from_dict",
     "alpha_regularization_loss",
     "remove_alpha_regularization",
 ]

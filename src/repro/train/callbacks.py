@@ -2,6 +2,13 @@
 
 Callbacks observe the training loop after each evaluated epoch and may
 request a stop. They compose: ``train_model(..., callbacks=[...])``.
+
+When a :class:`repro.resilience.DivergenceGuard` is active, callbacks are
+also notified of every rollback through :meth:`Callback.on_rollback`, so
+stateful callbacks (patience counters, weight snapshots) can discount the
+rolled-back epoch. The guard itself is not a callback — it needs to run
+inside the batch loop — and is passed to ``train_model`` separately via
+the ``guard`` keyword.
 """
 
 from __future__ import annotations
@@ -20,6 +27,13 @@ class Callback:
 
     def on_epoch_end(self, epoch: int, history: History, model: Module) -> bool:
         return False
+
+    def on_rollback(self, epoch: int, reason: str, model: Module) -> None:
+        """Called when the divergence guard rolled ``epoch`` back.
+
+        The epoch was never committed to the history; ``model`` has
+        already been restored to its epoch-start state. Default: no-op.
+        """
 
 
 class EarlyStopping(Callback):

@@ -26,6 +26,46 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    # -- checkpointable state ------------------------------------------------
+    def state_dict(self) -> dict:
+        """Copy of the optimizer's internal state (momentum buffers etc.).
+
+        Values are floats/ints or lists of arrays parallel to ``params``;
+        :class:`repro.resilience.CheckpointManager` persists them so a
+        resumed run continues with identical update dynamics.
+        """
+        return {"lr": self.lr}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict` (in place)."""
+        self.lr = float(state["lr"])
+
+    def _load_buffers(
+        self, own: list[np.ndarray], saved: list[np.ndarray], name: str
+    ) -> None:
+        if len(saved) != len(own):
+            raise ConfigError(
+                f"optimizer state mismatch: {len(saved)} saved {name} buffers "
+                f"for {len(own)} parameters"
+            )
+        for buf, value in zip(own, saved):
+            value = np.asarray(value)
+            if buf.shape != value.shape:
+                raise ConfigError(
+                    f"optimizer {name} buffer shape mismatch: "
+                    f"expected {buf.shape}, got {value.shape}"
+                )
+            buf[...] = value
+
+
+def global_grad_norm(params: list[Parameter]) -> float:
+    """Global L2 norm over all parameter gradients (skips missing grads)."""
+    total = 0.0
+    for p in params:
+        if p.grad is not None:
+            total += float((p.grad.astype(np.float64) ** 2).sum())
+    return float(np.sqrt(total))
+
 
 def clip_grad_norm(params: list[Parameter], max_norm: float) -> float:
     """Scale all gradients so their global L2 norm is at most ``max_norm``.
@@ -34,15 +74,12 @@ def clip_grad_norm(params: list[Parameter], max_norm: float) -> float:
     """
     if max_norm <= 0:
         raise ConfigError(f"max_norm must be positive, got {max_norm}")
-    total = 0.0
-    grads = [p.grad for p in params if p.grad is not None]
-    for g in grads:
-        total += float((g.astype(np.float64) ** 2).sum())
-    norm = float(np.sqrt(total))
+    norm = global_grad_norm(params)
     if norm > max_norm:
         scale = max_norm / (norm + 1e-12)
-        for g in grads:
-            g *= scale
+        for p in params:
+            if p.grad is not None:
+                p.grad *= scale
     return norm
 
 
@@ -88,6 +125,15 @@ class SGD(Optimizer):
                 update = grad
             p.data = p.data - self.lr * update
 
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["velocity"] = [v.copy() for v in self._velocity]
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self._load_buffers(self._velocity, state["velocity"], "velocity")
+
 
 class Adam(Optimizer):
     """Adam optimizer (used by some ablations; the paper itself uses SGD)."""
@@ -126,3 +172,16 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["m"] = [m.copy() for m in self._m]
+        state["v"] = [v.copy() for v in self._v]
+        state["t"] = self._t
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self._load_buffers(self._m, state["m"], "m")
+        self._load_buffers(self._v, state["v"], "v")
+        self._t = int(state["t"])

@@ -7,6 +7,8 @@ experiments are reproducible end to end.
 
 from __future__ import annotations
 
+import copy
+
 import numpy as np
 
 SeedLike = "int | np.random.Generator | None"
@@ -29,3 +31,18 @@ def spawn_rngs(seed: int | np.random.Generator | None, n: int) -> list[np.random
         raise ValueError(f"cannot spawn a negative number of generators: {n}")
     root = new_rng(seed)
     return [np.random.default_rng(s) for s in root.bit_generator.seed_seq.spawn(n)]
+
+
+def get_rng_state(rng: np.random.Generator) -> dict:
+    """Snapshot of a generator's internal state.
+
+    The snapshot is a plain nested dict of strings and Python ints, so it
+    JSON round-trips — checkpoints rely on this to restore the exact
+    training-data order after a resume.
+    """
+    return copy.deepcopy(rng.bit_generator.state)
+
+
+def set_rng_state(rng: np.random.Generator, state: dict) -> None:
+    """Restore a snapshot taken with :func:`get_rng_state` (in place)."""
+    rng.bit_generator.state = copy.deepcopy(state)

@@ -4,24 +4,36 @@ Models serialise to ``.npz`` archives of their state dict plus, for
 quantized models, the per-layer quantization state (step sizes and bit
 widths), so a calibrated model can be reloaded ready to run. Experiment
 results serialise to JSON.
+
+All writes are atomic (staged to a temp file, then ``os.replace``) so a
+crash mid-write never leaves a truncated artifact behind, and all reads
+convert low-level decode failures into :class:`ReproError` carrying the
+offending path.
 """
 
 from __future__ import annotations
 
 import json
+import zipfile
 from pathlib import Path
 
 import numpy as np
 
 from repro.errors import ReproError
 from repro.nn.module import Module
+from repro.utils.atomic import atomic_writer
 
 _META_PREFIX = "__quant__/"
 _WSTEP_PREFIX = "__quantstep__/"
+_RESERVED_PREFIXES = (_META_PREFIX, _WSTEP_PREFIX)
 
 
-def save_model(model: Module, path: str | Path) -> None:
-    """Serialise parameters, buffers and quantization state to ``path``."""
+def model_state_arrays(model: Module) -> dict[str, np.ndarray]:
+    """Flat array view of a model: state dict plus quantization state.
+
+    This is the exact content of a :func:`save_model` archive; the
+    checkpoint manager embeds the same arrays inside training checkpoints.
+    """
     from repro.quant.convert import named_quant_layers
 
     arrays: dict[str, np.ndarray] = dict(model.state_dict())
@@ -40,22 +52,20 @@ def save_model(model: Module, path: str | Path) -> None:
         arrays[f"{_WSTEP_PREFIX}{name}"] = np.atleast_1d(
             np.asarray(layer.weight_step, dtype=np.float64)
         )
-    np.savez(Path(path), **arrays)
+    return arrays
 
 
-def load_model(model: Module, path: str | Path) -> Module:
-    """Load state saved by :func:`save_model` into ``model`` (in place).
+def load_model_arrays(
+    model: Module, arrays: dict[str, np.ndarray], context: str = "model state"
+) -> Module:
+    """Load arrays produced by :func:`model_state_arrays` into ``model``.
 
-    ``model`` must have the same architecture (and, for quantized state,
-    the same quantized layers) as the saved one.
+    Raises :class:`ReproError` naming ``context`` when the arrays and the
+    model disagree — symmetrically for missing and extra/unconsumed keys,
+    both for plain parameters/buffers and for quantization state.
     """
     from repro.quant.convert import named_quant_layers
 
-    path = Path(path)
-    if not path.exists():
-        raise ReproError(f"model file not found: {path}")
-    with np.load(path) as archive:
-        arrays = {key: archive[key] for key in archive.files}
     quant_meta = {
         key.removeprefix(_META_PREFIX): value
         for key, value in arrays.items()
@@ -67,17 +77,32 @@ def load_model(model: Module, path: str | Path) -> Module:
         if key.startswith(_WSTEP_PREFIX)
     }
     state = {
-        k: v
-        for k, v in arrays.items()
-        if not k.startswith((_META_PREFIX, _WSTEP_PREFIX))
+        k: v for k, v in arrays.items() if not k.startswith(_RESERVED_PREFIXES)
     }
+
+    own_keys = {name for name, _ in model.named_parameters()}
+    own_keys |= {name for name, _ in model.named_buffers()}
+    missing = own_keys - set(state)
+    unexpected = set(state) - own_keys
+    if missing or unexpected:
+        raise ReproError(
+            f"{context} does not match the model: "
+            f"missing={sorted(missing)}, unexpected={sorted(unexpected)}"
+        )
     model.load_state_dict(state)
 
     layers = dict(named_quant_layers(model))
-    missing = set(quant_meta) - set(layers)
-    if missing:
+    unknown = (set(quant_meta) | set(weight_steps)) - set(layers)
+    if unknown:
         raise ReproError(
-            f"saved quantization state for unknown layers: {sorted(missing)}"
+            f"{context} holds quantization state for unknown layers: "
+            f"{sorted(unknown)}"
+        )
+    lopsided = set(quant_meta) ^ set(weight_steps)
+    if lopsided:
+        raise ReproError(
+            f"{context} holds incomplete quantization state (meta without "
+            f"step or step without meta) for layers: {sorted(lopsided)}"
         )
     for name, meta in quant_meta.items():
         layer = layers[name]
@@ -96,9 +121,41 @@ def load_model(model: Module, path: str | Path) -> Module:
     return model
 
 
+def save_model(model: Module, path: str | Path) -> None:
+    """Serialise parameters, buffers and quantization state to ``path``.
+
+    The write is atomic: a crash leaves either the previous complete file
+    or no file, never a truncated archive.
+    """
+    arrays = model_state_arrays(model)
+    with atomic_writer(path, "wb") as stream:
+        np.savez(stream, **arrays)
+
+
+def load_model(model: Module, path: str | Path) -> Module:
+    """Load state saved by :func:`save_model` into ``model`` (in place).
+
+    ``model`` must have the same architecture (and, for quantized state,
+    the same quantized layers) as the saved one; mismatches — missing keys
+    and extra/unconsumed arrays alike — raise :class:`ReproError`, as does
+    a corrupt or truncated archive.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ReproError(f"model file not found: {path}")
+    try:
+        with np.load(path) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+    except (zipfile.BadZipFile, ValueError, OSError, EOFError, KeyError) as exc:
+        raise ReproError(f"corrupt or unreadable model file {path}: {exc}") from exc
+    return load_model_arrays(model, arrays, context=f"model file {path}")
+
+
 def save_results(results: dict, path: str | Path) -> None:
-    """Serialise an experiment-result dictionary to JSON."""
-    Path(path).write_text(json.dumps(_jsonable(results), indent=2, sort_keys=True))
+    """Serialise an experiment-result dictionary to JSON (atomically)."""
+    text = json.dumps(_jsonable(results), indent=2, sort_keys=True)
+    with atomic_writer(path, "w") as stream:
+        stream.write(text)
 
 
 def load_results(path: str | Path) -> dict:
@@ -106,7 +163,10 @@ def load_results(path: str | Path) -> dict:
     path = Path(path)
     if not path.exists():
         raise ReproError(f"results file not found: {path}")
-    return json.loads(path.read_text())
+    try:
+        return json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"corrupt results file {path}: {exc}") from exc
 
 
 def _jsonable(value):

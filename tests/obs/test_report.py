@@ -90,6 +90,45 @@ class TestSummarize:
             summarize_run(path)
 
 
+class TestTruncatedLog:
+    """A crashed run leaves a half-written final line; see docs/RESILIENCE.md."""
+
+    @pytest.fixture
+    def truncated_log(self, run_log):
+        text = run_log.read_text()
+        run_log.write_text(text + '{"type": "epoch", "run": "synth", "se')
+        return run_log
+
+    def test_tolerant_mode_skips_final_line(self, truncated_log):
+        with pytest.warns(UserWarning, match="truncated final record"):
+            summary = summarize_run(truncated_log)
+        assert summary.skipped_records == 1
+        assert summary.num_events == 11  # the complete records still count
+
+    def test_strict_mode_raises(self, truncated_log):
+        with pytest.raises(ReproError, match="invalid JSON"):
+            summarize_run(truncated_log, strict=True)
+
+    def test_mid_file_corruption_always_raises(self, run_log):
+        lines = run_log.read_text().splitlines()
+        lines[2] = lines[2][: len(lines[2]) // 2]  # corrupt a middle record
+        run_log.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ReproError):
+            summarize_run(run_log)
+
+    def test_render_mentions_skipped_records(self, truncated_log):
+        with pytest.warns(UserWarning):
+            text = render_summary(summarize_run(truncated_log))
+        assert "skipped 1 truncated record" in text
+
+    def test_read_events_collects_skipped_lines(self, truncated_log):
+        skipped = []
+        with pytest.warns(UserWarning):
+            records = ev.read_events(truncated_log, strict=False, skipped=skipped)
+        assert len(records) == 11
+        assert skipped == ['{"type": "epoch", "run": "synth", "se']
+
+
 class TestRender:
     def test_mentions_every_section(self, run_log):
         text = render_summary(summarize_run(run_log))

@@ -1,0 +1,17 @@
+"""Fixtures for the resilience test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import events as obs_events
+
+
+@pytest.fixture
+def events():
+    """Route the default event log into an in-memory sink for one test."""
+    log = obs_events.EventLog(run_id="test")
+    sink = log.add_sink(obs_events.CollectingSink())
+    previous = obs_events.set_event_log(log)
+    yield sink
+    obs_events.set_event_log(previous)

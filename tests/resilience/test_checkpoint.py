@@ -1,0 +1,126 @@
+"""CheckpointManager: atomic save/load, checksums, retention, fallback."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CheckpointError
+from repro.models import simplecnn
+from repro.resilience import CheckpointManager
+from repro.train import SGD
+from repro.utils.serialization import model_state_arrays
+
+pytestmark = pytest.mark.resilience
+
+
+def make_model(seed=0):
+    return simplecnn(base_width=4, rng=seed)
+
+
+def make_optimizer(model, rng=None):
+    opt = SGD(model.parameters(), lr=0.01, momentum=0.9)
+    if rng is not None:  # give the momentum buffers non-trivial content
+        state = opt.state_dict()
+        state["velocity"] = [
+            rng.normal(size=v.shape).astype(v.dtype) for v in state["velocity"]
+        ]
+        opt.load_state_dict(state)
+    return opt
+
+
+class TestSaveLoad:
+    def test_round_trip(self, tmp_path, rng):
+        model = make_model(seed=0)
+        opt = make_optimizer(model, rng)
+        manager = CheckpointManager(tmp_path)
+        manager.save(3, model, opt, state={"note": "hi", "lr_scale": 0.25})
+
+        restored = make_model(seed=1)  # different init
+        restored_opt = make_optimizer(restored)
+        loaded = manager.load_latest(restored, restored_opt)
+        assert loaded is not None
+        assert loaded.epoch == 3
+        assert loaded.state["note"] == "hi"
+        assert loaded.state["lr_scale"] == 0.25
+
+        want, got = model_state_arrays(model), model_state_arrays(restored)
+        assert set(want) == set(got)
+        for key in want:
+            np.testing.assert_array_equal(want[key], got[key])
+        for a, b in zip(opt.state_dict()["velocity"],
+                        restored_opt.state_dict()["velocity"]):
+            np.testing.assert_array_equal(a, b)
+
+    def test_save_emits_event_and_manifest(self, tmp_path, events):
+        model = make_model()
+        manager = CheckpointManager(tmp_path)
+        path = manager.save(1, model)
+        assert manager.manifest_for(path).exists()
+        assert any(
+            r["type"] == "checkpoint" and r["action"] == "save"
+            for r in events.records
+        )
+
+    def test_empty_directory_resumes_nothing(self, tmp_path):
+        assert CheckpointManager(tmp_path).load_latest(make_model()) is None
+
+    def test_optimizerless_checkpoint_rejects_optimizer_restore(self, tmp_path):
+        model = make_model()
+        manager = CheckpointManager(tmp_path)
+        path = manager.save(1, model)  # saved without optimizer state
+        with pytest.raises(CheckpointError):
+            manager.load(path, make_model(), make_optimizer(make_model()))
+
+    def test_invalid_policy_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            CheckpointManager(tmp_path, keep=0)
+        with pytest.raises(CheckpointError):
+            CheckpointManager(tmp_path, every=0)
+
+
+class TestRetention:
+    def test_prunes_to_keep_newest(self, tmp_path):
+        model = make_model()
+        manager = CheckpointManager(tmp_path, keep=2)
+        for epoch in range(1, 5):
+            manager.save(epoch, model)
+        remaining = manager.checkpoints()
+        assert [epoch for epoch, _ in remaining] == [3, 4]
+        for _, path in remaining:
+            assert manager.manifest_for(path).exists()
+        # pruned manifests are gone too
+        assert not manager.manifest_for(manager.path_for(1)).exists()
+
+
+class TestCorruptionFallback:
+    def test_corrupt_newest_falls_back_to_older(self, tmp_path, events):
+        model = make_model()
+        manager = CheckpointManager(tmp_path)
+        manager.save(1, model)
+        newest = manager.save(2, model)
+        newest.write_bytes(b"garbage, not a zip archive")
+
+        loaded = manager.load_latest(make_model(seed=1))
+        assert loaded is not None
+        assert loaded.epoch == 1
+        assert any(
+            r["type"] == "checkpoint" and r["action"] == "corrupt"
+            for r in events.records
+        )
+
+    def test_all_corrupt_returns_none(self, tmp_path):
+        model = make_model()
+        manager = CheckpointManager(tmp_path)
+        path = manager.save(1, model)
+        manager.manifest_for(path).unlink()  # no digest -> fails verification
+        assert manager.load_latest(make_model(seed=1)) is None
+
+    def test_bitflip_detected_by_digest(self, tmp_path):
+        model = make_model()
+        manager = CheckpointManager(tmp_path)
+        path = manager.save(1, model)
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        assert not manager.verify(path)
+        with pytest.raises(CheckpointError):
+            manager.load(path, make_model(seed=1))

@@ -1,0 +1,110 @@
+"""DivergenceGuard: NaN containment, rollback, LR backoff, give-up."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, DivergenceError
+from repro.models import simplecnn
+from repro.resilience import DivergenceGuard, GuardConfig
+from repro.train import TrainConfig, cross_entropy_loss, train_model
+
+pytestmark = pytest.mark.resilience
+
+FAST = TrainConfig(epochs=2, batch_size=128, lr=0.05, momentum=0.9, seed=0)
+
+
+def nan_loss_for_calls(bad_calls):
+    """Cross-entropy that returns NaN on the given 1-based call numbers."""
+    base = cross_entropy_loss()
+    counter = {"calls": 0}
+
+    def loss(logits, labels, indices):
+        counter["calls"] += 1
+        value = base(logits, labels, indices)
+        if counter["calls"] in bad_calls:
+            return value * float("nan")
+        return value
+
+    return loss
+
+
+class TestNaNContainment:
+    def test_injected_nan_rolls_back_and_retries(self, tiny_dataset, events):
+        model = simplecnn(base_width=4, rng=0)
+        guard = DivergenceGuard(GuardConfig(max_retries=3, lr_backoff=0.5))
+        history = train_model(
+            model, tiny_dataset, nan_loss_for_calls({1}), FAST, guard=guard
+        )
+        # The epoch was retried at a reduced LR and training completed.
+        assert len(guard.trips) == 1
+        trip = guard.trips[0]
+        assert trip.reason == "non_finite_loss"
+        assert trip.retrying
+        assert guard.lr_scale == pytest.approx(0.5)
+        assert len(history.train_loss) == FAST.epochs
+        assert history.learning_rate[0] == pytest.approx(FAST.lr * 0.5)
+        rollbacks = [
+            r for r in events.records
+            if r["type"] == "guard" and r["action"] == "rollback"
+        ]
+        assert len(rollbacks) == 1
+        assert rollbacks[0]["reason"] == "non_finite_loss"
+
+    def test_nan_never_reaches_weights(self, tiny_dataset):
+        model = simplecnn(base_width=4, rng=0)
+        guard = DivergenceGuard()
+        train_model(model, tiny_dataset, nan_loss_for_calls({1, 2}), FAST, guard=guard)
+        for name, param in model.named_parameters():
+            assert np.isfinite(param.data).all(), f"NaN leaked into {name}"
+
+    def test_retry_budget_exhaustion_raises(self, tiny_dataset, events):
+        model = simplecnn(base_width=4, rng=0)
+        guard = DivergenceGuard(GuardConfig(max_retries=1, lr_backoff=0.5))
+        always_nan = nan_loss_for_calls(set(range(1, 1000)))
+        with pytest.raises(DivergenceError, match="non_finite_loss"):
+            train_model(model, tiny_dataset, always_nan, FAST, guard=guard)
+        assert not guard.trips[-1].retrying
+        assert any(
+            r["type"] == "guard" and r["action"] == "giveup" for r in events.records
+        )
+        # Even after giving up, the weights hold the last good snapshot.
+        for _, param in model.named_parameters():
+            assert np.isfinite(param.data).all()
+
+
+class TestGradExplosion:
+    def test_tiny_norm_threshold_trips(self, tiny_dataset):
+        model = simplecnn(base_width=4, rng=0)
+        guard = DivergenceGuard(GuardConfig(max_retries=0, max_grad_norm=1e-12))
+        with pytest.raises(DivergenceError, match="grad_explosion"):
+            train_model(model, tiny_dataset, cross_entropy_loss(), FAST, guard=guard)
+
+
+class TestAccuracyChecks:
+    def test_collapse_relative_to_best(self):
+        guard = DivergenceGuard(GuardConfig(max_accuracy_drop=0.2))
+        assert guard.check_accuracy(0.5) is None  # no baseline yet
+        guard.record_accuracy(0.8)
+        assert guard.check_accuracy(0.7) is None
+        assert guard.check_accuracy(0.55) == "accuracy_collapse"
+
+    def test_absolute_floor_and_nan(self):
+        guard = DivergenceGuard(GuardConfig(min_accuracy=0.3))
+        assert guard.check_accuracy(0.29) == "accuracy_floor"
+        assert guard.check_accuracy(float("nan")) == "non_finite_accuracy"
+        assert guard.check_accuracy(0.31) is None
+
+
+class TestGuardConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            GuardConfig(max_retries=-1)
+        with pytest.raises(ConfigError):
+            GuardConfig(lr_backoff=1.0)
+        with pytest.raises(ConfigError):
+            GuardConfig(max_grad_norm=0.0)
+
+    def test_trip_without_snapshot_rejected(self):
+        guard = DivergenceGuard()
+        with pytest.raises(ConfigError):
+            guard.trip(0, "non_finite_loss", "detail", None, None, None)

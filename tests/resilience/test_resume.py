@@ -1,0 +1,105 @@
+"""Kill-and-resume: a resumed run is bit-for-bit the uninterrupted run."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.models import simplecnn
+from repro.resilience import CheckpointManager
+from repro.train import TrainConfig, cross_entropy_loss, train_model
+from repro.utils.serialization import model_state_arrays
+
+pytestmark = pytest.mark.resilience
+
+FULL = TrainConfig(epochs=4, batch_size=128, lr=0.05, momentum=0.9, seed=3)
+HALF = dataclasses.replace(FULL, epochs=2)
+
+
+def make_model():
+    return simplecnn(base_width=4, rng=0)
+
+
+def assert_same_weights(a, b):
+    want, got = model_state_arrays(a), model_state_arrays(b)
+    assert set(want) == set(got)
+    for key in want:
+        np.testing.assert_array_equal(want[key], got[key], err_msg=key)
+
+
+class TestBitwiseResume:
+    def test_interrupted_run_resumes_identically(self, tiny_dataset, tmp_path):
+        # Reference: the uninterrupted 4-epoch run.
+        reference = make_model()
+        ref_history = train_model(
+            reference, tiny_dataset, cross_entropy_loss(), FULL
+        )
+
+        # "Crash" after epoch 2: train half the epochs with checkpointing...
+        interrupted = make_model()
+        train_model(
+            interrupted,
+            tiny_dataset,
+            cross_entropy_loss(),
+            HALF,
+            checkpoints=CheckpointManager(tmp_path / "ckpt"),
+        )
+
+        # ...then resume a *fresh* process (fresh model object) to the end.
+        resumed = make_model()
+        history = train_model(
+            resumed,
+            tiny_dataset,
+            cross_entropy_loss(),
+            FULL,
+            checkpoints=CheckpointManager(tmp_path / "ckpt"),
+            resume=True,
+        )
+
+        assert_same_weights(reference, resumed)
+        assert history.train_loss == ref_history.train_loss
+        assert history.test_accuracy == ref_history.test_accuracy
+        assert history.learning_rate == ref_history.learning_rate
+
+    def test_resume_event_emitted(self, tiny_dataset, tmp_path, events):
+        model = make_model()
+        manager = CheckpointManager(tmp_path / "ckpt")
+        train_model(model, tiny_dataset, cross_entropy_loss(), HALF,
+                    checkpoints=manager)
+        train_model(make_model(), tiny_dataset, cross_entropy_loss(), FULL,
+                    checkpoints=manager, resume=True)
+        resumes = [
+            r for r in events.records
+            if r["type"] == "checkpoint" and r["action"] == "resume"
+        ]
+        assert len(resumes) == 1
+        assert resumes[0]["epoch"] == HALF.epochs
+
+    def test_resume_with_no_checkpoints_trains_from_scratch(
+        self, tiny_dataset, tmp_path
+    ):
+        reference = make_model()
+        ref_history = train_model(reference, tiny_dataset, cross_entropy_loss(), HALF)
+        fresh = make_model()
+        history = train_model(
+            fresh,
+            tiny_dataset,
+            cross_entropy_loss(),
+            HALF,
+            checkpoints=CheckpointManager(tmp_path / "empty"),
+            resume=True,
+        )
+        assert_same_weights(reference, fresh)
+        assert history.train_loss == ref_history.train_loss
+
+    def test_completed_run_does_not_retrain(self, tiny_dataset, tmp_path):
+        manager = CheckpointManager(tmp_path / "ckpt")
+        done = make_model()
+        train_model(done, tiny_dataset, cross_entropy_loss(), HALF,
+                    checkpoints=manager)
+        again = make_model()
+        history = train_model(again, tiny_dataset, cross_entropy_loss(), HALF,
+                              checkpoints=manager, resume=True)
+        assert_same_weights(done, again)
+        # All epochs were restored from the checkpoint, none re-run.
+        assert len(history.train_loss) == HALF.epochs

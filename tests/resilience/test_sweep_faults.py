@@ -1,0 +1,185 @@
+"""Fault-isolated sweeps: failing cells become data, grids always finish."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.pipeline import SweepResult, run_sweep
+from repro.pipeline.algorithm1 import StageResult
+from repro.resilience import FailureRecord, call_with_retry
+from repro.train import History, TrainConfig
+
+pytestmark = pytest.mark.resilience
+
+FAST = TrainConfig(epochs=1, batch_size=64, seed=0)
+
+
+def fake_approximation_stage(fail_cells=(), interrupt_at=None, calls=None):
+    """Stand-in for the real stage: instant, scripted failures."""
+    calls = calls if calls is not None else []
+
+    def stage(quant_model, data, multiplier, *, method, train_config,
+              temperature, rng):
+        calls.append((multiplier.name, method))
+        if interrupt_at is not None and len(calls) == interrupt_at:
+            raise KeyboardInterrupt
+        if (multiplier.name, method) in fail_cells:
+            raise RuntimeError(f"injected failure in {multiplier.name}/{method}")
+        history = History(
+            train_loss=[0.1], test_accuracy=[0.6],
+            learning_rate=[0.01], epoch_time=[0.01], wall_time=0.05,
+        )
+        return object(), StageResult(0.5, 0.6, history)
+
+    return stage, calls
+
+
+class TestFailingCells:
+    def test_grid_completes_with_recorded_failure(self, monkeypatch, events):
+        stage, _ = fake_approximation_stage(
+            fail_cells={("truncated4", "normal")}
+        )
+        monkeypatch.setattr("repro.pipeline.sweep.approximation_stage", stage)
+        result = run_sweep(
+            object(), object(), ["truncated3", "truncated4"],
+            methods=("normal",), train_config=FAST,
+        )
+        assert len(result.points) == 2
+        failed = result.failures()
+        assert len(failed) == 1
+        point = failed[0]
+        assert point.multiplier == "truncated4"
+        assert point.status == "failed"
+        assert point.error_type == "RuntimeError"
+        assert "injected failure" in point.error
+        assert "RuntimeError" in point.traceback
+        assert point.final_accuracy is None
+        assert any(r["type"] == "fault" for r in events.records)
+
+    def test_best_point_skips_failures(self, monkeypatch):
+        stage, _ = fake_approximation_stage(fail_cells={("truncated4", "normal")})
+        monkeypatch.setattr("repro.pipeline.sweep.approximation_stage", stage)
+        result = run_sweep(
+            object(), object(), ["truncated3", "truncated4"],
+            methods=("normal",), train_config=FAST,
+        )
+        assert result.best_point().multiplier == "truncated3"
+        assert result.filter(include_failed=True) != result.filter()
+
+    def test_all_failed_best_point_raises(self, monkeypatch):
+        stage, _ = fake_approximation_stage(
+            fail_cells={("truncated3", "normal")}
+        )
+        monkeypatch.setattr("repro.pipeline.sweep.approximation_stage", stage)
+        result = run_sweep(
+            object(), object(), ["truncated3"], methods=("normal",),
+            train_config=FAST,
+        )
+        with pytest.raises(ConfigError, match="no successful points"):
+            result.best_point()
+
+    def test_retries_recorded(self, monkeypatch):
+        stage, calls = fake_approximation_stage(
+            fail_cells={("truncated3", "normal")}
+        )
+        monkeypatch.setattr("repro.pipeline.sweep.approximation_stage", stage)
+        result = run_sweep(
+            object(), object(), ["truncated3"], methods=("normal",),
+            train_config=FAST, retries=2,
+        )
+        assert result.points[0].attempts == 3
+        assert len(calls) == 3
+
+    def test_unknown_multiplier_becomes_failed_cells(self, monkeypatch):
+        stage, _ = fake_approximation_stage()
+        monkeypatch.setattr("repro.pipeline.sweep.approximation_stage", stage)
+        result = run_sweep(
+            object(), object(), ["truncated3", "no_such_multiplier"],
+            methods=("normal", "approxkd"), train_config=FAST,
+        )
+        ok = [p for p in result.points if p.ok]
+        failed = result.failures()
+        assert len(ok) == 2  # truncated3 x both methods
+        assert len(failed) == 2  # one per method for the broken multiplier
+        assert all(p.multiplier == "no_such_multiplier" for p in failed)
+
+    def test_json_round_trip_preserves_failures(self, monkeypatch, tmp_path):
+        stage, _ = fake_approximation_stage(fail_cells={("truncated4", "normal")})
+        monkeypatch.setattr("repro.pipeline.sweep.approximation_stage", stage)
+        result = run_sweep(
+            object(), object(), ["truncated3", "truncated4"],
+            methods=("normal",), train_config=FAST,
+        )
+        path = tmp_path / "sweep.json"
+        result.to_json(path)
+        loaded = SweepResult.from_json(path)
+        assert [p.status for p in loaded.points] == [
+            p.status for p in result.points
+        ]
+        assert loaded.failures()[0].error_type == "RuntimeError"
+
+
+class TestSweepResume:
+    def test_interrupted_sweep_resumes_from_next_cell(self, monkeypatch, tmp_path):
+        state = tmp_path / "sweep.partial.json"
+        stage, calls = fake_approximation_stage(interrupt_at=3)
+        monkeypatch.setattr("repro.pipeline.sweep.approximation_stage", stage)
+        with pytest.raises(KeyboardInterrupt):
+            run_sweep(
+                object(), object(), ["truncated3", "truncated4"],
+                methods=("normal", "approxkd"), temperatures=(1.0,),
+                train_config=FAST, state_path=state,
+            )
+        assert len(SweepResult.from_json(state).points) == 2
+
+        stage, resumed_calls = fake_approximation_stage()
+        monkeypatch.setattr("repro.pipeline.sweep.approximation_stage", stage)
+        result = run_sweep(
+            object(), object(), ["truncated3", "truncated4"],
+            methods=("normal", "approxkd"), temperatures=(1.0,),
+            train_config=FAST, state_path=state, resume=True,
+        )
+        assert len(result.points) == 4
+        assert len(resumed_calls) == 2  # completed cells were skipped
+
+    def test_resume_requires_state_path(self):
+        with pytest.raises(ConfigError, match="state_path"):
+            run_sweep(object(), object(), ["truncated3"], resume=True)
+
+    def test_resume_with_missing_state_starts_fresh(self, monkeypatch, tmp_path):
+        stage, calls = fake_approximation_stage()
+        monkeypatch.setattr("repro.pipeline.sweep.approximation_stage", stage)
+        result = run_sweep(
+            object(), object(), ["truncated3"], methods=("normal",),
+            train_config=FAST,
+            state_path=tmp_path / "absent.json", resume=True,
+        )
+        assert len(result.points) == 1
+        assert len(calls) == 1
+
+
+class TestCallWithRetry:
+    def test_success_passes_through(self):
+        value, failure = call_with_retry(lambda: 42, where="unit")
+        assert value == 42 and failure is None
+
+    def test_failure_is_structured(self, events):
+        value, failure = call_with_retry(
+            lambda: 1 / 0, where="unit", retries=1
+        )
+        assert value is None
+        assert isinstance(failure, FailureRecord)
+        assert failure.error_type == "ZeroDivisionError"
+        assert failure.attempts == 2
+        faults = [r for r in events.records if r["type"] == "fault"]
+        assert len(faults) == 2
+
+    def test_keyboard_interrupt_propagates(self):
+        def boom():
+            raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            call_with_retry(boom, where="unit")
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            call_with_retry(lambda: 1, where="unit", retries=-1)
