@@ -1,0 +1,178 @@
+#!/usr/bin/env python
+"""Serial-vs-parallel wall-time benchmark seeding the perf trajectory.
+
+Times the three parallelised hot paths (``docs/PERFORMANCE.md``) serially
+and at ``--workers`` workers, and writes the measurements to a JSON file
+(default ``BENCH_pr3.json``) for trend tracking across PRs:
+
+- **sweep** — ``run_sweep`` over a multiplier × method grid on a small
+  quantized CNN (process pool, one cell per task);
+- **montecarlo** — Monte-Carlo error profiling of one multiplier
+  (process pool over simulation chunks, bit-identical to serial);
+- **gemm** — a large approximate GEMM (threaded row blocks).
+
+``--smoke`` shrinks every workload for CI. Speedups are hardware-bound:
+on a single-core runner the parallel numbers are expected to be ~1x or
+below (the report records ``cpu_count`` so trends stay interpretable);
+with >= 4 cores the sweep speedup at 4 workers is the headline number.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench.py [--smoke] [--workers 4] \
+        [--out BENCH_pr3.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import platform
+import sys
+import time
+
+import numpy as np
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def _result(name: str, serial_s: float, parallel_s: float, workers: int, **extra) -> dict:
+    return {
+        "bench": name,
+        "serial_s": round(serial_s, 4),
+        "parallel_s": round(parallel_s, 4),
+        "workers": workers,
+        "speedup": round(serial_s / parallel_s, 3) if parallel_s > 0 else None,
+        **extra,
+    }
+
+
+def bench_sweep(workers: int, smoke: bool) -> dict:
+    from repro.data import make_synthetic_cifar
+    from repro.models import simplecnn
+    from repro.pipeline import quantization_stage, run_sweep
+    from repro.train import TrainConfig, cross_entropy_loss, train_model
+
+    data = make_synthetic_cifar(
+        num_train=128 if smoke else 400,
+        num_test=64 if smoke else 200,
+        image_size=16,
+        seed=7,
+    )
+    model = simplecnn(base_width=8, rng=0)
+    train_model(
+        model, data, cross_entropy_loss(),
+        TrainConfig(epochs=1 if smoke else 3, batch_size=64, lr=0.05, seed=0),
+    )
+    quant_model, _ = quantization_stage(
+        model, data, train_config=TrainConfig(epochs=1, batch_size=64, lr=0.01, seed=0)
+    )
+    quant_model.eval()
+
+    multipliers = ["truncated3", "truncated4"] if smoke else [
+        "truncated3", "truncated4", "evoapprox29", "evoapprox470"
+    ]
+    config = TrainConfig(epochs=1, batch_size=64, lr=0.005, grad_clip=1.0, seed=0)
+
+    def sweep(n: int):
+        return run_sweep(
+            quant_model, data, multipliers,
+            methods=("normal",) if smoke else ("normal", "approxkd"),
+            train_config=config, workers=n,
+        )
+
+    serial_s = _timed(lambda: sweep(1))
+    parallel_s = _timed(lambda: sweep(workers))
+    return _result(
+        "sweep", serial_s, parallel_s, workers,
+        cells=len(multipliers) * (1 if smoke else 2),
+    )
+
+
+def bench_montecarlo(workers: int, smoke: bool) -> dict:
+    from repro.approx import get_multiplier
+    from repro.ge import profile_multiplier_error
+
+    mult = get_multiplier("truncated4")
+    sims = 50 if smoke else 400
+    rows = 64 if smoke else 256
+
+    def profile(n: int):
+        return profile_multiplier_error(
+            mult, num_simulations=sims, gemm_rows=rows, rng=0, workers=n
+        )
+
+    serial_s = _timed(lambda: profile(1))
+    parallel_s = _timed(lambda: profile(workers))
+    return _result("montecarlo", serial_s, parallel_s, workers, simulations=sims)
+
+
+def bench_gemm(workers: int, smoke: bool) -> dict:
+    from repro.approx import get_multiplier
+    from repro.approx.gemm import approx_matmul
+
+    mult = get_multiplier("truncated4")
+    rng = np.random.default_rng(0)
+    m = 2048 if smoke else 8192
+    a = rng.integers(-127, 128, size=(m, 72), dtype=np.int64).astype(np.int32)
+    b = rng.integers(-7, 8, size=(72, 64), dtype=np.int64).astype(np.int32)
+    repeats = 3
+
+    def gemm(n: int):
+        for _ in range(repeats):
+            approx_matmul(a, b, mult, workers=n)
+
+    gemm(1)  # warm the LUT caches out of the timed region
+    serial_s = _timed(lambda: gemm(1))
+    parallel_s = _timed(lambda: gemm(workers))
+    return _result("gemm", serial_s, parallel_s, workers, rows=m, repeats=repeats)
+
+
+BENCHES = {"sweep": bench_sweep, "montecarlo": bench_montecarlo, "gemm": bench_gemm}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_pr3.json", help="output JSON path")
+    parser.add_argument("--workers", type=int, default=4, help="parallel worker count")
+    parser.add_argument("--smoke", action="store_true", help="small CI-sized workloads")
+    parser.add_argument(
+        "--only", choices=sorted(BENCHES), action="append",
+        help="run a subset (repeatable; default: all)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.utils.serialization import save_results
+
+    results = []
+    for name in args.only or sorted(BENCHES):
+        print(f"bench: {name} (workers={args.workers})", flush=True)
+        entry = BENCHES[name](args.workers, args.smoke)
+        print(
+            f"  serial {entry['serial_s']:.2f}s  parallel {entry['parallel_s']:.2f}s"
+            f"  speedup {entry['speedup']}x",
+            flush=True,
+        )
+        results.append(entry)
+
+    payload = {
+        "meta": {
+            "workers": args.workers,
+            "smoke": args.smoke,
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "results": results,
+    }
+    save_results(payload, args.out)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

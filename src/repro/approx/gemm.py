@@ -22,9 +22,16 @@ import numpy as np
 from repro.approx.multiplier import Multiplier
 from repro.errors import MultiplierError, ShapeError
 from repro.obs import profiling as prof
+from repro.parallel import ParallelConfig, effective_workers, map_workers
 
 # Largest |product|·K for which float64 accumulation is provably exact.
 _EXACT_FLOAT64_BOUND = 2.0**52
+
+# Row-block size of the threaded GEMM path. Each output row depends only on
+# the matching row of ``a``, so row blocks evaluate independently and the
+# chunked result is bitwise identical to the single-shot one. Blocks much
+# smaller than this are dominated by dispatch overhead.
+ROW_BLOCK = 256
 
 
 def exact_int_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -45,7 +52,12 @@ def exact_int_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
         return a.astype(np.int64) @ b.astype(np.int64)
 
 
-def approx_matmul(a: np.ndarray, b: np.ndarray, multiplier: Multiplier) -> np.ndarray:
+def approx_matmul(
+    a: np.ndarray,
+    b: np.ndarray,
+    multiplier: Multiplier,
+    workers: int | None = None,
+) -> np.ndarray:
     """Approximate integer GEMM ``a @ b`` using ``multiplier`` elementwise.
 
     Parameters
@@ -56,6 +68,11 @@ def approx_matmul(a: np.ndarray, b: np.ndarray, multiplier: Multiplier) -> np.nd
     b:
         Signed integer codes of shape (K, N); magnitudes must fit the
         multiplier's ``w_bits`` unsigned domain.
+    workers:
+        Evaluate independent row blocks of ``a`` on this many threads when
+        M spans several blocks (``docs/PERFORMANCE.md``); ``None`` uses
+        the process-wide default (the CLI's ``--workers``). The result is
+        bitwise identical at any worker count.
     """
     a = np.asarray(a)
     b = np.asarray(b)
@@ -71,11 +88,30 @@ def approx_matmul(a: np.ndarray, b: np.ndarray, multiplier: Multiplier) -> np.nd
     _check_magnitude(a, xhi, multiplier.name, "a")
     _check_magnitude(b, whi, multiplier.name, "b")
 
+    num_workers = effective_workers(workers)
+    if num_workers > 1 and a.shape[0] >= 2 * ROW_BLOCK:
+        blocks = min(num_workers, -(-a.shape[0] // ROW_BLOCK))
+        bounds = np.linspace(0, a.shape[0], blocks + 1, dtype=int)
+        rows = [a[lo:hi] for lo, hi in zip(bounds[:-1], bounds[1:])]
+        with prof.timer("approx.matmul_chunked", nbytes=a.nbytes + b.nbytes):
+            parts = map_workers(
+                lambda block: _approx_matmul_block(block, b, multiplier, xhi, whi),
+                rows,
+                ParallelConfig(workers=blocks, backend="thread"),
+            )
+        return np.concatenate(parts, axis=0)
+    return _approx_matmul_block(a, b, multiplier, xhi, whi)
+
+
+def _approx_matmul_block(
+    a: np.ndarray, b: np.ndarray, multiplier: Multiplier, xhi: int, whi: int
+) -> np.ndarray:
+    """The LUT-decomposition GEMM on one (row block of) operand ``a``."""
     # float32 accumulation is exact while every partial sum of integer
     # products stays below 2^24; fall back to float64 otherwise.
     max_product = float(np.abs(multiplier.lut).max())
     use_f32 = max_product * a.shape[1] < 2.0**23
-    lut = multiplier.signed_lut_f32() if use_f32 else multiplier.signed_lut().astype(np.float64)
+    lut = multiplier.signed_lut_f32() if use_f32 else multiplier.signed_lut_f64()
     dtype = np.float32 if use_f32 else np.float64
 
     a_idx = (a.astype(np.intp) + xhi).ravel()

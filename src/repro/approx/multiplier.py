@@ -103,6 +103,18 @@ class Multiplier:
             self._signed_lut_f32 = cached
         return cached
 
+    def signed_lut_f64(self) -> np.ndarray:
+        """:meth:`signed_lut` as float64 (cached).
+
+        The GEMM engine's wide-accumulation path gathers from this table on
+        every call; converting per call would dominate small GEMMs.
+        """
+        cached = getattr(self, "_signed_lut_f64", None)
+        if cached is None:
+            cached = self.signed_lut().astype(np.float64)
+            self._signed_lut_f64 = cached
+        return cached
+
     # -- properties ------------------------------------------------------
     @property
     def is_exact(self) -> bool:

@@ -17,6 +17,12 @@ suppresses progress chatter (final result lines stay on stdout for
 scripting), ``--verbose`` renders the event stream on the console, and
 ``--profile`` prints the hot-path timer table after the command.
 
+The compute-heavy subcommands (``sweep``/``profile``/``approximate``/
+``evaluate``) additionally take ``--workers N`` (``docs/PERFORMANCE.md``):
+sweep cells and Monte-Carlo simulations spread over a worker pool and
+large approximate GEMMs run row-chunked on threads, with results
+identical to the serial ones on a fixed seed.
+
 The training subcommands (``train``/``quantize``/``approximate``/``sweep``)
 additionally support the resilience flags (``docs/RESILIENCE.md``):
 ``--resume`` restarts from the last good epoch (or, for ``sweep``, the
@@ -275,6 +281,7 @@ def cmd_sweep(args, console: obs_console.Console, log: obs_events.EventLog) -> i
         retries=args.retries,
         state_path=state_path,
         resume=args.resume,
+        workers=args.workers,
     )
     console.result(
         f"{'multiplier':16s} {'method':12s} {'T2':>4s} {'init[%]':>8s} {'final[%]':>9s}"
@@ -330,7 +337,7 @@ def cmd_multipliers(args, console: obs_console.Console, log: obs_events.EventLog
 
 def cmd_profile(args, console: obs_console.Console, log: obs_events.EventLog) -> int:
     mult = get_multiplier(args.multiplier)
-    model = estimate_error_model(mult, rng=args.seed)
+    model = estimate_error_model(mult, rng=args.seed, workers=args.workers)
     console.info(f"multiplier: {mult.name} (MRE {100 * mean_relative_error(mult):.1f}%)")
     if model.is_constant:
         console.result(f"error model: constant f(y) = {model.c:.2f} -> GE degenerates to STE")
@@ -377,6 +384,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile",
         action="store_true",
         help="profile the hot paths and print the timer table afterwards",
+    )
+
+    par_flags = argparse.ArgumentParser(add_help=False)
+    par = par_flags.add_argument_group("parallelism")
+    par.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker pool size for sweeps/profiling and threaded GEMM chunking "
+        "(default: 1 = serial; results are identical at any worker count)",
     )
 
     res_flags = argparse.ArgumentParser(add_help=False)
@@ -453,7 +471,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_quantize)
 
     p = sub.add_parser(
-        "approximate", help="approximation stage", parents=[obs_flags, res_flags]
+        "approximate",
+        help="approximation stage",
+        parents=[obs_flags, res_flags, par_flags],
     )
     _add_data_args(p)
     _add_train_args(p, default_lr=0.02)
@@ -464,7 +484,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out")
     p.set_defaults(func=cmd_approximate)
 
-    p = sub.add_parser("evaluate", help="evaluate a checkpoint", parents=[obs_flags])
+    p = sub.add_parser(
+        "evaluate", help="evaluate a checkpoint", parents=[obs_flags, par_flags]
+    )
     _add_data_args(p)
     p.add_argument("--checkpoint", required=True)
     p.add_argument("--multiplier")
@@ -473,7 +495,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "sweep",
         help="multiplier x method sweep on a quantized checkpoint",
-        parents=[obs_flags, res_flags],
+        parents=[obs_flags, res_flags, par_flags],
     )
     _add_data_args(p)
     _add_train_args(p, default_lr=0.02)
@@ -509,7 +531,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_multipliers)
 
     p = sub.add_parser(
-        "profile", help="fit a multiplier's error model", parents=[obs_flags]
+        "profile",
+        help="fit a multiplier's error model",
+        parents=[obs_flags, par_flags],
     )
     p.add_argument("--multiplier", required=True)
     p.add_argument("--seed", type=int, default=0)
@@ -540,8 +564,15 @@ def _loggable_config(args) -> dict:
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.parallel import ParallelConfig, set_default_config
+
     args = build_parser().parse_args(argv)
     console = obs_console.get_console()
+    # Install the worker count as the process-wide default so deep call
+    # sites (chunked GEMM, error-model fitting inside stages) see it too.
+    previous_parallel = set_default_config(
+        ParallelConfig(workers=max(1, getattr(args, "workers", 1)))
+    )
     if args.quiet:
         console.level = obs_events.WARNING
     elif args.verbose:
@@ -587,6 +618,7 @@ def main(argv: list[str] | None = None) -> int:
             prof.disable_profiling()
         obs_events.set_event_log(previous_log)
         log.close()
+        set_default_config(previous_parallel)
     return code
 
 

@@ -14,10 +14,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from functools import partial
+
 from repro.approx.gemm import approx_matmul, exact_int_matmul
 from repro.approx.multiplier import Multiplier
 from repro.ge.error_model import PiecewiseLinearErrorModel, fit_error_model
 from repro.obs import profiling as prof
+from repro.parallel import ParallelConfig, chunked, effective_workers, map_workers
 from repro.quant.quantizer import qrange
 from repro.utils.rng import new_rng
 
@@ -39,6 +42,21 @@ def _sample_codes(rng, shape, bits: int, sigma_fraction: float) -> np.ndarray:
     return np.clip(codes, lo, hi).astype(np.int32)
 
 
+def _simulate_chunk(
+    multiplier: Multiplier, draws: list[tuple[np.ndarray, np.ndarray]]
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Exact/approximate GEMM pairs for one worker's share of the draws.
+
+    Module-level so the process backend can pickle it.
+    """
+    out = []
+    for a, b in draws:
+        exact = exact_int_matmul(a, b)
+        approx = approx_matmul(a, b, multiplier)
+        out.append((exact.reshape(-1), (approx - exact).reshape(-1)))
+    return out
+
+
 def profile_multiplier_error(
     multiplier: Multiplier,
     num_simulations: int = 50,
@@ -49,6 +67,7 @@ def profile_multiplier_error(
     weight_bits: int = 4,
     sigma_fraction: float = 0.35,
     rng=None,
+    workers: int | None = None,
 ) -> ErrorProfile:
     """Run ``num_simulations`` random convolutions-as-GEMMs and collect
     ``(y, ε)`` pairs.
@@ -56,21 +75,37 @@ def profile_multiplier_error(
     The default ``reduce_dim=72`` corresponds to a 3×3 convolution over 8
     input channels; ``sigma_fraction`` sets the spread of the sampled codes
     within the quantization range.
+
+    With ``workers > 1`` the GEMM evaluations spread over a worker pool.
+    All random codes are drawn in the parent, in simulation order, from the
+    single ``rng`` stream, and results concatenate in that same order — the
+    profile (and any error model fitted from it) is **bit-for-bit
+    identical** to the serial one at every worker count.
     """
     rng = new_rng(rng)
-    ys: list[np.ndarray] = []
-    errs: list[np.ndarray] = []
     with prof.timer("ge.montecarlo_profile"):
         prof.count("ge.montecarlo_simulations", n=num_simulations)
-        for _ in range(num_simulations):
-            a = _sample_codes(rng, (gemm_rows, reduce_dim), act_bits, sigma_fraction)
-            b = _sample_codes(rng, (reduce_dim, out_dim), weight_bits, sigma_fraction)
-            exact = exact_int_matmul(a, b)
-            approx = approx_matmul(a, b, multiplier)
-            ys.append(exact.reshape(-1))
-            errs.append((approx - exact).reshape(-1))
-    y = np.concatenate(ys)
-    eps = np.concatenate(errs)
+        draws = [
+            (
+                _sample_codes(rng, (gemm_rows, reduce_dim), act_bits, sigma_fraction),
+                _sample_codes(rng, (reduce_dim, out_dim), weight_bits, sigma_fraction),
+            )
+            for _ in range(num_simulations)
+        ]
+        num_workers = effective_workers(workers)
+        if num_workers > 1 and num_simulations > 1:
+            # ~2 chunks per worker keeps the pool busy if chunk costs skew.
+            batches = chunked(draws, 2 * num_workers)
+            results = map_workers(
+                partial(_simulate_chunk, multiplier),
+                batches,
+                ParallelConfig(workers=num_workers),
+            )
+            pairs = [pair for batch in results for pair in batch]
+        else:
+            pairs = _simulate_chunk(multiplier, draws)
+    y = np.concatenate([exact for exact, _ in pairs])
+    eps = np.concatenate([err for _, err in pairs])
     return ErrorProfile(y=y, eps=eps, multiplier_name=multiplier.name)
 
 
@@ -79,14 +114,18 @@ def estimate_error_model(
     num_simulations: int = 50,
     slope_significance: float = 0.25,
     rng=None,
+    workers: int | None = None,
     **profile_kwargs,
 ) -> PiecewiseLinearErrorModel:
     """Profile ``multiplier`` and fit the piecewise-linear error model.
 
     This is the one-call entry point used by the approximation stage of
     Algorithm 1; it takes well under a second at the default settings.
+    ``workers`` parallelises the profiling without changing the fit
+    (see :func:`profile_multiplier_error`).
     """
     profile = profile_multiplier_error(
-        multiplier, num_simulations=num_simulations, rng=rng, **profile_kwargs
+        multiplier, num_simulations=num_simulations, rng=rng, workers=workers,
+        **profile_kwargs,
     )
     return fit_error_model(profile.y, profile.eps, slope_significance=slope_significance)

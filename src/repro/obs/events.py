@@ -16,6 +16,7 @@ check until someone opts in — the CLI's ``--log-json`` flag, a test, or
 from __future__ import annotations
 
 import json
+import threading
 import time
 from pathlib import Path
 from typing import Callable, Iterator, TextIO
@@ -60,6 +61,18 @@ def level_name(level: int) -> str:
         return _LEVEL_NAMES[level]
     candidates = [k for k in _LEVEL_NAMES if k <= level]
     return _LEVEL_NAMES[max(candidates)] if candidates else "debug"
+
+
+def level_from_name(name: str) -> int:
+    """Numeric severity for a level name emitted by :func:`level_name`.
+
+    Unknown names default to ``INFO`` — used when replaying records whose
+    envelope came from another process (``repro.parallel``).
+    """
+    for value, known in _LEVEL_NAMES.items():
+        if known == name:
+            return value
+    return INFO
 
 
 class Sink:
@@ -117,6 +130,10 @@ class EventLog:
         self._t0 = clock()
         self._seq = 0
         self._sinks: list[Sink] = []
+        # Emission is serialised so concurrent emitters (threaded sweep
+        # cells, stats hooks on worker threads) get unique seq numbers and
+        # sinks never see interleaved records.
+        self._emit_lock = threading.Lock()
 
     # -- sink management -------------------------------------------------
     @property
@@ -148,18 +165,19 @@ class EventLog:
         """
         if not self._sinks:
             return None
-        record = {
-            "type": type,
-            "run": self.run_id,
-            "seq": self._seq,
-            "t": round(self._clock() - self._t0, 6),
-            "level": level_name(level),
-        }
-        for key, value in payload.items():
-            record[key] = _jsonable(value)
-        self._seq += 1
-        for sink in self._sinks:
-            sink.emit(record)
+        with self._emit_lock:
+            record = {
+                "type": type,
+                "run": self.run_id,
+                "seq": self._seq,
+                "t": round(self._clock() - self._t0, 6),
+                "level": level_name(level),
+            }
+            for key, value in payload.items():
+                record[key] = _jsonable(value)
+            self._seq += 1
+            for sink in self._sinks:
+                sink.emit(record)
         return record
 
     # -- typed convenience emitters --------------------------------------

@@ -19,10 +19,17 @@ one-level case.
 
 Counters saturate at ``2**63 - 1`` instead of growing unbounded so the
 JSONL records they feed stay representable as int64 downstream.
+
+The registry is **thread-safe** (``docs/PERFORMANCE.md``): the timer stack
+lives in thread-local storage so nesting is attributed per thread, and all
+registry mutation happens under one lock. Worker processes profile into
+their own registries and ship a :class:`ProfileReport` snapshot back to
+the parent, which folds it in with :func:`merge_report`.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -51,7 +58,16 @@ class TimerStat:
 
 _timers: dict[str, TimerStat] = {}
 _counters: dict[str, TimerStat] = {}
-_stack: list[list[float]] = []  # per-active-timer accumulator of child time
+_lock = threading.Lock()  # guards _timers/_counters mutation and snapshots
+_local = threading.local()  # per-thread stack of child-time accumulators
+
+
+def _stack() -> list[list[float]]:
+    """This thread's stack of per-active-timer child-time accumulators."""
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
 
 
 def enable_profiling() -> None:
@@ -65,10 +81,17 @@ def disable_profiling() -> None:
 
 
 def reset_profiling() -> None:
-    """Drop all aggregated timer and counter state."""
-    _timers.clear()
-    _counters.clear()
-    _stack.clear()
+    """Drop all aggregated timer and counter state.
+
+    Only the calling thread's timer stack is cleared (the others live in
+    their threads' local storage); a timer block that is still open when
+    the reset happens simply discards its sample on exit instead of
+    polluting the fresh registry.
+    """
+    with _lock:
+        _timers.clear()
+        _counters.clear()
+    _stack().clear()
 
 
 class timer:
@@ -88,7 +111,7 @@ class timer:
         self._active = enabled
         if self._active:
             self._children = [0.0]
-            _stack.append(self._children)
+            _stack().append(self._children)
             self._start = time.perf_counter()
         return self
 
@@ -96,24 +119,31 @@ class timer:
         if not self._active:
             return
         elapsed = time.perf_counter() - self._start
-        _stack.pop()
-        stat = _timers.get(self.name)
-        if stat is None:
-            stat = _timers[self.name] = TimerStat(self.name)
-        stat.add(elapsed, self.nbytes, self._children[0])
-        if _stack:
-            _stack[-1][0] += elapsed
+        stack = _stack()
+        if not stack or stack[-1] is not self._children:
+            # reset_profiling() ran inside this block and cleared the
+            # stack; the sample belongs to the discarded epoch, drop it.
+            return
+        stack.pop()
+        with _lock:
+            stat = _timers.get(self.name)
+            if stat is None:
+                stat = _timers[self.name] = TimerStat(self.name)
+            stat.add(elapsed, self.nbytes, self._children[0])
+        if stack:
+            stack[-1][0] += elapsed
 
 
 def count(name: str, n: int = 1, nbytes: int = 0) -> None:
     """Bump a named counter (no-op while disabled)."""
     if not enabled:
         return
-    stat = _counters.get(name)
-    if stat is None:
-        stat = _counters[name] = TimerStat(name)
-    stat.calls = min(stat.calls + int(n), COUNTER_MAX)
-    stat.bytes = min(stat.bytes + int(nbytes), COUNTER_MAX)
+    with _lock:
+        stat = _counters.get(name)
+        if stat is None:
+            stat = _counters[name] = TimerStat(name)
+        stat.calls = min(stat.calls + int(n), COUNTER_MAX)
+        stat.bytes = min(stat.bytes + int(nbytes), COUNTER_MAX)
 
 
 @dataclass
@@ -176,10 +206,31 @@ def profile_report() -> ProfileReport:
     """Snapshot the current registries into a :class:`ProfileReport`."""
     from copy import copy
 
-    return ProfileReport(
-        timers=[copy(s) for s in _timers.values()],
-        counters=[copy(s) for s in _counters.values()],
-    )
+    with _lock:
+        return ProfileReport(
+            timers=[copy(s) for s in _timers.values()],
+            counters=[copy(s) for s in _counters.values()],
+        )
+
+
+def merge_report(report: ProfileReport) -> None:
+    """Fold a worker's :class:`ProfileReport` snapshot into the registries.
+
+    Used by :mod:`repro.parallel` to merge profiling captured inside worker
+    processes back into the parent, so ``profiled()`` around a parallel
+    region reports the whole fleet's hot paths. Same-named stats aggregate
+    exactly like same-named timer blocks would.
+    """
+    with _lock:
+        for stats, registry in ((report.timers, _timers), (report.counters, _counters)):
+            for src in stats:
+                dst = registry.get(src.name)
+                if dst is None:
+                    dst = registry[src.name] = TimerStat(src.name)
+                dst.calls = min(dst.calls + src.calls, COUNTER_MAX)
+                dst.total += src.total
+                dst.self_time += src.self_time
+                dst.bytes = min(dst.bytes + src.bytes, COUNTER_MAX)
 
 
 class profiled:

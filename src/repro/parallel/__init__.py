@@ -1,0 +1,35 @@
+"""Multi-worker execution of embarrassingly parallel stages.
+
+See ``docs/PERFORMANCE.md``. Entry points:
+
+- :class:`ParallelConfig` / :func:`map_workers` — the executor layer used
+  by ``run_sweep(workers=...)``, Monte-Carlo profiling and the chunked
+  approximate GEMM;
+- :func:`set_default_config` — process-wide worker default (the CLI's
+  ``--workers`` flag lands here);
+- :func:`fork_available` / :func:`resolve_backend` — platform probing.
+"""
+
+from repro.parallel.executor import (
+    BACKENDS,
+    ParallelConfig,
+    chunked,
+    effective_workers,
+    fork_available,
+    get_default_config,
+    map_workers,
+    resolve_backend,
+    set_default_config,
+)
+
+__all__ = [
+    "BACKENDS",
+    "ParallelConfig",
+    "chunked",
+    "effective_workers",
+    "fork_available",
+    "get_default_config",
+    "map_workers",
+    "resolve_backend",
+    "set_default_config",
+]

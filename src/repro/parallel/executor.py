@@ -1,0 +1,273 @@
+"""Multi-worker executor: deterministic fan-out over independent work items.
+
+The sweeps behind Tables 5-7, Monte-Carlo error profiling and large
+approximate GEMMs are all embarrassingly parallel; this module is the one
+place that knows how to spread them over workers (``docs/PERFORMANCE.md``):
+
+- :class:`ParallelConfig` selects a worker count and a backend
+  (``process`` via fork for Python-heavy work, ``thread`` for
+  BLAS-dominated work, ``serial`` as the always-available fallback);
+- :func:`map_workers` runs a function over items and returns results in
+  **item order** regardless of completion order, spawning one
+  statistically independent RNG per task when a seed is given — the same
+  seed yields the same per-task streams at any worker count;
+- worker processes capture their event-log records and profiling stats
+  and ship them back with each result, so the parent's telemetry covers
+  the whole fleet (:func:`repro.obs.profiling.merge_report`).
+
+``workers=1`` (the default everywhere) executes inline with zero
+overhead and no behaviour change; platforms without ``fork`` degrade to
+the thread backend automatically.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+from concurrent.futures import FIRST_EXCEPTION, Executor, ProcessPoolExecutor
+from concurrent.futures import ThreadPoolExecutor, wait
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.errors import ConfigError
+from repro.obs import events as obs_events
+from repro.obs import profiling as prof
+from repro.utils.rng import spawn_rngs
+
+BACKENDS = ("auto", "process", "thread", "serial")
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """How a parallel region should execute.
+
+    Parameters
+    ----------
+    workers:
+        Number of concurrent workers; ``1`` means run serially inline.
+    backend:
+        ``"auto"`` picks ``process`` when fork is available and ``thread``
+        otherwise; the explicit names force a backend, and ``"serial"``
+        disables parallelism regardless of ``workers``.
+    capture_obs:
+        Capture event-log records and profiler stats inside worker
+        processes and merge them back into the parent (process backend
+        only; threads share the parent's log and registry directly).
+    """
+
+    workers: int = 1
+    backend: str = "auto"
+    capture_obs: bool = True
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {self.workers}")
+        if self.backend not in BACKENDS:
+            raise ConfigError(
+                f"unknown parallel backend {self.backend!r}; choose from {BACKENDS}"
+            )
+
+    def with_workers(self, workers: int | None) -> "ParallelConfig":
+        """This config with ``workers`` overridden (``None`` keeps it)."""
+        return self if workers is None else replace(self, workers=workers)
+
+
+def fork_available() -> bool:
+    """True when the ``fork`` start method exists (POSIX)."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def resolve_backend(config: ParallelConfig) -> str:
+    """The backend a config actually runs with on this platform."""
+    if config.workers <= 1 or config.backend == "serial":
+        return "serial"
+    if config.backend == "thread":
+        return "thread"
+    # "process" and "auto" both need fork: the repo's models and datasets
+    # pickle fine, but spawn would re-import numpy per worker and lose any
+    # monkeypatched state callers rely on.
+    return "process" if fork_available() else "thread"
+
+
+def effective_workers(workers: int | None = None) -> int:
+    """Worker count after applying the process-wide default config."""
+    config = get_default_config().with_workers(workers)
+    return 1 if resolve_backend(config) == "serial" else config.workers
+
+
+# ----------------------------------------------------------------------
+# process-wide default (set by the CLI's --workers flag)
+# ----------------------------------------------------------------------
+_default_config = ParallelConfig()
+_default_lock = threading.Lock()
+
+
+def get_default_config() -> ParallelConfig:
+    """The process-wide default :class:`ParallelConfig` (workers=1)."""
+    return _default_config
+
+
+def set_default_config(config: ParallelConfig) -> ParallelConfig:
+    """Replace the default config; returns the previous one."""
+    global _default_config
+    with _default_lock:
+        previous, _default_config = _default_config, config
+    return previous
+
+
+# ----------------------------------------------------------------------
+# worker-side wrapper (module-level so the process backend can pickle it)
+# ----------------------------------------------------------------------
+@dataclass
+class _WorkerResult:
+    """A task's value plus the telemetry captured alongside it."""
+
+    value: Any
+    events: list[dict]
+    profile: prof.ProfileReport | None
+    pid: int
+
+
+def _call_captured(fn: Callable, args: tuple, profile: bool) -> _WorkerResult:
+    """Run ``fn(*args)`` in a worker process under a fresh capture scope.
+
+    The forked child inherits the parent's event log *including its open
+    sinks* (e.g. a ``--log-json`` file handle), so the first thing the
+    wrapper does is swap in a private collecting log — worker records must
+    travel back through the result, not race the parent on a shared file
+    descriptor. Profiling state is likewise reset so the returned report
+    is exactly this task's delta.
+    """
+    log = obs_events.EventLog()
+    sink = log.add_sink(obs_events.CollectingSink())
+    previous_log = obs_events.set_event_log(log)
+    prof.reset_profiling()
+    if profile:
+        prof.enable_profiling()
+    try:
+        value = fn(*args)
+    finally:
+        obs_events.set_event_log(previous_log)
+    report = prof.profile_report() if profile else None
+    prof.reset_profiling()
+    return _WorkerResult(value=value, events=sink.records, profile=report, pid=os.getpid())
+
+
+def _absorb(result: _WorkerResult) -> Any:
+    """Merge a worker's captured telemetry into the parent and unwrap."""
+    log = obs_events.get_event_log()
+    if log.enabled:
+        for record in result.events:
+            payload = {
+                k: v
+                for k, v in record.items()
+                if k not in ("type", "run", "seq", "t", "level")
+            }
+            log.emit(
+                record.get("type", "event"),
+                level=obs_events.level_from_name(record.get("level", "info")),
+                worker=result.pid,
+                **payload,
+            )
+    if result.profile is not None:
+        prof.merge_report(result.profile)
+    return result.value
+
+
+def map_workers(
+    fn: Callable,
+    items: Iterable,
+    config: ParallelConfig | None = None,
+    *,
+    rng: "int | None" = None,
+    on_result: Callable[[int, Any], None] | None = None,
+) -> list:
+    """Run ``fn`` over ``items`` and return the results in item order.
+
+    ``fn`` is called as ``fn(item)`` — or ``fn(item, task_rng)`` when
+    ``rng`` is given, with one generator spawned per task from the seed so
+    streams are independent of worker count and schedule. For the process
+    backend ``fn`` must be picklable (a module-level function or a
+    ``functools.partial`` over one).
+
+    ``on_result(index, value)`` fires in the parent in **completion
+    order** as each task finishes — the hook sweeps use to persist partial
+    state after every cell. Exceptions raised by ``fn`` propagate to the
+    caller (pending tasks are cancelled); callers wanting fault isolation
+    wrap their cells in :func:`repro.resilience.call_with_retry`.
+
+    Worker-process event records are re-emitted on the parent log stamped
+    with a ``worker`` PID (their envelope is restamped; the original
+    relative times are worker-local and not comparable), and worker
+    profiler stats are folded into the parent registry.
+    """
+    config = get_default_config() if config is None else config
+    items = list(items)
+    rngs = spawn_rngs(rng, len(items)) if rng is not None else None
+
+    def task_args(index: int) -> tuple:
+        return (items[index], rngs[index]) if rngs is not None else (items[index],)
+
+    backend = resolve_backend(config)
+    if backend == "serial" or len(items) <= 1:
+        results = []
+        for index in range(len(items)):
+            value = fn(*task_args(index))
+            if on_result is not None:
+                on_result(index, value)
+            results.append(value)
+        return results
+
+    workers = min(config.workers, len(items))
+    executor: Executor
+    if backend == "thread":
+        # Threads share the parent's (now thread-safe) event log and
+        # profiler registry; no capture indirection is needed.
+        executor = ThreadPoolExecutor(max_workers=workers, thread_name_prefix="repro")
+        submit = lambda i: executor.submit(fn, *task_args(i))  # noqa: E731
+        unwrap = lambda value: value  # noqa: E731
+    else:
+        executor = ProcessPoolExecutor(
+            max_workers=workers, mp_context=multiprocessing.get_context("fork")
+        )
+        capture_profile = config.capture_obs and prof.enabled
+        submit = lambda i: executor.submit(  # noqa: E731
+            _call_captured, fn, task_args(i), capture_profile
+        )
+        unwrap = _absorb if config.capture_obs else lambda r: r.value  # noqa: E731
+
+    results: list = [None] * len(items)
+    with executor:
+        futures = {submit(index): index for index in range(len(items))}
+        pending = set(futures)
+        try:
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_EXCEPTION)
+                for future in done:
+                    index = futures[future]
+                    value = unwrap(future.result())
+                    results[index] = value
+                    if on_result is not None:
+                        on_result(index, value)
+        except BaseException:
+            for future in pending:
+                future.cancel()
+            raise
+    return results
+
+
+def chunked(items: Sequence, chunks: int) -> list[list]:
+    """Split ``items`` into at most ``chunks`` contiguous, order-preserving
+    runs of near-equal length (no empty chunks)."""
+    items = list(items)
+    if not items:
+        return []
+    chunks = max(1, min(chunks, len(items)))
+    size, extra = divmod(len(items), chunks)
+    out, start = [], 0
+    for index in range(chunks):
+        stop = start + size + (1 if index < extra else 0)
+        out.append(items[start:stop])
+        start = stop
+    return out

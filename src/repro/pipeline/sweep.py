@@ -12,11 +12,20 @@ message, traceback, attempt count) instead of killing the grid. With
 ``state_path`` set, the partial result is persisted atomically after
 every cell, and ``resume=True`` skips already-completed cells — an
 interrupted sweep continues from the next cell, not from scratch.
+
+Grid cells are independent, so ``workers > 1`` runs them across a worker
+pool (``docs/PERFORMANCE.md``) while keeping every resilience property:
+cells still retry and fail in isolation (inside the worker), the partial
+state is still persisted after every completed cell, ``resume`` still
+skips by cell key, and the returned points are ordered exactly like a
+serial sweep's — on a fixed seed the parallel result is point-for-point
+identical to the serial one.
 """
 
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field, fields
+from functools import partial
 from pathlib import Path
 
 from repro.approx.metrics import mean_relative_error
@@ -26,8 +35,9 @@ from repro.distill.approxkd import recommended_t2
 from repro.errors import ConfigError
 from repro.nn.module import Module
 from repro.obs import events as obs_events
+from repro.parallel import get_default_config, map_workers, resolve_backend
 from repro.pipeline.algorithm1 import METHODS, approximation_stage
-from repro.resilience.retry import call_with_retry
+from repro.resilience.retry import FailureRecord, call_with_retry
 from repro.sim.proxsim import resolve_multiplier
 from repro.train.trainer import TrainConfig
 from repro.utils.serialization import load_results, save_results
@@ -120,6 +130,154 @@ class SweepResult:
         return cls(points=points, config=payload.get("config", {}))
 
 
+def _item_name(item: "str | Multiplier") -> str:
+    """Canonical grid name of a sweep input, resolvable or not.
+
+    Both the failed-resolve path and the successful path key their cells
+    through this, so a cell keeps one identity across runs — a resume
+    after a transient resolve failure neither duplicates nor skips it.
+    """
+    return item.name if isinstance(item, Multiplier) else str(item)
+
+
+def _cell_key(multiplier: str, method: str, temperature: float) -> tuple[str, str, float]:
+    """The resume identity of one grid cell."""
+    return (str(multiplier), str(method), float(temperature))
+
+
+@dataclass(frozen=True)
+class _Cell:
+    """One grid cell scheduled for execution, in grid order."""
+
+    index: int
+    name: str
+    method: str
+    temperature: float
+    mult: Multiplier | None  # None when the multiplier failed to resolve
+    mre: float
+    energy_savings: float
+    resolve_failure: FailureRecord | None
+
+    @property
+    def key(self) -> tuple[str, str, float]:
+        return _cell_key(self.name, self.method, self.temperature)
+
+
+@dataclass(frozen=True)
+class _CellContext:
+    """Everything a worker needs to run one cell (picklable)."""
+
+    quant_model: Module
+    data: Dataset
+    train_config: TrainConfig
+    rng: int
+    retries: int
+
+
+def _failed_point(cell: _Cell, failure: FailureRecord) -> SweepPoint:
+    return SweepPoint(
+        multiplier=cell.name,
+        method=cell.method,
+        temperature=float(cell.temperature),
+        mre=cell.mre,
+        energy_savings=cell.energy_savings,
+        initial_accuracy=None,
+        final_accuracy=None,
+        best_accuracy=None,
+        wall_time=0.0,
+        status="failed",
+        error_type=failure.error_type,
+        error=failure.error,
+        traceback=failure.traceback,
+        attempts=failure.attempts,
+    )
+
+
+def _run_cell(context: _CellContext, cell: _Cell) -> SweepPoint:
+    """Execute one resolved grid cell behind the fault-isolation boundary.
+
+    Module-level so the process backend can pickle it; events emitted here
+    land on the worker's captured log and are merged back by the parent.
+    """
+    log = obs_events.get_event_log()
+    where = f"sweep[{cell.name}/{cell.method}/T{cell.temperature:g}]"
+    log.stage(where, "start")
+    stage, failure = call_with_retry(
+        lambda: approximation_stage(
+            context.quant_model,
+            context.data,
+            cell.mult,
+            method=cell.method,
+            train_config=context.train_config,
+            temperature=cell.temperature,
+            rng=context.rng,
+        )[1],
+        where=where,
+        retries=context.retries,
+    )
+    if failure is not None:
+        log.stage(where, "end", status="failed", error=failure.error)
+        return _failed_point(cell, failure)
+    log.stage(
+        where,
+        "end",
+        accuracy_before=stage.accuracy_before,
+        accuracy_after=stage.accuracy_after,
+        duration=stage.history.wall_time,
+    )
+    return SweepPoint(
+        multiplier=cell.name,
+        method=cell.method,
+        temperature=cell.temperature,
+        mre=cell.mre,
+        energy_savings=cell.energy_savings,
+        initial_accuracy=stage.accuracy_before,
+        final_accuracy=stage.accuracy_after,
+        best_accuracy=stage.history.best_accuracy,
+        wall_time=stage.history.wall_time,
+    )
+
+
+def _build_grid(
+    multipliers: "list[str | Multiplier]",
+    methods: tuple[str, ...],
+    temperatures: "tuple[float, ...] | None",
+) -> list[_Cell]:
+    """Resolve every multiplier and lay out the grid in serial cell order.
+
+    Resolution failures are retried once and recorded on their cells (one
+    per method/temperature, so the grid shape stays predictable).
+    """
+    cells: list[_Cell] = []
+    for item in multipliers:
+        name = _item_name(item)
+        resolved, failure = call_with_retry(
+            lambda item=item: _resolve(item), where=f"sweep[{name}]"
+        )
+        if failure is not None:
+            mult, mre, savings = None, 0.0, 0.0
+            temps = temperatures or (0.0,)
+        else:
+            mult, mre = resolved
+            savings = mult.energy_savings
+            temps = temperatures or (recommended_t2(mre),)
+        for temperature in temps:
+            for method in methods:
+                cells.append(
+                    _Cell(
+                        index=len(cells),
+                        name=name,
+                        method=method,
+                        temperature=float(temperature),
+                        mult=mult,
+                        mre=mre,
+                        energy_savings=savings,
+                        resolve_failure=failure,
+                    )
+                )
+    return cells
+
+
 def run_sweep(
     quant_model: Module,
     data: Dataset,
@@ -131,6 +289,7 @@ def run_sweep(
     retries: int = 0,
     state_path: str | Path | None = None,
     resume: bool = False,
+    workers: int | None = None,
 ) -> SweepResult:
     """Run the approximation stage for every grid cell.
 
@@ -144,11 +303,17 @@ def run_sweep(
     ``resume=True`` reloads it and skips cells already present (completed
     *or* recorded as failed), so a killed sweep restarts from the
     interrupted cell.
+
+    ``workers > 1`` executes the cells on a worker pool (``None`` uses the
+    process-wide :mod:`repro.parallel` default). Each cell is seeded
+    independently of schedule, and points are assembled in grid order, so
+    the result is point-for-point identical to the serial sweep.
     """
     for method in methods:
         if method not in METHODS:
             raise ConfigError(f"unknown method {method!r}; choose from {METHODS}")
     train_config = train_config or TrainConfig()
+    parallel_config = get_default_config().with_workers(workers)
     result = SweepResult(
         config={
             "methods": list(methods),
@@ -156,6 +321,7 @@ def run_sweep(
             "epochs": train_config.epochs,
             "batch_size": train_config.batch_size,
             "lr": train_config.lr,
+            "workers": parallel_config.workers,
         }
     )
     log = obs_events.get_event_log()
@@ -169,107 +335,40 @@ def run_sweep(
                 log.checkpoint(
                     "sweep_resume", path=str(state_path), completed=len(result.points)
                 )
-    done = {(p.multiplier, p.method, float(p.temperature)) for p in result.points}
+    done = {_cell_key(p.multiplier, p.method, p.temperature) for p in result.points}
 
-    def record(point: SweepPoint) -> None:
-        result.points.append(point)
+    prior = list(result.points)
+    pending = [c for c in _build_grid(multipliers, methods, temperatures) if c.key not in done]
+    finished: dict[int, SweepPoint] = {}
+
+    def record(cell: _Cell, point: SweepPoint) -> None:
+        """Persist after every completed cell, keeping grid order."""
+        finished[cell.index] = point
+        result.points = prior + [finished[i] for i in sorted(finished)]
         if state_path is not None:
             result.to_json(state_path)
 
-    for item in multipliers:
-        resolved, failure = call_with_retry(
-            lambda item=item: _resolve(item), where=f"sweep[{item}]"
-        )
-        if failure is not None:
-            # The multiplier itself is broken: record one failed cell per
-            # method so the grid shape stays predictable.
-            for temperature in temperatures or (0.0,):
-                for method in methods:
-                    key = (str(item), method, float(temperature))
-                    if key in done:
-                        continue
-                    record(
-                        SweepPoint(
-                            multiplier=str(item),
-                            method=method,
-                            temperature=float(temperature),
-                            mre=0.0,
-                            energy_savings=0.0,
-                            initial_accuracy=None,
-                            final_accuracy=None,
-                            best_accuracy=None,
-                            wall_time=0.0,
-                            status="failed",
-                            error_type=failure.error_type,
-                            error=failure.error,
-                            traceback=failure.traceback,
-                            attempts=failure.attempts,
-                        )
-                    )
-            continue
-        mult, mre = resolved
-        temps = temperatures or (recommended_t2(mre),)
-        for temperature in temps:
-            for method in methods:
-                key = (mult.name, method, float(temperature))
-                if key in done:
-                    continue
-                cell = f"sweep[{mult.name}/{method}/T{temperature:g}]"
-                log.stage(cell, "start")
-                stage, failure = call_with_retry(
-                    lambda: approximation_stage(
-                        quant_model,
-                        data,
-                        mult,
-                        method=method,
-                        train_config=train_config,
-                        temperature=temperature,
-                        rng=rng,
-                    )[1],
-                    where=cell,
-                    retries=retries,
-                )
-                if failure is not None:
-                    log.stage(cell, "end", status="failed", error=failure.error)
-                    record(
-                        SweepPoint(
-                            multiplier=mult.name,
-                            method=method,
-                            temperature=temperature,
-                            mre=mre,
-                            energy_savings=mult.energy_savings,
-                            initial_accuracy=None,
-                            final_accuracy=None,
-                            best_accuracy=None,
-                            wall_time=0.0,
-                            status="failed",
-                            error_type=failure.error_type,
-                            error=failure.error,
-                            traceback=failure.traceback,
-                            attempts=failure.attempts,
-                        )
-                    )
-                    continue
-                log.stage(
-                    cell,
-                    "end",
-                    accuracy_before=stage.accuracy_before,
-                    accuracy_after=stage.accuracy_after,
-                    duration=stage.history.wall_time,
-                )
-                record(
-                    SweepPoint(
-                        multiplier=mult.name,
-                        method=method,
-                        temperature=temperature,
-                        mre=mre,
-                        energy_savings=mult.energy_savings,
-                        initial_accuracy=stage.accuracy_before,
-                        final_accuracy=stage.accuracy_after,
-                        best_accuracy=stage.history.best_accuracy,
-                        wall_time=stage.history.wall_time,
-                    )
-                )
+    context = _CellContext(quant_model, data, train_config, rng, retries)
+    if resolve_backend(parallel_config) == "serial":
+        for cell in pending:
+            if cell.resolve_failure is not None:
+                record(cell, _failed_point(cell, cell.resolve_failure))
+            else:
+                record(cell, _run_cell(context, cell))
+        return result
+
+    # Parallel: broken-multiplier cells materialise instantly in the
+    # parent; resolved cells fan out, persisting as each one completes.
+    runnable = [cell for cell in pending if cell.resolve_failure is None]
+    for cell in pending:
+        if cell.resolve_failure is not None:
+            record(cell, _failed_point(cell, cell.resolve_failure))
+    map_workers(
+        partial(_run_cell, context),
+        runnable,
+        parallel_config,
+        on_result=lambda position, point: record(runnable[position], point),
+    )
     return result
 
 

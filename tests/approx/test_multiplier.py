@@ -42,6 +42,26 @@ class TestExactMultiplier:
         assert ExactMultiplier().energy_savings == 0.0
 
 
+class TestLutCaches:
+    def test_signed_lut_f64_matches_and_is_cached(self):
+        from repro.approx import get_multiplier
+
+        m = get_multiplier("truncated4")
+        table = m.signed_lut_f64()
+        assert table.dtype == np.float64
+        np.testing.assert_array_equal(table, m.signed_lut().astype(np.float64))
+        # hot-path requirement: repeat calls return the same array object
+        assert m.signed_lut_f64() is table
+
+    def test_f32_and_f64_caches_are_independent(self):
+        from repro.approx import get_multiplier
+
+        m = get_multiplier("truncated3")
+        f32, f64 = m.signed_lut_f32(), m.signed_lut_f64()
+        assert f32.dtype == np.float32 and f64.dtype == np.float64
+        np.testing.assert_array_equal(f32.astype(np.float64), f64)
+
+
 class TestSignedEvaluation:
     @settings(max_examples=50, deadline=None)
     @given(st.integers(-127, 127), st.integers(-7, 7))

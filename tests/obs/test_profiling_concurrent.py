@@ -1,0 +1,159 @@
+"""Concurrency safety of the profiling registry.
+
+These tests fail on the pre-PR-3 profiler (module-global timer stack,
+unlocked registries): the stress test loses counter/timer increments under
+thread contention, and the reset test dies with an IndexError in
+``timer.__exit__``.
+"""
+
+import sys
+import threading
+
+import pytest
+
+from repro.obs import profiling as prof
+
+pytestmark = [pytest.mark.obs, pytest.mark.parallel]
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    prof.reset_profiling()
+    prof.disable_profiling()
+    yield
+    prof.reset_profiling()
+    prof.disable_profiling()
+
+
+@pytest.fixture
+def fast_thread_switching():
+    """Force frequent GIL handoffs so races surface deterministically."""
+    previous = sys.getswitchinterval()
+    sys.setswitchinterval(1e-5)
+    yield
+    sys.setswitchinterval(previous)
+
+
+class TestConcurrentStress:
+    def test_no_lost_or_corrupt_stats_under_contention(self, fast_thread_switching):
+        """N threads x nested timers x counters: every sample lands exactly once."""
+        prof.enable_profiling()
+        num_threads, iterations = 8, 2000
+        failures: list[BaseException] = []
+
+        def work():
+            try:
+                for _ in range(iterations):
+                    with prof.timer("stress.outer", nbytes=10):
+                        with prof.timer("stress.inner"):
+                            pass
+                    prof.count("stress.items", n=2, nbytes=5)
+            except BaseException as exc:  # noqa: BLE001 — recorded for the assert
+                failures.append(exc)
+
+        threads = [threading.Thread(target=work) for _ in range(num_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert not failures, failures
+        expected = num_threads * iterations
+        report = prof.profile_report()
+        outer, inner = report.timer("stress.outer"), report.timer("stress.inner")
+        counter = report.counter("stress.items")
+        assert outer.calls == expected
+        assert outer.bytes == 10 * expected
+        assert inner.calls == expected
+        assert counter.calls == 2 * expected
+        assert counter.bytes == 5 * expected
+        # nesting attribution stays sane: child time never exceeds the parent
+        assert 0.0 <= outer.self_time <= outer.total + 1e-6
+        assert inner.total <= outer.total + 1e-6
+
+    def test_per_thread_nesting_attribution(self):
+        """A child on one thread never attributes into a parent on another."""
+        prof.enable_profiling()
+        barrier = threading.Barrier(2)
+
+        def outer_only():
+            barrier.wait()
+            with prof.timer("attr.parent"):
+                barrier.wait()  # hold the parent open while the peer times
+
+        def inner_only():
+            barrier.wait()
+            with prof.timer("attr.unrelated"):
+                pass
+            barrier.wait()
+
+        threads = [threading.Thread(target=outer_only), threading.Thread(target=inner_only)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        parent = prof.profile_report().timer("attr.parent")
+        # with a shared stack the unrelated timer would subtract from the
+        # parent's self time; per-thread stacks keep it untouched
+        assert parent.self_time == pytest.approx(parent.total)
+
+
+class TestResetDuringTimer:
+    def test_reset_inside_open_block_does_not_crash(self):
+        prof.enable_profiling()
+        with prof.timer("stale"):
+            prof.reset_profiling()
+        # the open block's sample belonged to the discarded epoch
+        assert prof.profile_report().timer("stale") is None
+
+    def test_reset_inside_nested_blocks(self):
+        prof.enable_profiling()
+        with prof.timer("outer"):
+            with prof.timer("inner"):
+                prof.reset_profiling()
+        report = prof.profile_report()
+        assert report.timer("outer") is None
+        assert report.timer("inner") is None
+
+    def test_fresh_timers_after_mid_block_reset_record_normally(self):
+        prof.enable_profiling()
+        with prof.timer("old"):
+            prof.reset_profiling()
+            with prof.timer("new"):
+                pass
+        report = prof.profile_report()
+        assert report.timer("new").calls == 1
+        assert report.timer("old") is None
+
+
+class TestMergeReport:
+    def test_merge_aggregates_same_names(self):
+        prof.enable_profiling()
+        with prof.timer("m.t", nbytes=4):
+            pass
+        prof.count("m.c", n=3)
+        snapshot = prof.profile_report()
+        prof.merge_report(snapshot)
+        report = prof.profile_report()
+        assert report.timer("m.t").calls == 2
+        assert report.timer("m.t").bytes == 8
+        assert report.counter("m.c").calls == 6
+
+    def test_merge_creates_missing_names(self):
+        snapshot = prof.ProfileReport(
+            timers=[prof.TimerStat("w.only", calls=5, total=1.0, self_time=0.5, bytes=7)],
+            counters=[prof.TimerStat("w.count", calls=9)],
+        )
+        prof.merge_report(snapshot)
+        report = prof.profile_report()
+        assert report.timer("w.only").calls == 5
+        assert report.timer("w.only").total == pytest.approx(1.0)
+        assert report.counter("w.count").calls == 9
+
+    def test_merge_saturates(self):
+        snapshot = prof.ProfileReport(
+            timers=[], counters=[prof.TimerStat("sat", calls=prof.COUNTER_MAX)]
+        )
+        prof.merge_report(snapshot)
+        prof.merge_report(snapshot)
+        assert prof.profile_report().counter("sat").calls == prof.COUNTER_MAX

@@ -1,0 +1,160 @@
+"""The repro.parallel executor layer: ordering, determinism, capture."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import events as obs_events
+from repro.obs import profiling as prof
+from repro.parallel import (
+    BACKENDS,
+    ParallelConfig,
+    chunked,
+    effective_workers,
+    fork_available,
+    get_default_config,
+    map_workers,
+    resolve_backend,
+    set_default_config,
+)
+
+pytestmark = pytest.mark.parallel
+
+ALL_BACKENDS = pytest.mark.parametrize(
+    "backend", ["serial", "thread", "process"] if fork_available() else ["serial", "thread"]
+)
+
+
+# module-level so the process backend can pickle them
+def _square(x):
+    return x * x
+
+
+def _draw(x, rng):
+    return (x, float(rng.normal()))
+
+
+def _emit_and_time(x):
+    obs_events.get_event_log().eval(f"task{x}", 0.25)
+    with prof.timer("executor.task"):
+        pass
+    return x
+
+
+def _maybe_boom(x):
+    if x == 2:
+        raise ValueError("injected")
+    return x
+
+
+@pytest.fixture
+def events():
+    log = obs_events.EventLog(run_id="test")
+    sink = log.add_sink(obs_events.CollectingSink())
+    previous = obs_events.set_event_log(log)
+    yield sink
+    obs_events.set_event_log(previous)
+
+
+class TestConfig:
+    def test_defaults_are_serial(self):
+        assert get_default_config().workers == 1
+        assert resolve_backend(get_default_config()) == "serial"
+        assert effective_workers() == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ParallelConfig(workers=0)
+        with pytest.raises(ConfigError):
+            ParallelConfig(backend="gpu")
+        assert set(BACKENDS) >= {"auto", "process", "thread", "serial"}
+
+    def test_with_workers(self):
+        config = ParallelConfig(workers=1, backend="thread")
+        assert config.with_workers(None) is config
+        assert config.with_workers(3).workers == 3
+        assert config.with_workers(3).backend == "thread"
+
+    def test_serial_backend_wins_over_workers(self):
+        assert resolve_backend(ParallelConfig(workers=8, backend="serial")) == "serial"
+
+    def test_set_default_round_trips(self):
+        previous = set_default_config(ParallelConfig(workers=5))
+        try:
+            assert effective_workers() == 5
+            assert effective_workers(2) == 2
+        finally:
+            set_default_config(previous)
+        assert effective_workers() == 1
+
+
+class TestMapWorkers:
+    @ALL_BACKENDS
+    def test_results_in_item_order(self, backend):
+        config = ParallelConfig(workers=4, backend=backend)
+        assert map_workers(_square, range(9), config) == [x * x for x in range(9)]
+
+    @ALL_BACKENDS
+    def test_rng_spawning_is_schedule_independent(self, backend):
+        config = ParallelConfig(workers=4, backend=backend)
+        serial = map_workers(_draw, range(8), ParallelConfig(workers=1), rng=7)
+        assert map_workers(_draw, range(8), config, rng=7) == serial
+        # per-task streams are distinct
+        assert len({value for _, value in serial}) == 8
+
+    def test_on_result_sees_every_index(self):
+        seen = {}
+        map_workers(
+            _square,
+            range(6),
+            ParallelConfig(workers=3, backend="thread"),
+            on_result=lambda i, v: seen.__setitem__(i, v),
+        )
+        assert seen == {i: i * i for i in range(6)}
+
+    @ALL_BACKENDS
+    def test_exceptions_propagate(self, backend):
+        with pytest.raises(ValueError, match="injected"):
+            map_workers(_maybe_boom, range(4), ParallelConfig(workers=2, backend=backend))
+
+    def test_empty_items(self):
+        assert map_workers(_square, [], ParallelConfig(workers=4, backend="thread")) == []
+
+
+@pytest.mark.skipif(not fork_available(), reason="process backend needs fork")
+class TestWorkerCapture:
+    def test_worker_events_merge_into_parent_log(self, events):
+        map_workers(_emit_and_time, range(5), ParallelConfig(workers=2, backend="process"))
+        evals = [r for r in events.records if r["type"] == "eval"]
+        assert {r["name"] for r in evals} == {f"task{i}" for i in range(5)}
+        assert all("worker" in r for r in evals)
+        # the parent restamps the envelope with its own run id and seq
+        assert {r["run"] for r in evals} == {"test"}
+
+    def test_worker_profile_merges_into_parent(self, events):
+        prof.reset_profiling()
+        prof.enable_profiling()
+        try:
+            map_workers(
+                _emit_and_time, range(4), ParallelConfig(workers=2, backend="process")
+            )
+            stat = prof.profile_report().timer("executor.task")
+            assert stat is not None and stat.calls == 4
+        finally:
+            prof.disable_profiling()
+            prof.reset_profiling()
+
+    def test_capture_disabled_skips_merge(self, events):
+        config = ParallelConfig(workers=2, backend="process", capture_obs=False)
+        out = map_workers(_emit_and_time, range(3), config)
+        assert out == [0, 1, 2]
+        assert [r for r in events.records if r["type"] == "eval"] == []
+
+
+class TestChunked:
+    def test_partitions_preserve_order(self):
+        assert chunked(list(range(10)), 3) == [[0, 1, 2, 3], [4, 5, 6], [7, 8, 9]]
+        assert sum(chunked(list(range(17)), 4), []) == list(range(17))
+
+    def test_no_empty_chunks(self):
+        assert chunked([1, 2], 8) == [[1], [2]]
+        assert chunked([], 4) == []

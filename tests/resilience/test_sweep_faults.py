@@ -141,6 +141,52 @@ class TestSweepResume:
         assert len(result.points) == 4
         assert len(resumed_calls) == 2  # completed cells were skipped
 
+    def test_resume_after_transient_resolve_failure_keeps_cell_identity(
+        self, monkeypatch, tmp_path
+    ):
+        """Failed-resolve cells key by canonical name, not str(item).
+
+        Regression: cells whose multiplier failed to resolve used to be
+        recorded under ``str(item)`` while successful cells used
+        ``mult.name`` — when the item was a :class:`Multiplier` instance,
+        a resume after a transient resolve failure saw a drifted key and
+        re-ran the cell as a duplicate.
+        """
+        from repro.approx import get_multiplier
+        from repro.pipeline import sweep as sweep_mod
+
+        state = tmp_path / "sweep.partial.json"
+        mult = get_multiplier("truncated3")
+        real_resolve = sweep_mod._resolve
+
+        stage, calls = fake_approximation_stage()
+        monkeypatch.setattr(sweep_mod, "approximation_stage", stage)
+
+        def broken_resolve(item):
+            raise RuntimeError("transient registry outage")
+
+        monkeypatch.setattr(sweep_mod, "_resolve", broken_resolve)
+        first = run_sweep(
+            object(), object(), [mult], methods=("normal",),
+            temperatures=(1.0,), train_config=FAST, state_path=state,
+        )
+        assert len(first.points) == 1
+        assert first.points[0].status == "failed"
+        # the canonical name, not the instance's repr
+        assert first.points[0].multiplier == mult.name
+
+        monkeypatch.setattr(sweep_mod, "_resolve", real_resolve)
+        resumed = run_sweep(
+            object(), object(), [mult], methods=("normal",),
+            temperatures=(1.0,), train_config=FAST,
+            state_path=state, resume=True,
+        )
+        # same identity across runs: the recorded cell is recognised,
+        # neither duplicated under a drifted key nor re-executed
+        assert [p.multiplier for p in resumed.points] == [mult.name]
+        assert len(resumed.points) == 1
+        assert calls == []
+
     def test_resume_requires_state_path(self):
         with pytest.raises(ConfigError, match="state_path"):
             run_sweep(object(), object(), ["truncated3"], resume=True)
