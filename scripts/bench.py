@@ -1,25 +1,30 @@
 #!/usr/bin/env python
-"""Serial-vs-parallel wall-time benchmark seeding the perf trajectory.
+"""Wall-time benchmarks seeding the perf trajectory.
 
-Times the three parallelised hot paths (``docs/PERFORMANCE.md``) serially
-and at ``--workers`` workers, and writes the measurements to a JSON file
-(default ``BENCH_pr3.json``) for trend tracking across PRs:
+Times the parallelised hot paths (``docs/PERFORMANCE.md``) serially and at
+``--workers`` workers, plus the weight-stationary kernel-plan cache
+(cached vs uncached), and writes the measurements to a JSON file
+(default ``BENCH_pr5.json``) for trend tracking across PRs:
 
 - **sweep** — ``run_sweep`` over a multiplier × method grid on a small
   quantized CNN (process pool, one cell per task);
 - **montecarlo** — Monte-Carlo error profiling of one multiplier
   (process pool over simulation chunks, bit-identical to serial);
-- **gemm** — a large approximate GEMM (threaded row blocks).
+- **gemm** — a large approximate GEMM (threaded row blocks);
+- **eval** — repeated-batch evaluation of a quantized MLP with an
+  approximate multiplier attached, with the per-layer plan cache on vs
+  off (``repro.approx.plan``); outputs are asserted bitwise identical.
 
-``--smoke`` shrinks every workload for CI. Speedups are hardware-bound:
-on a single-core runner the parallel numbers are expected to be ~1x or
-below (the report records ``cpu_count`` so trends stay interpretable);
-with >= 4 cores the sweep speedup at 4 workers is the headline number.
+``--smoke`` shrinks every workload for CI. Parallel speedups are
+hardware-bound: on a single-core runner they are expected to be ~1x or
+below (the report records ``cpu_count`` so trends stay interpretable).
+The **eval** speedup is hardware-independent — the cached path strictly
+removes work — so CI gates on it via ``--require-cached-speedup``.
 
 Usage::
 
     PYTHONPATH=src python scripts/bench.py [--smoke] [--workers 4] \
-        [--out BENCH_pr3.json]
+        [--out BENCH_pr5.json] [--require-cached-speedup 1.0]
 """
 
 from __future__ import annotations
@@ -131,17 +136,86 @@ def bench_gemm(workers: int, smoke: bool) -> dict:
     return _result("gemm", serial_s, parallel_s, workers, rows=m, repeats=repeats)
 
 
-BENCHES = {"sweep": bench_sweep, "montecarlo": bench_montecarlo, "gemm": bench_gemm}
+def bench_eval(workers: int, smoke: bool) -> dict:
+    """Repeated-batch eval: per-layer kernel-plan cache on vs off.
+
+    The cached path quantizes the weights, bucketizes them and gathers
+    into a pooled workspace once per layer instead of once per batch; the
+    logits must stay bitwise identical either way.
+    """
+    from repro.approx import get_multiplier, plan_cache_disabled
+    from repro.autograd.grad_mode import no_grad
+    from repro.autograd.tensor import Tensor
+    from repro.quant import QuantLinear
+
+    mult = get_multiplier("truncated4")
+    dims = [256, 512, 512, 10]
+    batch = 32 if smoke else 128
+    batches = 4 if smoke else 8
+    rng = np.random.default_rng(0)
+    layers = []
+    for din, dout in zip(dims[:-1], dims[1:]):
+        layer = QuantLinear(din, dout, rng=rng)
+        layer.act_step, layer.weight_step = 1 / 16, 1 / 8
+        layer.weight.data = np.clip(layer.weight.data, -0.8, 0.8)
+        layer.set_multiplier(mult)
+        layer.eval()
+        layers.append(layer)
+    xs = [rng.normal(size=(batch, dims[0])).astype(np.float32) for _ in range(batches)]
+
+    def run() -> np.ndarray:
+        with no_grad():
+            outs = []
+            for xb in xs:
+                h = Tensor(xb)
+                for layer in layers:
+                    h = layer(h)
+                outs.append(h.data)
+        return np.concatenate(outs)
+
+    run()  # warm the LUT caches out of the timed region
+    with plan_cache_disabled():
+        reference = run()
+        uncached_s = _timed(run)
+    for layer in layers:
+        layer._plan_cache.clear()
+    cached_out = run()  # timed runs below are all plan-cache hits
+    cached_s = _timed(run)
+    if not np.array_equal(cached_out, reference):
+        raise AssertionError("cached eval is not bitwise identical to uncached")
+    return {
+        "bench": "eval",
+        "uncached_s": round(uncached_s, 4),
+        "cached_s": round(cached_s, 4),
+        "speedup": round(uncached_s / cached_s, 3) if cached_s > 0 else None,
+        "batches": batches,
+        "batch_size": batch,
+        "layer_dims": dims,
+        "bitwise_identical": True,
+    }
+
+
+BENCHES = {
+    "sweep": bench_sweep,
+    "montecarlo": bench_montecarlo,
+    "gemm": bench_gemm,
+    "eval": bench_eval,
+}
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", default="BENCH_pr3.json", help="output JSON path")
+    parser.add_argument("--out", default="BENCH_pr5.json", help="output JSON path")
     parser.add_argument("--workers", type=int, default=4, help="parallel worker count")
     parser.add_argument("--smoke", action="store_true", help="small CI-sized workloads")
     parser.add_argument(
         "--only", choices=sorted(BENCHES), action="append",
         help="run a subset (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--require-cached-speedup", type=float, default=None, metavar="MIN",
+        help="exit nonzero unless the eval bench's cached-vs-uncached "
+             "speedup is at least MIN (CI regression gate)",
     )
     args = parser.parse_args(argv)
 
@@ -151,11 +225,18 @@ def main(argv: list[str] | None = None) -> int:
     for name in args.only or sorted(BENCHES):
         print(f"bench: {name} (workers={args.workers})", flush=True)
         entry = BENCHES[name](args.workers, args.smoke)
-        print(
-            f"  serial {entry['serial_s']:.2f}s  parallel {entry['parallel_s']:.2f}s"
-            f"  speedup {entry['speedup']}x",
-            flush=True,
-        )
+        if name == "eval":
+            print(
+                f"  uncached {entry['uncached_s']:.2f}s  cached {entry['cached_s']:.2f}s"
+                f"  speedup {entry['speedup']}x",
+                flush=True,
+            )
+        else:
+            print(
+                f"  serial {entry['serial_s']:.2f}s  parallel {entry['parallel_s']:.2f}s"
+                f"  speedup {entry['speedup']}x",
+                flush=True,
+            )
         results.append(entry)
 
     payload = {
@@ -171,6 +252,23 @@ def main(argv: list[str] | None = None) -> int:
     }
     save_results(payload, args.out)
     print(f"wrote {args.out}")
+
+    if args.require_cached_speedup is not None:
+        evals = [r for r in results if r["bench"] == "eval"]
+        if not evals:
+            print("error: --require-cached-speedup needs the eval bench to run")
+            return 1
+        speedup = evals[0]["speedup"] or 0.0
+        if speedup < args.require_cached_speedup:
+            print(
+                f"error: cached eval speedup {speedup}x is below the required "
+                f"{args.require_cached_speedup}x"
+            )
+            return 1
+        print(
+            f"cached eval speedup {speedup}x meets the required "
+            f"{args.require_cached_speedup}x"
+        )
     return 0
 
 

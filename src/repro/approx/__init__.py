@@ -29,6 +29,18 @@ from repro.approx.metrics import (
     mean_relative_error,
 )
 from repro.approx.multiplier import ExactMultiplier, Multiplier, exact_lut
+from repro.approx.plan import (
+    GemmPlan,
+    PlanCache,
+    WorkspacePool,
+    build_plan,
+    cache_stats,
+    disable_plan_cache,
+    enable_plan_cache,
+    plan_cache_disabled,
+    plan_caching_enabled,
+    workspace_pool,
+)
 from repro.approx.registry import (
     PAPER_MRE,
     TABLE3_MULTIPLIERS,
@@ -61,6 +73,16 @@ __all__ = [
     "approx_matmul",
     "approx_matmul_with_exact",
     "exact_int_matmul",
+    "GemmPlan",
+    "PlanCache",
+    "WorkspacePool",
+    "build_plan",
+    "cache_stats",
+    "enable_plan_cache",
+    "disable_plan_cache",
+    "plan_cache_disabled",
+    "plan_caching_enabled",
+    "workspace_pool",
     "mean_relative_error",
     "mean_error",
     "max_absolute_error",

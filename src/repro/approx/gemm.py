@@ -13,6 +13,12 @@ takes 15 values, so the GEMM decomposes as
 term uses the sign-magnitude odd symmetry ``g̃(a, -v) = -g̃(a, v)``). All
 products and partial sums are integers far below 2^53, so float64 BLAS is
 exact.
+
+When the weight operand is frozen (every evaluation loop, sweep cell and
+Monte-Carlo run), callers pass a precomputed weight-stationary
+:class:`~repro.approx.plan.GemmPlan` — the per-batch work collapses to one
+pooled-workspace gather plus one BLAS call, bitwise identical to the
+uncached path (``docs/PERFORMANCE.md``).
 """
 
 from __future__ import annotations
@@ -20,9 +26,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.approx.multiplier import Multiplier
+from repro.approx.plan import GemmPlan, check_magnitude
 from repro.errors import MultiplierError, ShapeError
 from repro.obs import profiling as prof
-from repro.parallel import ParallelConfig, effective_workers, map_workers
+from repro.parallel import ParallelConfig, amortized_workers, map_workers
 
 # Largest |product|·K for which float64 accumulation is provably exact.
 _EXACT_FLOAT64_BOUND = 2.0**52
@@ -57,6 +64,7 @@ def approx_matmul(
     b: np.ndarray,
     multiplier: Multiplier,
     workers: int | None = None,
+    plan: GemmPlan | None = None,
 ) -> np.ndarray:
     """Approximate integer GEMM ``a @ b`` using ``multiplier`` elementwise.
 
@@ -70,9 +78,16 @@ def approx_matmul(
         multiplier's ``w_bits`` unsigned domain.
     workers:
         Evaluate independent row blocks of ``a`` on this many threads when
-        M spans several blocks (``docs/PERFORMANCE.md``); ``None`` uses
-        the process-wide default (the CLI's ``--workers``). The result is
-        bitwise identical at any worker count.
+        M spans several blocks and the machine has more than one usable
+        CPU (``docs/PERFORMANCE.md``); ``None`` uses the process-wide
+        default (the CLI's ``--workers``). The result is bitwise identical
+        at any worker count.
+    plan:
+        A weight-stationary :class:`~repro.approx.plan.GemmPlan` built
+        from this exact ``b`` and ``multiplier``
+        (:func:`repro.approx.plan.build_plan`). Skips every
+        weight-dependent scan and gathers into a pooled workspace; the
+        result is bitwise identical to the plan-less call.
     """
     a = np.asarray(a)
     b = np.asarray(b)
@@ -85,34 +100,58 @@ def approx_matmul(
 
     xhi = 2 ** (multiplier.x_bits - 1) - 1
     whi = 2 ** (multiplier.w_bits - 1) - 1
-    _check_magnitude(a, xhi, multiplier.name, "a")
-    _check_magnitude(b, whi, multiplier.name, "b")
+    check_magnitude(a, xhi, multiplier.name, "a")
+    if plan is None:
+        check_magnitude(b, whi, multiplier.name, "b")
+    elif plan.k != a.shape[1] or plan.n != b.shape[1]:
+        raise ShapeError(
+            f"plan built for ({plan.k}, {plan.n}) weights applied to GEMM "
+            f"{a.shape} x {b.shape}"
+        )
 
-    num_workers = effective_workers(workers)
+    num_workers = amortized_workers(workers, tasks=a.shape[0] // ROW_BLOCK)
     if num_workers > 1 and a.shape[0] >= 2 * ROW_BLOCK:
         blocks = min(num_workers, -(-a.shape[0] // ROW_BLOCK))
         bounds = np.linspace(0, a.shape[0], blocks + 1, dtype=int)
         rows = [a[lo:hi] for lo, hi in zip(bounds[:-1], bounds[1:])]
         with prof.timer("approx.matmul_chunked", nbytes=a.nbytes + b.nbytes):
             parts = map_workers(
-                lambda block: _approx_matmul_block(block, b, multiplier, xhi, whi),
+                lambda block: _run_block(block, b, multiplier, xhi, whi, plan),
                 rows,
                 ParallelConfig(workers=blocks, backend="thread"),
             )
         return np.concatenate(parts, axis=0)
+    return _run_block(a, b, multiplier, xhi, whi, plan)
+
+
+def _run_block(
+    a: np.ndarray,
+    b: np.ndarray,
+    multiplier: Multiplier,
+    xhi: int,
+    whi: int,
+    plan: GemmPlan | None,
+) -> np.ndarray:
+    if plan is not None:
+        return plan.execute(a)
     return _approx_matmul_block(a, b, multiplier, xhi, whi)
 
 
 def _approx_matmul_block(
     a: np.ndarray, b: np.ndarray, multiplier: Multiplier, xhi: int, whi: int
 ) -> np.ndarray:
-    """The LUT-decomposition GEMM on one (row block of) operand ``a``."""
+    """The LUT-decomposition GEMM on one (row block of) operand ``a``.
+
+    This is the uncached reference path; the plan path must stay bitwise
+    identical to it (``tests/approx/test_plan.py``).
+    """
     # float32 accumulation is exact while every partial sum of integer
     # products stays below 2^24; fall back to float64 otherwise.
     max_product = float(np.abs(multiplier.lut).max())
     use_f32 = max_product * a.shape[1] < 2.0**23
     lut = multiplier.signed_lut_f32() if use_f32 else multiplier.signed_lut_f64()
     dtype = np.float32 if use_f32 else np.float64
+    itemsize = np.dtype(dtype).itemsize
 
     a_idx = (a.astype(np.intp) + xhi).ravel()
     m, k = a.shape
@@ -134,23 +173,18 @@ def _approx_matmul_block(
             masks.append(mask)
     if not gathered:
         return np.zeros((m, n), dtype=np.int64)
-    prof.count("approx.lut_gathered_values", n=len(gathered), nbytes=len(gathered) * m * k * 8)
+    prof.count(
+        "approx.lut_gathered_values",
+        n=len(gathered),
+        nbytes=len(gathered) * m * k * itemsize,
+    )
     # One fused BLAS call over all active weight values.
-    with prof.timer("approx.matmul_blas", nbytes=len(gathered) * (m * k + k * n) * 8):
+    with prof.timer(
+        "approx.matmul_blas", nbytes=len(gathered) * (m * k + k * n) * itemsize
+    ):
         big_g = np.concatenate(gathered, axis=1)
         big_h = np.concatenate(masks, axis=0)
         return np.rint(big_g @ big_h).astype(np.int64)
-
-
-def _check_magnitude(codes: np.ndarray, bound: int, name: str, operand: str) -> None:
-    if codes.size:
-        mag = np.abs(codes).max()
-        if mag > bound:
-            raise MultiplierError(
-                f"{name}: magnitude of operand {operand} exceeds the symmetric "
-                f"range (max {int(mag)} > {bound}); quantize into the symmetric "
-                "range first"
-            )
 
 
 def approx_matmul_with_exact(

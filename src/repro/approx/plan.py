@@ -1,0 +1,350 @@
+"""Weight-stationary kernel plans for the approximate GEMM engine.
+
+The paper's whole evaluation protocol (per-multiplier accuracy tables,
+truncation sweeps, Monte-Carlo ε(y) profiling) runs the approximate GEMM
+with **frozen weights**: the weight operand ``B`` of ``ỹ = g̃(A) · B`` is
+identical across every batch of an evaluation, sweep cell or simulation.
+A :class:`GemmPlan` hoists every weight-dependent quantity out of the
+per-batch path:
+
+- the **active weight values** (the ``v`` with ``±v`` present in ``B``),
+  found in one bucketization pass instead of ``2·whi`` boolean scans;
+- the **mask matrix** ``H`` with ``H[k·V + i, n] = sign(B[k, n])`` when
+  ``|B[k, n]|`` equals the i-th active value (the (K, V)-interleaved
+  layout lets the per-batch gather be a single ``np.take``);
+- the **dtype/precision decision** (float32 BLAS while every partial sum
+  stays below 2^23, float64 otherwise) and the operand-magnitude check
+  on ``B``;
+- a packed ``(2·xhi+1, V)`` LUT slice so the activation gather reads
+  ``V`` contiguous products per activation code.
+
+``plan.execute(a)`` then gathers LUT products for a batch directly into a
+pooled workspace buffer (no list-append / ``np.concatenate``) and runs
+one BLAS call. Every product and partial sum is an exactly-represented
+integer, so the result is **bitwise identical** to the uncached
+:func:`repro.approx.gemm.approx_matmul` path — reordering exact integer
+sums cannot change them.
+
+:class:`PlanCache` is the per-layer memo keyed by a weight-version
+counter (see :class:`repro.nn.parameter.Parameter`); a training step
+bumps the version, so a stale plan is impossible by construction.
+Cache hits/misses/bytes are counted on the profiler registry
+(``approx.plan_cache_*``) and surfaced by ``repro report``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.approx.multiplier import Multiplier
+from repro.errors import MultiplierError, ShapeError
+from repro.obs import profiling as prof
+
+# float64 partial sums of integer products are exact below this bound.
+_EXACT_FLOAT32_BOUND = 2.0**23
+
+_caching_enabled = True
+
+
+def enable_plan_cache() -> None:
+    """Re-enable plan caching (the default state)."""
+    global _caching_enabled
+    _caching_enabled = True
+
+
+def disable_plan_cache() -> None:
+    """Disable plan caching: every lookup rebuilds, nothing is stored."""
+    global _caching_enabled
+    _caching_enabled = False
+
+
+def plan_caching_enabled() -> bool:
+    """Whether :class:`PlanCache` lookups may reuse stored plans."""
+    return _caching_enabled
+
+
+class plan_cache_disabled:
+    """Context manager running a block with plan caching off.
+
+    The uncached path is the reference implementation; benchmarks and the
+    bitwise-equivalence tests use this to compare against it.
+    """
+
+    def __enter__(self) -> None:
+        self._previous = _caching_enabled
+        disable_plan_cache()
+
+    def __exit__(self, *exc) -> None:
+        if self._previous:
+            enable_plan_cache()
+
+
+def check_magnitude(codes: np.ndarray, bound: int, name: str, operand: str) -> None:
+    """Reject operand codes outside the symmetric ``[-bound, bound]`` range."""
+    if codes.size:
+        mag = np.abs(codes).max()
+        if mag > bound:
+            raise MultiplierError(
+                f"{name}: magnitude of operand {operand} exceeds the symmetric "
+                f"range (max {int(mag)} > {bound}); quantize into the symmetric "
+                "range first"
+            )
+
+
+class WorkspacePool:
+    """Reusable gather buffers shared across plans and threads.
+
+    ``take`` hands out a 1-D buffer of at least the requested size
+    (power-of-two rounded so consecutive batch sizes reuse one
+    allocation); ``give`` returns it. Concurrent row-block threads each
+    take a distinct buffer, so plan execution never shares scratch
+    memory. The pool keeps at most ``max_buffers`` per dtype.
+    """
+
+    def __init__(self, max_buffers: int = 8):
+        self._lock = threading.Lock()
+        self._free: dict[str, list[np.ndarray]] = {}
+        self._allocated_bytes = 0
+        self.max_buffers = max_buffers
+
+    def take(self, size: int, dtype: np.dtype) -> np.ndarray:
+        key = np.dtype(dtype).str
+        with self._lock:
+            free = self._free.get(key, [])
+            best = None
+            for index, buf in enumerate(free):
+                if buf.size >= size and (best is None or buf.size < free[best].size):
+                    best = index
+            if best is not None:
+                return free.pop(best)
+        rounded = 1 << max(int(size) - 1, 0).bit_length()
+        buf = np.empty(rounded, dtype=dtype)
+        with self._lock:
+            self._allocated_bytes += buf.nbytes
+        prof.count("approx.plan_workspace_alloc", n=1, nbytes=buf.nbytes)
+        return buf
+
+    def give(self, buf: np.ndarray) -> None:
+        key = buf.dtype.str
+        with self._lock:
+            free = self._free.setdefault(key, [])
+            if len(free) < self.max_buffers:
+                free.append(buf)
+            else:
+                self._allocated_bytes -= buf.nbytes
+
+    def clear(self) -> None:
+        with self._lock:
+            self._free.clear()
+            self._allocated_bytes = 0
+
+    def stats(self) -> dict:
+        with self._lock:
+            pooled = sum(len(bufs) for bufs in self._free.values())
+            return {"pooled_buffers": pooled, "allocated_bytes": self._allocated_bytes}
+
+
+# Process-wide pool: evaluation loops, sweeps and Monte-Carlo draws all
+# gather into the same recycled buffers.
+_workspace = WorkspacePool()
+
+
+def workspace_pool() -> WorkspacePool:
+    """The process-wide gather-buffer pool."""
+    return _workspace
+
+
+class GemmPlan:
+    """Precomputed weight-stationary state for one ``A @ B`` operand ``B``.
+
+    Built once per (weights, multiplier) via :func:`build_plan`; executed
+    per batch via :meth:`execute`. Instances are immutable after build and
+    safe to share across threads (scratch space comes from the pool).
+    """
+
+    __slots__ = (
+        "multiplier_name", "k", "n", "values", "lut_rows", "big_h",
+        "dtype", "use_f32", "xhi", "whi", "nbytes",
+    )
+
+    def __init__(
+        self,
+        multiplier_name: str,
+        k: int,
+        n: int,
+        values: np.ndarray,
+        lut_rows: np.ndarray,
+        big_h: np.ndarray,
+        dtype: np.dtype,
+        use_f32: bool,
+        xhi: int,
+        whi: int,
+    ):
+        self.multiplier_name = multiplier_name
+        self.k = k
+        self.n = n
+        self.values = values
+        self.lut_rows = lut_rows
+        self.big_h = big_h
+        self.dtype = dtype
+        self.use_f32 = use_f32
+        self.xhi = xhi
+        self.whi = whi
+        self.nbytes = int(big_h.nbytes + lut_rows.nbytes + values.nbytes)
+
+    @property
+    def num_values(self) -> int:
+        return len(self.values)
+
+    def execute(self, a: np.ndarray) -> np.ndarray:
+        """The approximate GEMM ``a @ B`` for one (row block of) ``a``.
+
+        ``a`` must hold integer codes within the multiplier's symmetric
+        x-range (the caller checks, exactly like the uncached path).
+        """
+        m, k = a.shape
+        if k != self.k:
+            raise ShapeError(
+                f"plan for reduce dim {self.k} applied to operand with {k} columns"
+            )
+        v = self.num_values
+        if v == 0:
+            return np.zeros((m, self.n), dtype=np.int64)
+        itemsize = self.dtype.itemsize
+        buf = _workspace.take(m * k * v, self.dtype)
+        try:
+            gathered = buf[: m * k * v].reshape(m * k, v)
+            with prof.timer("approx.lut_gather", nbytes=a.nbytes):
+                a_idx = (a.astype(np.intp) + self.xhi).ravel()
+                np.take(self.lut_rows, a_idx, axis=0, out=gathered)
+            prof.count("approx.lut_gathered_values", n=v, nbytes=m * k * v * itemsize)
+            with prof.timer(
+                "approx.matmul_blas", nbytes=(m * k * v + k * v * self.n) * itemsize
+            ):
+                y = gathered.reshape(m, k * v) @ self.big_h
+        finally:
+            _workspace.give(buf)
+        return np.rint(y).astype(np.int64)
+
+
+def build_plan(b: np.ndarray, multiplier: Multiplier) -> GemmPlan:
+    """Build the weight-stationary plan for operand ``b`` of ``a @ b``.
+
+    One bucketization pass over ``b`` finds the active weight values and
+    scatters the ±1 mask matrix, replacing the ``2·whi`` boolean scans of
+    the uncached path.
+    """
+    b = np.asarray(b)
+    if b.ndim != 2:
+        raise ShapeError(f"plan operand must be 2-D, got shape {b.shape}")
+    if b.dtype.kind not in "iu":
+        raise MultiplierError("build_plan operates on integer weight codes")
+    xhi = 2 ** (multiplier.x_bits - 1) - 1
+    whi = 2 ** (multiplier.w_bits - 1) - 1
+    check_magnitude(b, whi, multiplier.name, "b")
+
+    k, n = b.shape
+    max_product = float(np.abs(multiplier.lut).max())
+    use_f32 = max_product * k < _EXACT_FLOAT32_BOUND
+    lut = multiplier.signed_lut_f32() if use_f32 else multiplier.signed_lut_f64()
+    dtype = np.dtype(np.float32) if use_f32 else np.dtype(np.float64)
+
+    with prof.timer("approx.plan_build", nbytes=b.nbytes):
+        mag = np.abs(b)
+        values = np.unique(mag)
+        values = values[values > 0]
+        v = len(values)
+        big_h = np.zeros((k * v, n), dtype=dtype)
+        if v:
+            # v = 0 contributes g̃(a, 0) = 0 under sign-magnitude evaluation.
+            slot = np.full(whi + 1, -1, dtype=np.intp)
+            slot[values] = np.arange(v)
+            kk, nn = np.nonzero(mag)
+            big_h[kk * v + slot[mag[kk, nn]], nn] = np.sign(b[kk, nn])
+            lut_rows = np.ascontiguousarray(lut[:, whi + values])
+        else:
+            lut_rows = np.zeros((lut.shape[0], 0), dtype=dtype)
+    plan = GemmPlan(
+        multiplier.name, k, n, values, lut_rows, big_h, dtype, use_f32, xhi, whi
+    )
+    prof.count("approx.plan_built", n=1, nbytes=plan.nbytes)
+    return plan
+
+
+class PlanCache:
+    """Per-layer memo of weight-stationary GEMM state.
+
+    One entry per ``tag`` (a layer keeps separate tags for e.g. grouped
+    convolution paths). An entry is valid only while both its ``key`` —
+    the layer's weight-version tuple — and the attached multiplier object
+    are unchanged; a weight update bumps the version
+    (:class:`repro.nn.parameter.Parameter`), so reusing a stale plan is
+    impossible by construction. Cloned or pickled models start with an
+    empty cache (plans hold large buffers and rebuild cheaply).
+    """
+
+    def __init__(self):
+        self._entries: dict[str, tuple[Any, Multiplier | None, Any]] = {}
+
+    def get(
+        self,
+        tag: str,
+        key: Any,
+        multiplier: Multiplier | None,
+        build: Callable[[], Any],
+    ) -> Any:
+        """The cached payload for ``(tag, key, multiplier)``, building on miss."""
+        if not _caching_enabled:
+            prof.count("approx.plan_cache_bypass")
+            return build()
+        entry = self._entries.get(tag)
+        if entry is not None and entry[0] == key and entry[1] is multiplier:
+            prof.count("approx.plan_cache_hit")
+            return entry[2]
+        prof.count("approx.plan_cache_miss")
+        payload = build()
+        self._entries[tag] = (key, multiplier, payload)
+        return payload
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # Plans must not travel with clones or into worker processes: the
+    # copy rebuilds from its own weights on first use.
+    def __deepcopy__(self, memo) -> "PlanCache":
+        return PlanCache()
+
+    def __getstate__(self) -> dict:
+        return {}
+
+    def __setstate__(self, state: dict) -> None:
+        self._entries = {}
+
+
+def cache_stats() -> dict:
+    """Process-wide plan-cache counter snapshot (hits/misses/bytes).
+
+    Reads the profiler registry, so it is only populated while profiling
+    is enabled (``repro ... --profile`` or :class:`repro.obs.profiled`).
+    """
+    report = prof.profile_report()
+    out = {}
+    for name in (
+        "approx.plan_cache_hit",
+        "approx.plan_cache_miss",
+        "approx.plan_cache_bypass",
+        "approx.plan_built",
+        "approx.plan_workspace_alloc",
+    ):
+        stat = report.counter(name)
+        short = name.rsplit(".", 1)[1]
+        out[short] = int(stat.calls) if stat is not None else 0
+        if stat is not None and stat.bytes:
+            out[f"{short}_bytes"] = int(stat.bytes)
+    return out

@@ -18,11 +18,17 @@ from functools import partial
 
 from repro.approx.gemm import approx_matmul, exact_int_matmul
 from repro.approx.multiplier import Multiplier
+from repro.approx.plan import build_plan, plan_caching_enabled
 from repro.ge.error_model import PiecewiseLinearErrorModel, fit_error_model
 from repro.obs import profiling as prof
-from repro.parallel import ParallelConfig, chunked, effective_workers, map_workers
+from repro.parallel import ParallelConfig, amortized_workers, chunked, map_workers
 from repro.quant.quantizer import qrange
 from repro.utils.rng import new_rng
+
+# Below this many total MACs a worker pool cannot amortise its dispatch and
+# fork cost (measured in docs/PERFORMANCE.md): the paper-default profile
+# (50 sims of 64x72x16) runs ~3.5x faster serially than on 4 workers.
+_MIN_PARALLEL_MC_WORK = float(2**25)
 
 
 @dataclass(frozen=True)
@@ -50,9 +56,15 @@ def _simulate_chunk(
     Module-level so the process backend can pickle it.
     """
     out = []
+    use_plans = plan_caching_enabled() and not multiplier.is_exact
     for a, b in draws:
         exact = exact_int_matmul(a, b)
-        approx = approx_matmul(a, b, multiplier)
+        # Each draw has fresh weights, so there is nothing to cache across
+        # draws — but building a plan still wins: one bucketization pass
+        # over b instead of 2·whi boolean scans, and every draw gathers
+        # into the same pooled workspace buffer.
+        plan = build_plan(b, multiplier) if use_plans else None
+        approx = approx_matmul(a, b, multiplier, plan=plan)
         out.append((exact.reshape(-1), (approx - exact).reshape(-1)))
     return out
 
@@ -92,7 +104,12 @@ def profile_multiplier_error(
             )
             for _ in range(num_simulations)
         ]
-        num_workers = effective_workers(workers)
+        num_workers = amortized_workers(
+            workers,
+            tasks=num_simulations,
+            work=float(num_simulations) * gemm_rows * reduce_dim * out_dim,
+            min_work=_MIN_PARALLEL_MC_WORK,
+        )
         if num_workers > 1 and num_simulations > 1:
             # ~2 chunks per worker keeps the pool busy if chunk costs skew.
             batches = chunked(draws, 2 * num_workers)

@@ -6,18 +6,43 @@ import numpy as np
 
 from repro.autograd.tensor import Tensor
 
+# The ``data`` slot descriptor of Tensor; Parameter shadows it with a
+# version-counting property below.
+_TENSOR_DATA = Tensor.data
+
 
 class Parameter(Tensor):
     """A :class:`Tensor` registered as trainable by :class:`~repro.nn.Module`.
 
     Parameters default to ``requires_grad=True`` and are discovered by
     ``Module.parameters()`` when assigned as module attributes.
+
+    Every rebind of :attr:`data` bumps :attr:`version` — optimizer steps,
+    ``load_state_dict``, weight-fault injection and layer conversion all
+    assign ``p.data``, so the counter is a reliable staleness key for
+    anything derived from the weights (the approximate-GEMM kernel-plan
+    cache keys on it; see :mod:`repro.approx.plan`).
     """
 
     def __init__(self, data, requires_grad: bool = True, name: str | None = None):
+        self._version = -1  # construction itself lands the counter on 0
         if isinstance(data, Tensor):
             data = data.data
         super().__init__(np.asarray(data), requires_grad=requires_grad, name=name)
+
+    @property
+    def data(self) -> np.ndarray:
+        return _TENSOR_DATA.__get__(self, type(self))
+
+    @data.setter
+    def data(self, value) -> None:
+        _TENSOR_DATA.__set__(self, value)
+        self._version += 1
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter of weight rebinds since construction."""
+        return self._version
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Parameter(shape={self.shape}, requires_grad={self.requires_grad})"

@@ -44,6 +44,20 @@ class RunSummary:
     train_loss: list[float] = field(default_factory=list)
     stages: list[StageTime] = field(default_factory=list)
     hottest: list[dict] = field(default_factory=list)
+    counters: list[dict] = field(default_factory=list)
+
+    @property
+    def plan_cache(self) -> dict:
+        """Kernel-plan cache pressure (``approx.plan_cache_*`` counters)."""
+        out = {}
+        for row in self.counters:
+            name = str(row.get("name", ""))
+            if name.startswith("approx.plan_"):
+                short = name[len("approx.plan_"):]
+                out[short] = int(row.get("calls", 0))
+                if row.get("bytes"):
+                    out[f"{short}_bytes"] = int(row["bytes"])
+        return out
 
 
 def summarize_run(path: str | Path, strict: bool = False) -> RunSummary:
@@ -102,6 +116,7 @@ def summarize_run(path: str | Path, strict: bool = False) -> RunSummary:
 
     for r in ev.iter_events(records, ev.PROFILE):
         summary.hottest = list(r.get("timers", []))[:10]
+        summary.counters = list(r.get("counters", []))
 
     return summary
 
@@ -150,6 +165,21 @@ def render_summary(summary: RunSummary) -> str:
                 f"  {row.get('name', '?'):32s} {row.get('calls', 0):9d} "
                 f"{row.get('total', 0.0):10.4f}"
             )
+    cache = summary.plan_cache
+    if cache:
+        hits = cache.get("cache_hit", 0)
+        misses = cache.get("cache_miss", 0)
+        lookups = hits + misses
+        rate = f"  ({100.0 * hits / lookups:.1f}% hit)" if lookups else ""
+        lines.append("plan cache:")
+        lines.append(
+            f"  hits {hits}  misses {misses}  "
+            f"bypasses {cache.get('cache_bypass', 0)}  "
+            f"plans built {cache.get('built', 0)} "
+            f"({cache.get('built_bytes', 0)} bytes)  "
+            f"workspace allocs {cache.get('workspace_alloc', 0)} "
+            f"({cache.get('workspace_alloc_bytes', 0)} bytes){rate}"
+        )
     if summary.final_accuracy is not None:
         lines.append(
             f"final accuracy:   {100 * summary.final_accuracy:.2f}% "

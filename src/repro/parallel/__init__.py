@@ -13,8 +13,11 @@ See ``docs/PERFORMANCE.md``. Entry points:
 from repro.parallel.executor import (
     BACKENDS,
     ParallelConfig,
+    amortized_workers,
     chunked,
+    cpu_parallelism,
     effective_workers,
+    force_parallel,
     fork_available,
     get_default_config,
     map_workers,
@@ -25,8 +28,11 @@ from repro.parallel.executor import (
 __all__ = [
     "BACKENDS",
     "ParallelConfig",
+    "amortized_workers",
     "chunked",
+    "cpu_parallelism",
     "effective_workers",
+    "force_parallel",
     "fork_available",
     "get_default_config",
     "map_workers",

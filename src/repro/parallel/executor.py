@@ -96,6 +96,59 @@ def effective_workers(workers: int | None = None) -> int:
     return 1 if resolve_backend(config) == "serial" else config.workers
 
 
+def cpu_parallelism() -> int:
+    """Usable hardware parallelism (``REPRO_CPUS`` overrides detection).
+
+    The override exists for tests and containers whose visible
+    ``os.cpu_count()`` does not match the cores actually available.
+    """
+    raw = os.environ.get("REPRO_CPUS", "").strip()
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            raise ConfigError(f"REPRO_CPUS must be an integer, got {raw!r}") from None
+    return os.cpu_count() or 1
+
+
+def force_parallel() -> bool:
+    """True when ``REPRO_FORCE_PARALLEL`` disables the small-work guard."""
+    return os.environ.get("REPRO_FORCE_PARALLEL", "").strip() not in ("", "0")
+
+
+def amortized_workers(
+    workers: int | None,
+    tasks: int,
+    *,
+    work: float | None = None,
+    min_work: float = 0.0,
+) -> int:
+    """Worker count after the can-it-amortize guard (``docs/PERFORMANCE.md``).
+
+    Pool dispatch has a fixed cost per task and per fork, so fanning out
+    tiny workloads makes them *slower* — this is the one place that
+    decides when fan-out cannot win and serial is the faster plan:
+
+    - fewer than two tasks, or only one usable CPU
+      (:func:`cpu_parallelism`), or
+    - ``work`` (a caller-chosen size estimate, e.g. total MACs) below
+      ``min_work``.
+
+    ``REPRO_FORCE_PARALLEL=1`` bypasses the guard so the concurrency
+    test-suite can exercise real pools on single-core CI runners.
+    """
+    requested = effective_workers(workers)
+    if requested <= 1:
+        return 1
+    if force_parallel():
+        return requested
+    if tasks < 2 or cpu_parallelism() < 2:
+        return 1
+    if work is not None and work < min_work:
+        return 1
+    return requested
+
+
 # ----------------------------------------------------------------------
 # process-wide default (set by the CLI's --workers flag)
 # ----------------------------------------------------------------------

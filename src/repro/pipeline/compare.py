@@ -11,9 +11,11 @@ from dataclasses import dataclass, field
 
 from repro.approx.metrics import mean_relative_error
 from repro.approx.multiplier import Multiplier
+from repro.approx.plan import cache_stats
 from repro.data.synthetic_cifar import Dataset
 from repro.distill.approxkd import recommended_t2
 from repro.nn.module import Module
+from repro.obs import events as obs_events
 from repro.pipeline.algorithm1 import METHODS, StageResult, approximation_stage
 from repro.sim.proxsim import resolve_multiplier
 from repro.train.trainer import TrainConfig
@@ -62,6 +64,7 @@ def compare_methods(
         energy_savings=mult.energy_savings,
         initial_accuracy=0.0,
     )
+    log = obs_events.get_event_log()
     for method in methods:
         _, result = approximation_stage(
             quant_model,
@@ -75,4 +78,13 @@ def compare_methods(
         )
         comparison.results[method] = result
         comparison.initial_accuracy = result.accuracy_before
+        if log.enabled:
+            # Kernel-plan cache pressure per method (cumulative process-wide
+            # counters; only non-zero under --profile).
+            log.emit(
+                "plan_cache",
+                method=method,
+                multiplier=mult.name,
+                **cache_stats(),
+            )
     return comparison

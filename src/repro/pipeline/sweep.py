@@ -35,7 +35,12 @@ from repro.distill.approxkd import recommended_t2
 from repro.errors import ConfigError
 from repro.nn.module import Module
 from repro.obs import events as obs_events
-from repro.parallel import get_default_config, map_workers, resolve_backend
+from repro.parallel import (
+    amortized_workers,
+    get_default_config,
+    map_workers,
+    resolve_backend,
+)
 from repro.pipeline.algorithm1 import METHODS, approximation_stage
 from repro.resilience.retry import FailureRecord, call_with_retry
 from repro.sim.proxsim import resolve_multiplier
@@ -349,7 +354,13 @@ def run_sweep(
             result.to_json(state_path)
 
     context = _CellContext(quant_model, data, train_config, rng, retries)
-    if resolve_backend(parallel_config) == "serial":
+    # Fan-out cannot amortise on a single usable CPU or a near-empty grid
+    # (docs/PERFORMANCE.md); fall back to the inline loop.
+    serial = (
+        resolve_backend(parallel_config) == "serial"
+        or amortized_workers(parallel_config.workers, tasks=len(pending)) <= 1
+    )
+    if serial:
         for cell in pending:
             if cell.resolve_failure is not None:
                 record(cell, _failed_point(cell, cell.resolve_failure))

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.approx.gemm import approx_matmul, exact_int_matmul
 from repro.approx.multiplier import Multiplier
+from repro.approx.plan import GemmPlan, build_plan, plan_caching_enabled
 from repro.autograd.function import Function
 from repro.autograd.im2col import col2im, conv_out_size, im2col, sliding_windows
 from repro.errors import QuantizationError, ShapeError
@@ -59,18 +60,34 @@ def _int_gemm(
     b: np.ndarray,
     multiplier: Multiplier | None,
     need_exact: bool,
+    plan: GemmPlan | None = None,
 ) -> tuple[np.ndarray, np.ndarray | None]:
     """Integer GEMM, approximate when a non-exact multiplier is given.
 
     Returns ``(y_int, y_exact)`` where ``y_exact`` is only materialised when
-    ``need_exact`` (for GE region tests) and differs from ``y_int``.
+    ``need_exact`` (for GE region tests) and differs from ``y_int``. ``plan``
+    is an optional weight-stationary plan built from this exact ``b``; the
+    result is bitwise identical with or without it.
     """
     if multiplier is None or multiplier.is_exact:
         y = exact_int_matmul(a, b)
         return y, (y if need_exact else None)
-    y = approx_matmul(a, b, multiplier)
+    y = approx_matmul(a, b, multiplier, plan=plan)
     y_exact = exact_int_matmul(a, b) if need_exact else None
     return y, y_exact
+
+
+def _maybe_plan(b: np.ndarray, multiplier: Multiplier | None) -> GemmPlan | None:
+    """A weight-stationary plan for ``b``, or None on the exact path.
+
+    Plans are only built when caching is enabled
+    (:func:`repro.approx.plan.plan_caching_enabled`) — with caching off the
+    layers run the uncached reference GEMM, which benchmarks and the
+    bitwise-equivalence tests compare against.
+    """
+    if multiplier is None or multiplier.is_exact or not plan_caching_enabled():
+        return None
+    return build_plan(b, multiplier)
 
 
 def _gradient_scale(
@@ -97,6 +114,8 @@ class QuantLinearFunction(Function):
         w_bits: int,
         multiplier: Multiplier | None = None,
         error_model: PiecewiseLinearErrorModel | None = None,
+        plan_cache=None,
+        plan_key=None,
     ):
         x = np.asarray(x)
         weight = np.asarray(weight)
@@ -105,9 +124,20 @@ class QuantLinearFunction(Function):
         self.act_step = float(act_step)
         self.w_step_col = _weight_step_per_channel(w_step, weight.shape[0])
         xq, self.x_mask = _quantize_codes(x, act_step, act_bits)
-        wq, self.w_mask = _quantize_codes(weight, self.w_step_col[:, None], w_bits)
+
+        def _weight_state():
+            wq, w_mask = _quantize_codes(weight, self.w_step_col[:, None], w_bits)
+            return wq, w_mask, _maybe_plan(np.ascontiguousarray(wq.T), multiplier)
+
+        if plan_cache is not None:
+            wq, self.w_mask, plan = plan_cache.get(
+                "linear", plan_key, multiplier, _weight_state
+            )
+        else:
+            wq, self.w_mask = _quantize_codes(weight, self.w_step_col[:, None], w_bits)
+            plan = None
         need_exact = error_model is not None and not error_model.is_constant
-        y_int, y_exact = _int_gemm(xq, wq.T, multiplier, need_exact)
+        y_int, y_exact = _int_gemm(xq, wq.T, multiplier, need_exact, plan=plan)
         self.xq, self.wq = xq, wq
         self.scale = _gradient_scale(error_model, y_exact)
         self.has_bias = bias is not None
@@ -148,6 +178,8 @@ class QuantConv2dFunction(Function):
         w_bits: int,
         multiplier: Multiplier | None = None,
         error_model: PiecewiseLinearErrorModel | None = None,
+        plan_cache=None,
+        plan_key=None,
     ):
         x = np.asarray(x)
         weight = np.asarray(weight)
@@ -169,18 +201,52 @@ class QuantConv2dFunction(Function):
 
         xq, self.x_mask = _quantize_codes(x, act_step, act_bits)
         self.w_step_col = _weight_step_per_channel(w_step, oc)
-        wq, self.w_mask = _quantize_codes(
-            weight, self.w_step_col[:, None, None, None], w_bits
-        )
+        self.depthwise = groups == c and cg == 1 and oc == c
+
+        def _quantize_weight():
+            return _quantize_codes(weight, self.w_step_col[:, None, None, None], w_bits)
+
+        def _weight_state():
+            wq, w_mask = _quantize_weight()
+            if self.depthwise:
+                # Depthwise runs a LUT window sum, not a GEMM; cache only
+                # the weight quantization.
+                return wq, w_mask, None
+            return wq, w_mask, _maybe_plan(
+                np.ascontiguousarray(wq.reshape(oc, -1).T), multiplier
+            )
+
+        def _group_state():
+            wq, w_mask = _quantize_weight()
+            ocg = oc // groups
+            plans = [
+                _maybe_plan(
+                    np.ascontiguousarray(wq[g * ocg : (g + 1) * ocg].reshape(ocg, -1).T),
+                    multiplier,
+                )
+                for g in range(groups)
+            ]
+            return wq, w_mask, plans
+
+        grouped = groups != 1 and not self.depthwise
+        if plan_cache is not None:
+            tag = "groups" if grouped else ("depthwise" if self.depthwise else "conv")
+            wq, self.w_mask, plan_state = plan_cache.get(
+                tag, plan_key, multiplier, _group_state if grouped else _weight_state
+            )
+        else:
+            wq, self.w_mask = _quantize_weight()
+            plan_state = [None] * groups if grouped else None
         self.wq = wq
         need_exact = error_model is not None and not error_model.is_constant
         rescale_col = np.float32(self.act_step) * self.w_step_col  # (OC,)
 
-        self.depthwise = groups == c and cg == 1 and oc == c
         if groups == 1:
             cols, _ = im2col(xq, (kh, kw), stride, padding)
             self.cols = cols
-            y_int, y_exact = _int_gemm(cols, wq.reshape(oc, -1).T, multiplier, need_exact)
+            y_int, y_exact = _int_gemm(
+                cols, wq.reshape(oc, -1).T, multiplier, need_exact, plan=plan_state
+            )
             self.scale = _gradient_scale(error_model, y_exact)
             out = y_int.astype(np.float32) * rescale_col[None, :]
             out = out.reshape(n, oh, ow, oc).transpose(0, 3, 1, 2)
@@ -222,7 +288,10 @@ class QuantConv2dFunction(Function):
                 wg = wq[g * ocg : (g + 1) * ocg]
                 cols, _ = im2col(xg, (kh, kw), stride, padding)
                 self.group_cols.append(cols)
-                y_int, y_exact = _int_gemm(cols, wg.reshape(ocg, -1).T, multiplier, need_exact)
+                y_int, y_exact = _int_gemm(
+                    cols, wg.reshape(ocg, -1).T, multiplier, need_exact,
+                    plan=plan_state[g],
+                )
                 scales.append(_gradient_scale(error_model, y_exact))
                 og = y_int.astype(np.float32) * rescale_col[None, g * ocg : (g + 1) * ocg]
                 outs.append(og.reshape(n, oh, ow, ocg).transpose(0, 3, 1, 2))

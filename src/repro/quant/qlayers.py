@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.approx.multiplier import Multiplier
+from repro.approx.plan import PlanCache
 from repro.autograd.im2col import im2col
 from repro.autograd.tensor import Tensor
 from repro.errors import QuantizationError
@@ -46,6 +47,14 @@ class _QuantGemmLayer(Module):
         # the alpha-regularization baseline — can penalise GEMM outputs in
         # integer-code space.
         self.output_collector: list | None = None
+        # Weight-stationary GEMM state (repro.approx.plan): quantized weight
+        # codes, STE mask and kernel plan, reused across batches while the
+        # weights and steps are unchanged. ``_step_version`` bumps whenever
+        # the step sizes are (re)derived; the weight Parameter's own version
+        # counter covers every weight rebind, so the cache key goes stale the
+        # moment either changes.
+        self._plan_cache = PlanCache()
+        self._step_version = 0
         self._act_observer = create_observer(
             qconfig.activation_observer, qconfig.activation_bits, qconfig.pow2_steps
         )
@@ -70,10 +79,12 @@ class _QuantGemmLayer(Module):
             self._weight_observer.observe(self._weight_data())
             self.weight_step = self._weight_observer.compute_step()
         self.calibrating = False
+        self._step_version += 1
 
     def refresh_weight_step(self) -> None:
         """Re-derive the weight step after weights changed (e.g. between
         fine-tuning stages). Activation steps are kept."""
+        self._step_version += 1
         if self.qconfig.per_channel_weights:
             self.weight_step = self._per_channel_weight_steps()
             return
@@ -124,6 +135,18 @@ class _QuantGemmLayer(Module):
         execution); ``error_model`` enables gradient estimation."""
         self.multiplier = multiplier
         self.error_model = error_model
+        # Plans embed the multiplier's LUT; drop them on a switch so the
+        # cache never outlives the multiplier it was built for.
+        self._plan_cache.clear()
+
+    def _plan_state(self) -> tuple[PlanCache, tuple]:
+        """The layer's plan cache and current weight-version key."""
+        key = (
+            self.weight.version,
+            self._step_version,
+            self.qconfig.weight_bits,
+        )
+        return self._plan_cache, key
 
 
 class QuantConv2d(_QuantGemmLayer):
@@ -184,6 +207,7 @@ class QuantConv2d(_QuantGemmLayer):
                 x, self.weight, self.bias, self.stride, self.padding, self.groups
             )
         self._require_calibrated()
+        plan_cache, plan_key = self._plan_state()
         out = QuantConv2dFunction.apply(
             x,
             self.weight,
@@ -197,6 +221,8 @@ class QuantConv2d(_QuantGemmLayer):
             self.qconfig.weight_bits,
             self.multiplier,
             self.error_model,
+            plan_cache=plan_cache,
+            plan_key=plan_key,
         )
         if self.output_collector is not None and self.training:
             inv_step = 1.0 / (self.act_step * self._mean_weight_step())
@@ -271,6 +297,7 @@ class QuantLinear(_QuantGemmLayer):
 
             return ops_matmul.linear(x, self.weight, self.bias)
         self._require_calibrated()
+        plan_cache, plan_key = self._plan_state()
         out = QuantLinearFunction.apply(
             x,
             self.weight,
@@ -281,6 +308,8 @@ class QuantLinear(_QuantGemmLayer):
             self.qconfig.weight_bits,
             self.multiplier,
             self.error_model,
+            plan_cache=plan_cache,
+            plan_key=plan_key,
         )
         if self.output_collector is not None and self.training:
             inv_step = 1.0 / (self.act_step * self._mean_weight_step())

@@ -135,3 +135,69 @@ class TestProperties:
         np.testing.assert_array_equal(
             approx_matmul(a, -b, mult), -approx_matmul(a, b, mult)
         )
+
+
+class TestExactPrecisionTiers:
+    """``exact_int_matmul`` picks float32 / float64 / int64 by the worst-case
+    partial-sum bound; every tier must agree with int64 accumulation."""
+
+    @staticmethod
+    def _int64_reference(a, b):
+        return a.astype(np.int64) @ b.astype(np.int64)
+
+    def test_float32_tier_just_below_the_2_pow_23_bound(self):
+        # max|a|*max|b|*K = 127*7*9436 = 8_388_604 < 2^23: float32 BLAS.
+        k = 9436
+        a = np.full((2, k), 127, dtype=np.int32)
+        b = np.full((k, 2), 7, dtype=np.int32)
+        a[0, ::2] *= -1
+        out = exact_int_matmul(a, b)
+        assert out.dtype == np.int64
+        np.testing.assert_array_equal(out, self._int64_reference(a, b))
+
+    def test_float64_tier_just_above_the_2_pow_23_bound(self):
+        # 127*7*9437 = 8_389_493 >= 2^23: float32 would round; float64 is
+        # exact and must match int64 accumulation bit for bit.
+        k = 9437
+        a = np.full((2, k), 127, dtype=np.int32)
+        b = np.full((k, 2), 7, dtype=np.int32)
+        np.testing.assert_array_equal(
+            exact_int_matmul(a, b), self._int64_reference(a, b)
+        )
+
+    def test_float64_tier_handles_wide_products(self):
+        # 2^26 * 2^25 * 1 = 2^51 < 2^52: still the exact float64 regime.
+        a = np.array([[1 << 26]], dtype=np.int64)
+        b = np.array([[1 << 25]], dtype=np.int64)
+        np.testing.assert_array_equal(
+            exact_int_matmul(a, b), np.array([[1 << 51]], dtype=np.int64)
+        )
+
+    def test_int64_fallback_above_the_2_pow_52_bound(self):
+        # 2^26 * 2^26 = 2^52: float64 integers stop being dense here, so
+        # the engine must fall back to int64 accumulation.
+        a = np.array([[1 << 26]], dtype=np.int64)
+        b = np.array([[1 << 26]], dtype=np.int64)
+        out = exact_int_matmul(a, b)
+        np.testing.assert_array_equal(out, np.array([[1 << 52]], dtype=np.int64))
+        # an odd value nearby would be unrepresentable in float64
+        a2 = np.array([[(1 << 40) + 1]], dtype=np.int64)
+        b2 = np.array([[1 << 20]], dtype=np.int64)
+        np.testing.assert_array_equal(
+            exact_int_matmul(a2, b2), self._int64_reference(a2, b2)
+        )
+
+    def test_randomised_tiers_agree_with_int64(self, rng):
+        for hi in (3, 1 << 12, 1 << 27):
+            a = rng.integers(-hi, hi + 1, size=(5, 17)).astype(np.int64)
+            b = rng.integers(-hi, hi + 1, size=(17, 4)).astype(np.int64)
+            np.testing.assert_array_equal(
+                exact_int_matmul(a, b), self._int64_reference(a, b)
+            )
+
+    def test_empty_operands(self):
+        a = np.zeros((0, 4), dtype=np.int32)
+        b = np.zeros((4, 3), dtype=np.int32)
+        out = exact_int_matmul(a, b)
+        assert out.shape == (0, 3)
+        assert out.dtype == np.int64

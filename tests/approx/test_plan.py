@@ -1,0 +1,261 @@
+"""Weight-stationary kernel plans: bitwise equivalence, pooling, caching.
+
+The plan path (``repro.approx.plan``) must be bitwise identical to the
+uncached reference GEMM in every precision regime — its whole correctness
+argument is that reordering exact integer sums cannot change them.
+"""
+
+import copy
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.approx import get_multiplier
+from repro.approx.gemm import ROW_BLOCK, approx_matmul
+from repro.approx.plan import (
+    GemmPlan,
+    PlanCache,
+    WorkspacePool,
+    build_plan,
+    cache_stats,
+    plan_cache_disabled,
+    plan_caching_enabled,
+    workspace_pool,
+)
+from repro.errors import MultiplierError, ShapeError
+from repro.obs import profiling as prof
+
+
+def _random_operands(rng, multiplier, m=37, k=29, n=11):
+    xhi = 2 ** (multiplier.x_bits - 1) - 1
+    whi = 2 ** (multiplier.w_bits - 1) - 1
+    a = rng.integers(-xhi, xhi + 1, size=(m, k), dtype=np.int32)
+    b = rng.integers(-whi, whi + 1, size=(k, n), dtype=np.int32)
+    return a, b
+
+
+class TestPlanBitwiseEquivalence:
+    @pytest.mark.parametrize(
+        "name", ["truncated1", "truncated3", "truncated5", "evoapprox29", "evoapprox470"]
+    )
+    def test_plan_matches_uncached_path(self, name):
+        rng = np.random.default_rng(0)
+        mult = get_multiplier(name)
+        a, b = _random_operands(rng, mult)
+        plan = build_plan(b, mult)
+        np.testing.assert_array_equal(
+            approx_matmul(a, b, mult, plan=plan), approx_matmul(a, b, mult)
+        )
+
+    def test_float64_regime_matches(self):
+        # K large enough that max|product|*K crosses 2^23, forcing the
+        # float64 BLAS tier in both paths.
+        mult = get_multiplier("truncated1")
+        k = int(2.0**23 / float(np.abs(mult.lut).max())) + 10
+        rng = np.random.default_rng(1)
+        a, b = _random_operands(rng, mult, m=3, k=k, n=2)
+        plan = build_plan(b, mult)
+        assert not plan.use_f32
+        assert plan.dtype == np.dtype(np.float64)
+        np.testing.assert_array_equal(
+            approx_matmul(a, b, mult, plan=plan), approx_matmul(a, b, mult)
+        )
+
+    def test_sparse_weights_skip_inactive_values(self):
+        # Only two active magnitudes -> the plan gathers 2 LUT columns.
+        mult = get_multiplier("truncated4")
+        rng = np.random.default_rng(2)
+        b = rng.choice(np.array([-5, 0, 0, 3], dtype=np.int32), size=(20, 6))
+        a = rng.integers(-127, 128, size=(9, 20), dtype=np.int32)
+        plan = build_plan(b, mult)
+        assert plan.num_values == 2
+        np.testing.assert_array_equal(
+            approx_matmul(a, b, mult, plan=plan), approx_matmul(a, b, mult)
+        )
+
+    def test_all_zero_weights_yield_zeros(self):
+        mult = get_multiplier("truncated3")
+        b = np.zeros((12, 5), dtype=np.int32)
+        a = np.arange(-10, 14, dtype=np.int32).reshape(2, 12)
+        plan = build_plan(b, mult)
+        assert plan.num_values == 0
+        out = approx_matmul(a, b, mult, plan=plan)
+        np.testing.assert_array_equal(out, np.zeros((2, 5), dtype=np.int64))
+        assert out.dtype == np.int64
+
+    def test_chunked_execution_with_plan_is_identical(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FORCE_PARALLEL", "1")
+        mult = get_multiplier("truncated4")
+        rng = np.random.default_rng(3)
+        a, b = _random_operands(rng, mult, m=2 * ROW_BLOCK + 13, k=24, n=8)
+        plan = build_plan(b, mult)
+        serial = approx_matmul(a, b, mult, plan=plan, workers=1)
+        np.testing.assert_array_equal(serial, approx_matmul(a, b, mult))
+        for workers in (2, 3):
+            np.testing.assert_array_equal(
+                approx_matmul(a, b, mult, plan=plan, workers=workers), serial
+            )
+
+    def test_plan_execution_is_instrumented(self):
+        mult = get_multiplier("truncated4")
+        rng = np.random.default_rng(4)
+        a, b = _random_operands(rng, mult, m=8, k=12, n=4)
+        with prof.profiled() as report:
+            plan = build_plan(b, mult)
+            approx_matmul(a, b, mult, plan=plan)
+        assert report.timer("approx.plan_build").calls == 1
+        assert report.counter("approx.plan_built").calls == 1
+        assert report.timer("approx.lut_gather").calls == 1
+        assert report.timer("approx.matmul_blas").calls == 1
+        gathered = report.counter("approx.lut_gathered_values")
+        assert gathered.calls == plan.num_values
+        # bytes reflect the plan dtype, not a hardcoded 8 bytes/element
+        assert gathered.bytes == 8 * 12 * plan.num_values * plan.dtype.itemsize
+
+
+class TestPlanValidation:
+    def test_shape_mismatch_is_rejected(self):
+        mult = get_multiplier("truncated3")
+        rng = np.random.default_rng(0)
+        a, b = _random_operands(rng, mult)
+        plan = build_plan(b, mult)
+        other = np.zeros((b.shape[0], b.shape[1] + 1), dtype=np.int32)
+        with pytest.raises(ShapeError):
+            approx_matmul(a, other, mult, plan=plan)
+
+    def test_build_rejects_float_weights(self):
+        with pytest.raises(MultiplierError):
+            build_plan(np.zeros((4, 4), dtype=np.float32), get_multiplier("truncated3"))
+
+    def test_build_rejects_non_2d(self):
+        with pytest.raises(ShapeError):
+            build_plan(np.zeros((4,), dtype=np.int32), get_multiplier("truncated3"))
+
+    def test_build_rejects_out_of_range_magnitudes(self):
+        mult = get_multiplier("truncated3")
+        whi = 2 ** (mult.w_bits - 1) - 1
+        b = np.full((3, 3), whi + 1, dtype=np.int32)
+        with pytest.raises(MultiplierError):
+            build_plan(b, mult)
+
+    def test_execute_rejects_wrong_reduce_dim(self):
+        mult = get_multiplier("truncated3")
+        plan = build_plan(np.ones((6, 2), dtype=np.int32), mult)
+        with pytest.raises(ShapeError):
+            plan.execute(np.zeros((3, 7), dtype=np.int32))
+
+
+class TestWorkspacePool:
+    def test_round_trip_reuses_buffer(self):
+        pool = WorkspacePool()
+        buf = pool.take(100, np.float32)
+        assert buf.size >= 100
+        pool.give(buf)
+        again = pool.take(80, np.float32)
+        assert again is buf
+        assert pool.stats()["pooled_buffers"] == 0
+
+    def test_sizes_round_to_powers_of_two(self):
+        pool = WorkspacePool()
+        assert pool.take(100, np.float64).size == 128
+        assert pool.take(1, np.float64).size == 1
+
+    def test_dtypes_are_segregated(self):
+        pool = WorkspacePool()
+        f32 = pool.take(64, np.float32)
+        pool.give(f32)
+        f64 = pool.take(64, np.float64)
+        assert f64 is not f32
+        assert f64.dtype == np.float64
+
+    def test_capacity_cap_drops_excess_buffers(self):
+        pool = WorkspacePool(max_buffers=2)
+        bufs = [pool.take(2 ** (4 + i), np.float32) for i in range(4)]
+        for buf in bufs:
+            pool.give(buf)
+        assert pool.stats()["pooled_buffers"] == 2
+
+    def test_clear_resets_accounting(self):
+        pool = WorkspacePool()
+        pool.give(pool.take(32, np.float32))
+        pool.clear()
+        stats = pool.stats()
+        assert stats == {"pooled_buffers": 0, "allocated_bytes": 0}
+
+    def test_process_pool_is_exercised_by_plans(self):
+        pool = workspace_pool()
+        mult = get_multiplier("truncated4")
+        rng = np.random.default_rng(5)
+        a, b = _random_operands(rng, mult, m=6, k=10, n=3)
+        plan = build_plan(b, mult)
+        plan.execute(a)
+        before = pool.stats()["allocated_bytes"]
+        for _ in range(5):  # repeated batches must not grow the pool
+            plan.execute(a)
+        assert pool.stats()["allocated_bytes"] == before
+
+
+class TestPlanCache:
+    def test_hit_requires_same_key_and_multiplier(self):
+        mult = get_multiplier("truncated3")
+        other = get_multiplier("truncated4")
+        cache = PlanCache()
+        builds = []
+
+        def build():
+            builds.append(1)
+            return object()
+
+        first = cache.get("linear", (0, 0), mult, build)
+        assert cache.get("linear", (0, 0), mult, build) is first
+        assert len(builds) == 1
+        # key change -> rebuild
+        second = cache.get("linear", (1, 0), mult, build)
+        assert second is not first
+        # multiplier swap -> rebuild even with an equal key
+        cache.get("linear", (1, 0), other, build)
+        assert len(builds) == 3
+        assert len(cache) == 1
+
+    def test_disabled_caching_bypasses_storage(self):
+        cache = PlanCache()
+        builds = []
+        with plan_cache_disabled():
+            assert not plan_caching_enabled()
+            cache.get("t", (0,), None, lambda: builds.append(1))
+            cache.get("t", (0,), None, lambda: builds.append(1))
+        assert plan_caching_enabled()
+        assert len(builds) == 2
+        assert len(cache) == 0
+
+    def test_counters_track_hits_misses_and_bypasses(self):
+        cache = PlanCache()
+        with prof.profiled():
+            cache.get("t", (0,), None, object)
+            cache.get("t", (0,), None, object)
+            cache.get("t", (1,), None, object)
+            with plan_cache_disabled():
+                cache.get("t", (1,), None, object)
+            stats = cache_stats()
+        assert stats["plan_cache_miss"] == 2
+        assert stats["plan_cache_hit"] == 1
+        assert stats["plan_cache_bypass"] == 1
+
+    def test_clones_and_pickles_start_empty(self):
+        cache = PlanCache()
+        cache.get("t", (0,), None, object)
+        assert len(copy.deepcopy(cache)) == 0
+        assert len(pickle.loads(pickle.dumps(cache))) == 0
+        assert len(cache) == 1
+
+    def test_plan_payload_survives_round_trips(self):
+        # GemmPlan itself is never pickled (the cache drops), but its
+        # arrays must be reusable after the owning layer is deep-copied.
+        mult = get_multiplier("truncated3")
+        rng = np.random.default_rng(6)
+        a, b = _random_operands(rng, mult, m=4, k=8, n=3)
+        plan = build_plan(b, mult)
+        expected = plan.execute(a)
+        np.testing.assert_array_equal(plan.execute(a), expected)
+        assert isinstance(plan, GemmPlan)

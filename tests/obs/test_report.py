@@ -29,7 +29,13 @@ def run_log(tmp_path):
     log.emit(
         ev.PROFILE,
         timers=[{"name": "approx.lut_gather", "calls": 7, "total": 0.25}],
-        counters=[],
+        counters=[
+            {"name": "approx.plan_cache_hit", "calls": 30, "bytes": 0},
+            {"name": "approx.plan_cache_miss", "calls": 10, "bytes": 0},
+            {"name": "approx.plan_built", "calls": 10, "bytes": 4096},
+            {"name": "approx.plan_workspace_alloc", "calls": 2, "bytes": 8192},
+            {"name": "ge.montecarlo_simulations", "calls": 50, "bytes": 0},
+        ],
     )
     log.run_end(status="ok", exit_code=0)
     log.close()
@@ -147,3 +153,33 @@ class TestRender:
             log.emit("custom")
         text = render_summary(summarize_run(path))
         assert "(no run_end event)" in text
+
+
+class TestPlanCacheCounters:
+    def test_counters_are_parsed_from_the_profile_event(self, run_log):
+        summary = summarize_run(run_log)
+        assert len(summary.counters) == 5
+        cache = summary.plan_cache
+        assert cache["cache_hit"] == 30
+        assert cache["cache_miss"] == 10
+        assert cache["built"] == 10
+        assert cache["built_bytes"] == 4096
+        assert cache["workspace_alloc_bytes"] == 8192
+        # non-plan counters are kept out of the plan-cache view
+        assert "montecarlo_simulations" not in cache
+
+    def test_render_includes_plan_cache_section(self, run_log):
+        text = render_summary(summarize_run(run_log))
+        assert "plan cache:" in text
+        assert "hits 30  misses 10" in text
+        assert "(75.0% hit)" in text
+
+    def test_render_omits_section_without_plan_counters(self, tmp_path):
+        path = tmp_path / "bare.jsonl"
+        log = ev.EventLog(run_id="bare")
+        log.add_sink(ev.JsonlSink(path))
+        log.run_start(command="x")
+        log.run_end(status="ok", exit_code=0)
+        log.close()
+        text = render_summary(summarize_run(path))
+        assert "plan cache:" not in text

@@ -22,6 +22,17 @@ pytestmark = pytest.mark.parallel
 FAST = TrainConfig(epochs=1, batch_size=64, lr=0.005, grad_clip=1.0, seed=0)
 
 
+@pytest.fixture(autouse=True)
+def _force_parallel(monkeypatch):
+    """Bypass the small-work amortization guard (repro.parallel).
+
+    These tests assert parallel-vs-serial equivalence; on a single-core CI
+    runner the guard would silently serialise every 'parallel' run and the
+    assertions would compare the serial path against itself.
+    """
+    monkeypatch.setenv("REPRO_FORCE_PARALLEL", "1")
+
+
 def _comparable(point) -> dict:
     """A SweepPoint as a dict minus fields that legitimately vary per run."""
     payload = asdict(point)
