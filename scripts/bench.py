@@ -239,6 +239,8 @@ def main(argv: list[str] | None = None) -> int:
             )
         results.append(entry)
 
+    from repro.obs.runmeta import provenance
+
     payload = {
         "meta": {
             "workers": args.workers,
@@ -247,6 +249,7 @@ def main(argv: list[str] | None = None) -> int:
             "platform": platform.platform(),
             "python": platform.python_version(),
             "numpy": np.__version__,
+            "provenance": provenance(),
         },
         "results": results,
     }

@@ -29,6 +29,7 @@ from repro.approx.multiplier import Multiplier
 from repro.approx.plan import GemmPlan, check_magnitude
 from repro.errors import MultiplierError, ShapeError
 from repro.obs import profiling as prof
+from repro.obs import trace as tr
 from repro.parallel import ParallelConfig, amortized_workers, map_workers
 
 # Largest |product|·K for which float64 accumulation is provably exact.
@@ -109,19 +110,26 @@ def approx_matmul(
             f"{a.shape} x {b.shape}"
         )
 
-    num_workers = amortized_workers(workers, tasks=a.shape[0] // ROW_BLOCK)
-    if num_workers > 1 and a.shape[0] >= 2 * ROW_BLOCK:
-        blocks = min(num_workers, -(-a.shape[0] // ROW_BLOCK))
-        bounds = np.linspace(0, a.shape[0], blocks + 1, dtype=int)
-        rows = [a[lo:hi] for lo, hi in zip(bounds[:-1], bounds[1:])]
-        with prof.timer("approx.matmul_chunked", nbytes=a.nbytes + b.nbytes):
-            parts = map_workers(
-                lambda block: _run_block(block, b, multiplier, xhi, whi, plan),
-                rows,
-                ParallelConfig(workers=blocks, backend="thread"),
-            )
-        return np.concatenate(parts, axis=0)
-    return _run_block(a, b, multiplier, xhi, whi, plan)
+    with tr.span(
+        "approx.matmul",
+        m=int(a.shape[0]),
+        k=int(a.shape[1]),
+        n=int(b.shape[1]),
+        planned=plan is not None,
+    ):
+        num_workers = amortized_workers(workers, tasks=a.shape[0] // ROW_BLOCK)
+        if num_workers > 1 and a.shape[0] >= 2 * ROW_BLOCK:
+            blocks = min(num_workers, -(-a.shape[0] // ROW_BLOCK))
+            bounds = np.linspace(0, a.shape[0], blocks + 1, dtype=int)
+            rows = [a[lo:hi] for lo, hi in zip(bounds[:-1], bounds[1:])]
+            with prof.timer("approx.matmul_chunked", nbytes=a.nbytes + b.nbytes):
+                parts = map_workers(
+                    lambda block: _run_block(block, b, multiplier, xhi, whi, plan),
+                    rows,
+                    ParallelConfig(workers=blocks, backend="thread"),
+                )
+            return np.concatenate(parts, axis=0)
+        return _run_block(a, b, multiplier, xhi, whi, plan)
 
 
 def _run_block(

@@ -41,6 +41,7 @@ import numpy as np
 
 from repro.approx.multiplier import Multiplier
 from repro.errors import MultiplierError, ShapeError
+from repro.obs import metrics as met
 from repro.obs import profiling as prof
 
 # float64 partial sums of integer products are exact below this bound.
@@ -299,12 +300,15 @@ class PlanCache:
         """The cached payload for ``(tag, key, multiplier)``, building on miss."""
         if not _caching_enabled:
             prof.count("approx.plan_cache_bypass")
+            met.inc("plan_cache.bypass")
             return build()
         entry = self._entries.get(tag)
         if entry is not None and entry[0] == key and entry[1] is multiplier:
             prof.count("approx.plan_cache_hit")
+            met.inc("plan_cache.hit")
             return entry[2]
         prof.count("approx.plan_cache_miss")
+        met.inc("plan_cache.miss")
         payload = build()
         self._entries[tag] = (key, multiplier, payload)
         return payload

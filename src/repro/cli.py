@@ -9,13 +9,21 @@ Subcommands mirror the stages of Algorithm 1 plus inspection utilities:
   approximate multiplier.
 - ``repro multipliers``  — list available multipliers with MRE and savings.
 - ``repro profile``      — Monte-Carlo error model of one multiplier.
-- ``repro report``       — summarise a JSONL run log written by ``--log-json``.
+- ``repro report``       — summarise a JSONL run log written by ``--log-json``
+  (``--format json`` emits the full machine-readable RunSummary).
+- ``repro trace``        — self-time flame summary of a Chrome trace
+  written by ``--trace``.
 
 Every subcommand supports the observability flags (``docs/OBSERVABILITY.md``):
-``--log-json PATH`` streams structured events to a JSONL file, ``--quiet``
-suppresses progress chatter (final result lines stay on stdout for
-scripting), ``--verbose`` renders the event stream on the console, and
-``--profile`` prints the hot-path timer table after the command.
+``--log-json PATH`` streams structured events to a JSONL file
+(``--log-rotate-mb MB`` rotates it into numbered segments), ``--metrics``
+collects streaming counters/gauges/latency histograms and snapshots them
+into the log, ``--trace PATH`` records hierarchical spans — including
+spans merged back from worker processes — and exports a Chrome
+``trace_event`` JSON, ``--quiet`` suppresses progress chatter (final
+result lines stay on stdout for scripting), ``--verbose`` renders the
+event stream on the console, and ``--profile`` prints the hot-path timer
+table after the command.
 
 The compute-heavy subcommands (``sweep``/``profile``/``approximate``/
 ``evaluate``) additionally take ``--workers N`` (``docs/PERFORMANCE.md``):
@@ -52,7 +60,9 @@ from repro.ge import estimate_error_model
 from repro.models import create_model
 from repro.obs import console as obs_console
 from repro.obs import events as obs_events
+from repro.obs import metrics as met
 from repro.obs import profiling as prof
+from repro.obs import trace as tr
 from repro.obs.report import render_summary, summarize_run
 from repro.obs.runmeta import run_metadata
 from repro.pipeline import METHODS, approximation_stage, quantization_stage
@@ -350,12 +360,22 @@ def cmd_profile(args, console: obs_console.Console, log: obs_events.EventLog) ->
 
 
 def cmd_report(args, console: obs_console.Console, log: obs_events.EventLog) -> int:
+    import json
     import warnings
 
     with warnings.catch_warnings():
         warnings.simplefilter("ignore")  # the summary itself reports skips
         summary = summarize_run(args.logfile, strict=args.strict)
-    console.result(render_summary(summary))
+    if args.format == "json":
+        console.result(json.dumps(summary.to_dict(), indent=2, sort_keys=True))
+    else:
+        console.result(render_summary(summary))
+    return 0
+
+
+def cmd_trace(args, console: obs_console.Console, log: obs_events.EventLog) -> int:
+    spans = tr.read_chrome_trace(args.tracefile)
+    console.result(tr.render_flame_summary(spans, top=args.top))
     return 0
 
 
@@ -384,6 +404,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile",
         action="store_true",
         help="profile the hot paths and print the timer table afterwards",
+    )
+    group.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="record hierarchical spans and write a Chrome trace_event JSON "
+        "to PATH (view in chrome://tracing / Perfetto, or 'repro trace PATH')",
+    )
+    group.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect counters/gauges/latency histograms and emit snapshots "
+        "into the event log (rendered by 'repro report')",
+    )
+    group.add_argument(
+        "--log-rotate-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="rotate the --log-json file into numbered segments once it "
+        "exceeds MB megabytes ('repro report' reads them transparently)",
     )
 
     par_flags = argparse.ArgumentParser(add_help=False)
@@ -548,14 +588,37 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="fail on a truncated final record instead of skipping it",
     )
+    p.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format: human-readable text (default) or the full "
+        "RunSummary as machine-readable JSON",
+    )
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "trace",
+        help="self-time flame summary of a Chrome trace written with --trace",
+        parents=[obs_flags],
+    )
+    p.add_argument("tracefile", help="Chrome trace_event JSON written with --trace")
+    p.add_argument(
+        "--top",
+        type=int,
+        default=15,
+        metavar="N",
+        help="show the N hottest span names by self time (default: 15)",
+    )
+    p.set_defaults(func=cmd_trace)
 
     return parser
 
 
 def _loggable_config(args) -> dict:
     """JSON-safe view of the parsed arguments for the run_start event."""
-    skip = {"func", "log_json", "quiet", "verbose", "profile"}
+    skip = {"func", "log_json", "quiet", "verbose", "profile", "trace", "metrics",
+            "log_rotate_mb"}
     return {
         key: value
         for key, value in vars(args).items()
@@ -582,7 +645,10 @@ def main(argv: list[str] | None = None) -> int:
 
     log = obs_events.EventLog()
     if args.log_json:
-        log.add_sink(obs_events.JsonlSink(args.log_json))
+        max_bytes = None
+        if args.log_rotate_mb is not None:
+            max_bytes = max(1024, int(args.log_rotate_mb * 1024 * 1024))
+        log.add_sink(obs_events.JsonlSink(args.log_json, max_bytes=max_bytes))
     if args.verbose:
         log.add_sink(obs_console.ConsoleSink(console, level=obs_events.DEBUG))
     previous_log = obs_events.set_event_log(log)
@@ -590,6 +656,12 @@ def main(argv: list[str] | None = None) -> int:
     if args.profile:
         prof.reset_profiling()
         prof.enable_profiling()
+    if args.trace:
+        tr.reset_tracing()
+        tr.enable_tracing()
+    if args.metrics:
+        met.reset_metrics()
+        met.enable_metrics()
 
     log.run_start(
         command=args.command,
@@ -609,6 +681,19 @@ def main(argv: list[str] | None = None) -> int:
             prof.disable_profiling()
             log.emit(obs_events.PROFILE, **report.to_dict())
             console.result(report.to_table())
+        if args.metrics:
+            met.emit_snapshot(log, scope="final")
+        if args.trace:
+            tr.disable_tracing()
+            spans = tr.get_trace_recorder().spans()
+            tr.write_chrome_trace(args.trace, spans)
+            log.emit(
+                obs_events.TRACE,
+                path=str(args.trace),
+                spans=len(spans),
+                top_self_time=tr.self_time_summary(spans)[:10],
+            )
+            console.info(f"trace: {args.trace} ({len(spans)} spans)")
         if error is not None:
             log.run_end(status=status, error=error)
         else:
@@ -616,6 +701,10 @@ def main(argv: list[str] | None = None) -> int:
     finally:
         if args.profile:
             prof.disable_profiling()
+        if args.trace:
+            tr.disable_tracing()
+        if args.metrics:
+            met.disable_metrics()
         obs_events.set_event_log(previous_log)
         log.close()
         set_default_config(previous_parallel)

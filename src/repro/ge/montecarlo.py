@@ -10,6 +10,7 @@ paired ``(y, ε)`` samples are returned for fitting.
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass
 
 import numpy as np
@@ -20,7 +21,9 @@ from repro.approx.gemm import approx_matmul, exact_int_matmul
 from repro.approx.multiplier import Multiplier
 from repro.approx.plan import build_plan, plan_caching_enabled
 from repro.ge.error_model import PiecewiseLinearErrorModel, fit_error_model
+from repro.obs import metrics as met
 from repro.obs import profiling as prof
+from repro.obs import trace as tr
 from repro.parallel import ParallelConfig, amortized_workers, chunked, map_workers
 from repro.quant.quantizer import qrange
 from repro.utils.rng import new_rng
@@ -57,15 +60,19 @@ def _simulate_chunk(
     """
     out = []
     use_plans = plan_caching_enabled() and not multiplier.is_exact
-    for a, b in draws:
-        exact = exact_int_matmul(a, b)
-        # Each draw has fresh weights, so there is nothing to cache across
-        # draws — but building a plan still wins: one bucketization pass
-        # over b instead of 2·whi boolean scans, and every draw gathers
-        # into the same pooled workspace buffer.
-        plan = build_plan(b, multiplier) if use_plans else None
-        approx = approx_matmul(a, b, multiplier, plan=plan)
-        out.append((exact.reshape(-1), (approx - exact).reshape(-1)))
+    with tr.span("mc.chunk", draws=len(draws)):
+        for a, b in draws:
+            draw_started = _time.perf_counter() if met.enabled else 0.0
+            exact = exact_int_matmul(a, b)
+            # Each draw has fresh weights, so there is nothing to cache across
+            # draws — but building a plan still wins: one bucketization pass
+            # over b instead of 2·whi boolean scans, and every draw gathers
+            # into the same pooled workspace buffer.
+            plan = build_plan(b, multiplier) if use_plans else None
+            approx = approx_matmul(a, b, multiplier, plan=plan)
+            out.append((exact.reshape(-1), (approx - exact).reshape(-1)))
+            if met.enabled:
+                met.observe("mc.draw_seconds", _time.perf_counter() - draw_started)
     return out
 
 

@@ -13,6 +13,11 @@ Four cooperating pieces (see ``docs/OBSERVABILITY.md``):
 - :mod:`repro.obs.stats` — opt-in :class:`StatsHook` recording per-layer
   activation ranges, approximation-error deltas ``ε(y)`` and gradient
   norms;
+- :mod:`repro.obs.trace` — hierarchical spans with cross-process
+  propagation, exported as Chrome ``trace_event`` timelines
+  (``repro trace``);
+- :mod:`repro.obs.metrics` — process-wide counters/gauges/streaming
+  histograms with exact cross-worker merge and a Prometheus exporter;
 - :mod:`repro.obs.report` — offline summarisation of a JSONL log
   (``repro report``).
 """
@@ -26,10 +31,12 @@ from repro.obs.events import (
     EVENT_TYPES,
     INFO,
     LAYER_STATS,
+    METRICS,
     PROFILE,
     RUN_END,
     RUN_START,
     STAGE,
+    TRACE,
     WARNING,
     CollectingSink,
     EventLog,
@@ -38,8 +45,26 @@ from repro.obs.events import (
     get_event_log,
     iter_events,
     logging_to,
+    manifest_path,
     read_events,
+    segment_paths,
     set_event_log,
+)
+from repro.obs.metrics import (
+    QUANTILE_REL_ERROR,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    collecting_metrics,
+    disable_metrics,
+    emit_snapshot,
+    enable_metrics,
+    get_metrics,
+    reset_metrics,
+    set_metrics,
+    snapshot_quantiles,
+    to_prometheus,
 )
 from repro.obs.profiling import (
     COUNTER_MAX,
@@ -54,12 +79,39 @@ from repro.obs.profiling import (
     timer,
 )
 from repro.obs.report import RunSummary, StageTime, render_summary, summarize_run
-from repro.obs.runmeta import environment_metadata, git_metadata, new_run_id, run_metadata
+from repro.obs.runmeta import (
+    environment_metadata,
+    git_metadata,
+    new_run_id,
+    provenance,
+    run_metadata,
+)
 from repro.obs.stats import (
     LayerStats,
     StatsHook,
     attach_stats_hooks,
     detach_stats_hooks,
+)
+from repro.obs.trace import (
+    SpanRecord,
+    TraceContext,
+    TraceRecorder,
+    adopt_context,
+    call_with_parent,
+    current_span_id,
+    disable_tracing,
+    drain_spans,
+    enable_tracing,
+    get_trace_recorder,
+    read_chrome_trace,
+    render_flame_summary,
+    reset_tracing,
+    self_time_summary,
+    span,
+    to_chrome_trace,
+    trace_context,
+    tracing,
+    write_chrome_trace,
 )
 
 __all__ = [
@@ -73,6 +125,8 @@ __all__ = [
     "logging_to",
     "read_events",
     "iter_events",
+    "manifest_path",
+    "segment_paths",
     "EVENT_TYPES",
     "RUN_START",
     "RUN_END",
@@ -81,6 +135,8 @@ __all__ = [
     "EVAL",
     "LAYER_STATS",
     "PROFILE",
+    "METRICS",
+    "TRACE",
     "DEBUG",
     "INFO",
     "WARNING",
@@ -117,4 +173,40 @@ __all__ = [
     "run_metadata",
     "git_metadata",
     "environment_metadata",
+    "provenance",
+    # trace
+    "span",
+    "SpanRecord",
+    "TraceRecorder",
+    "TraceContext",
+    "tracing",
+    "enable_tracing",
+    "disable_tracing",
+    "reset_tracing",
+    "get_trace_recorder",
+    "current_span_id",
+    "trace_context",
+    "adopt_context",
+    "drain_spans",
+    "call_with_parent",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "read_chrome_trace",
+    "self_time_summary",
+    "render_flame_summary",
+    # metrics
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "QUANTILE_REL_ERROR",
+    "get_metrics",
+    "set_metrics",
+    "enable_metrics",
+    "disable_metrics",
+    "reset_metrics",
+    "collecting_metrics",
+    "emit_snapshot",
+    "snapshot_quantiles",
+    "to_prometheus",
 ]

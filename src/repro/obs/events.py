@@ -36,6 +36,8 @@ PROFILE = "profile"
 CHECKPOINT = "checkpoint"
 GUARD = "guard"
 FAULT = "fault"
+METRICS = "metrics"
+TRACE = "trace"
 
 EVENT_TYPES = (
     RUN_START,
@@ -48,6 +50,8 @@ EVENT_TYPES = (
     CHECKPOINT,
     GUARD,
     FAULT,
+    METRICS,
+    TRACE,
 )
 
 # Severity levels, mirroring the stdlib logging scale.
@@ -86,21 +90,64 @@ class Sink:
 
 
 class JsonlSink(Sink):
-    """Write each record as one JSON line to a file or stream."""
+    """Write each record as one JSON line to a file or stream.
 
-    def __init__(self, target: str | Path | TextIO):
+    ``max_bytes`` (path targets only) caps the live file: when the next
+    line would push it past the cap, the current contents rotate into a
+    numbered segment (``run.jsonl`` → ``run.0001.jsonl``) and a manifest
+    (``run.jsonl.manifest.json``) records the segment order, so long
+    sweeps and serving runs never grow one unbounded file.
+    :func:`read_events` (and therefore ``repro report``) reads rotated
+    logs back transparently.
+    """
+
+    def __init__(self, target: str | Path | TextIO, max_bytes: int | None = None):
+        if max_bytes is not None and max_bytes < 1024:
+            raise ReproError(f"max_bytes must be >= 1024, got {max_bytes}")
+        self._path: Path | None = None
+        self._max_bytes = max_bytes
+        self._written = 0
+        self._segments: list[str] = []
         if isinstance(target, (str, Path)):
             path = Path(target)
             path.parent.mkdir(parents=True, exist_ok=True)
+            self._path = path
             self._stream = path.open("w", encoding="utf-8")
             self._owns_stream = True
         else:
+            if max_bytes is not None:
+                raise ReproError("JsonlSink rotation requires a path target")
             self._stream = target
             self._owns_stream = False
 
     def emit(self, record: dict) -> None:
-        self._stream.write(json.dumps(record, sort_keys=True) + "\n")
+        line = json.dumps(record, sort_keys=True) + "\n"
+        if (
+            self._max_bytes is not None
+            and self._written
+            and self._written + len(line.encode("utf-8")) > self._max_bytes
+        ):
+            self._rotate()
+        self._stream.write(line)
         self._stream.flush()
+        self._written += len(line.encode("utf-8"))
+
+    def _rotate(self) -> None:
+        """Move the live file aside as the next segment and start fresh."""
+        assert self._path is not None
+        self._stream.close()
+        segment = self._path.with_name(
+            f"{self._path.stem}.{len(self._segments) + 1:04d}{self._path.suffix}"
+        )
+        self._path.replace(segment)
+        self._segments.append(segment.name)
+        from repro.utils.atomic import atomic_write_json
+
+        atomic_write_json(
+            manifest_path(self._path), {"version": 1, "segments": self._segments}
+        )
+        self._stream = self._path.open("w", encoding="utf-8")
+        self._written = 0
 
     def close(self) -> None:
         if self._owns_stream:
@@ -253,13 +300,19 @@ class logging_to:
     ...     train_model(...)
     """
 
-    def __init__(self, target: str | Path | TextIO, run_id: str | None = None):
+    def __init__(
+        self,
+        target: str | Path | TextIO,
+        run_id: str | None = None,
+        max_bytes: int | None = None,
+    ):
         self._target = target
         self._run_id = run_id
+        self._max_bytes = max_bytes
 
     def __enter__(self) -> EventLog:
         self._log = EventLog(run_id=self._run_id)
-        self._log.add_sink(JsonlSink(self._target))
+        self._log.add_sink(JsonlSink(self._target, max_bytes=self._max_bytes))
         self._previous = set_event_log(self._log)
         return self._log
 
@@ -271,6 +324,30 @@ class logging_to:
 # ----------------------------------------------------------------------
 # reading logs back
 # ----------------------------------------------------------------------
+def manifest_path(path: str | Path) -> Path:
+    """The rotation manifest sitting next to a JSONL log path."""
+    path = Path(path)
+    return path.with_name(path.name + ".manifest.json")
+
+
+def segment_paths(path: str | Path) -> list[Path]:
+    """Every file of a (possibly rotated) log, oldest segment first.
+
+    Without a rotation manifest this is just ``[path]``; with one, the
+    rotated segments it lists followed by the live file.
+    """
+    path = Path(path)
+    manifest = manifest_path(path)
+    if not manifest.exists():
+        return [path]
+    try:
+        payload = json.loads(manifest.read_text(encoding="utf-8"))
+        segments = [str(name) for name in payload["segments"]]
+    except (json.JSONDecodeError, KeyError, TypeError) as exc:
+        raise ReproError(f"invalid rotation manifest {manifest}: {exc}") from exc
+    return [path.with_name(name) for name in segments] + [path]
+
+
 def read_events(
     path: str | Path,
     strict: bool = True,
@@ -278,40 +355,50 @@ def read_events(
 ) -> list[dict]:
     """Parse a JSONL event log, validating the envelope of every record.
 
+    Size-rotated logs (see :class:`JsonlSink`) are reassembled
+    transparently: the manifest's segments are read in order before the
+    live file, so callers see one continuous record stream.
+
     A run killed mid-write (the normal artifact of a crash) leaves a
     truncated final line behind. With ``strict=False`` that final bad line
     is skipped with a :class:`UserWarning` — and appended to ``skipped``
     when a list is passed — instead of raising; corruption anywhere else
-    in the file still raises, in both modes.
+    in the stream still raises, in both modes.
     """
     path = Path(path)
     if not path.exists():
         raise ReproError(f"event log not found: {path}")
-    lines = [
-        (lineno, line)
-        for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1)
-        if line.strip()
-    ]
+    lines: list[tuple[Path, int, str]] = []
+    for segment in segment_paths(path):
+        if not segment.exists():
+            raise ReproError(f"rotated log segment not found: {segment}")
+        lines.extend(
+            (segment, lineno, line)
+            for lineno, line in enumerate(
+                segment.read_text(encoding="utf-8").splitlines(), 1
+            )
+            if line.strip()
+        )
     records = []
-    for index, (lineno, line) in enumerate(lines):
+    for index, (segment, lineno, line) in enumerate(lines):
         is_last = index == len(lines) - 1
         try:
             record = json.loads(line)
             if not isinstance(record, dict):
-                raise ReproError(f"{path}:{lineno}: record is not an object")
+                raise ReproError(f"{segment}:{lineno}: record is not an object")
             missing = {"type", "run", "seq", "t"} - set(record)
             if missing:
                 raise ReproError(
-                    f"{path}:{lineno}: record missing envelope keys {sorted(missing)}"
+                    f"{segment}:{lineno}: record missing envelope keys {sorted(missing)}"
                 )
         except json.JSONDecodeError as exc:
             if not strict and is_last:
-                _skip_final_line(path, lineno, line, skipped)
+                _skip_final_line(segment, lineno, line, skipped)
                 continue
-            raise ReproError(f"{path}:{lineno}: invalid JSON record: {exc}") from exc
+            raise ReproError(f"{segment}:{lineno}: invalid JSON record: {exc}") from exc
         except ReproError:
             if not strict and is_last:
-                _skip_final_line(path, lineno, line, skipped)
+                _skip_final_line(segment, lineno, line, skipped)
                 continue
             raise
         records.append(record)

@@ -33,6 +33,8 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from repro.obs import trace as _trace
+
 # int64 saturation bound for counters and byte tallies.
 COUNTER_MAX = 2**63 - 1
 
@@ -101,13 +103,21 @@ class timer:
     report throughput alongside wall time.
     """
 
-    __slots__ = ("name", "nbytes", "_start", "_children", "_active")
+    __slots__ = ("name", "nbytes", "_start", "_children", "_active", "_span")
 
     def __init__(self, name: str, nbytes: int = 0):
         self.name = name
         self.nbytes = nbytes
 
     def __enter__(self) -> "timer":
+        # Bridge to repro.obs.trace: while tracing is enabled, every timer
+        # block also opens a matching span, so the hot paths show up in
+        # Chrome-trace timelines without double instrumentation.
+        if _trace.enabled:
+            self._span = _trace.span(self.name)
+            self._span.__enter__()
+        else:
+            self._span = None
         self._active = enabled
         if self._active:
             self._children = [0.0]
@@ -116,6 +126,8 @@ class timer:
         return self
 
     def __exit__(self, *exc) -> None:
+        if self._span is not None:
+            self._span.__exit__(*exc)
         if not self._active:
             return
         elapsed = time.perf_counter() - self._start

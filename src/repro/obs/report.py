@@ -9,11 +9,12 @@ command printed — both read the same ``eval`` events.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 from repro.errors import ReproError
 from repro.obs import events as ev
+from repro.obs import metrics as met_mod
 
 
 @dataclass
@@ -45,6 +46,9 @@ class RunSummary:
     stages: list[StageTime] = field(default_factory=list)
     hottest: list[dict] = field(default_factory=list)
     counters: list[dict] = field(default_factory=list)
+    metrics: dict | None = None  # last metrics-event snapshot in the log
+    metrics_snapshots: int = 0  # how many metrics events the log held
+    trace: dict | None = None  # trace event payload (path + top self-time)
 
     @property
     def plan_cache(self) -> dict:
@@ -58,6 +62,40 @@ class RunSummary:
                 if row.get("bytes"):
                     out[f"{short}_bytes"] = int(row["bytes"])
         return out
+
+    def latency_quantiles(self) -> dict[str, dict[str, float]]:
+        """p50/p95/p99 of every histogram series in the final snapshot."""
+        if not self.metrics:
+            return {}
+        out = {}
+        for key, payload in self.metrics.get("histograms", {}).items():
+            out[key] = met_mod.snapshot_quantiles(payload)
+        return out
+
+    def plan_cache_hit_rate(self) -> "list[tuple[float, float]] | None":
+        """``(t, cumulative hit rate)`` over the run's metrics snapshots.
+
+        Needs the raw records; populated by :func:`summarize_run` when the
+        log carries ``metrics`` events with plan-cache counters.
+        """
+        return self._hit_rate_series or None
+
+    _hit_rate_series: list = field(default_factory=list, repr=False)
+
+    def to_dict(self) -> dict:
+        """Full machine-readable view (``repro report --format json``)."""
+        payload = asdict(self)
+        payload.pop("_hit_rate_series", None)
+        payload["plan_cache"] = self.plan_cache
+        payload["latency_quantiles"] = self.latency_quantiles()
+        hit_rate = self.plan_cache_hit_rate()
+        if hit_rate:
+            payload["plan_cache_hit_rate"] = hit_rate
+        payload["evals"] = [
+            {"name": name, "accuracy": accuracy} for name, accuracy in self.evals
+        ]
+        payload["quantile_rel_error"] = met_mod.QUANTILE_REL_ERROR
+        return payload
 
 
 def summarize_run(path: str | Path, strict: bool = False) -> RunSummary:
@@ -117,6 +155,25 @@ def summarize_run(path: str | Path, strict: bool = False) -> RunSummary:
     for r in ev.iter_events(records, ev.PROFILE):
         summary.hottest = list(r.get("timers", []))[:10]
         summary.counters = list(r.get("counters", []))
+
+    for r in ev.iter_events(records, ev.METRICS):
+        snapshot = r.get("metrics")
+        if not isinstance(snapshot, dict):
+            continue
+        summary.metrics_snapshots += 1
+        summary.metrics = snapshot
+        counters = snapshot.get("counters", {})
+        hits = float(counters.get("plan_cache.hit", 0))
+        misses = float(counters.get("plan_cache.miss", 0))
+        if hits + misses > 0:
+            summary._hit_rate_series.append(
+                (float(r.get("t", 0.0)), hits / (hits + misses))
+            )
+
+    for r in ev.iter_events(records, ev.TRACE):
+        summary.trace = {
+            k: v for k, v in r.items() if k in ("path", "spans", "top_self_time")
+        }
 
     return summary
 
@@ -180,6 +237,45 @@ def render_summary(summary: RunSummary) -> str:
             f"workspace allocs {cache.get('workspace_alloc', 0)} "
             f"({cache.get('workspace_alloc_bytes', 0)} bytes){rate}"
         )
+    quantiles = summary.latency_quantiles()
+    if quantiles:
+        lines.append(
+            f"metrics ({summary.metrics_snapshots} snapshot(s), quantile error "
+            f"<= {100 * met_mod.QUANTILE_REL_ERROR:.1f}%):"
+        )
+        lines.append(
+            f"  {'series':32s} {'count':>8s} {'p50':>12s} {'p95':>12s} {'p99':>12s}"
+        )
+        for key in sorted(quantiles):
+            payload = summary.metrics["histograms"][key]
+            row = quantiles[key]
+            lines.append(
+                f"  {key:32s} {payload.get('count', 0):8d}"
+                f" {row.get('p50', float('nan')):12.6f}"
+                f" {row.get('p95', float('nan')):12.6f}"
+                f" {row.get('p99', float('nan')):12.6f}"
+            )
+        gauges = summary.metrics.get("gauges", {}) if summary.metrics else {}
+        if gauges:
+            lines.append("  gauges:")
+            for key in sorted(gauges):
+                lines.append(f"    {key:32s} {gauges[key]:.6g}")
+    hit_rate = summary.plan_cache_hit_rate()
+    if hit_rate:
+        series = "  ".join(f"{100 * rate:.1f}" for _, rate in hit_rate[-12:])
+        lines.append(f"plan cache hit rate over time [%]: {series}")
+    if summary.trace:
+        lines.append("trace:")
+        if summary.trace.get("path"):
+            lines.append(
+                f"  chrome trace: {summary.trace['path']} "
+                f"({summary.trace.get('spans', '?')} span(s))"
+            )
+        for row in list(summary.trace.get("top_self_time", []))[:5]:
+            lines.append(
+                f"  {row.get('name', '?'):32s} {row.get('calls', 0):6d} calls "
+                f"self {row.get('self_s', 0.0):9.4f}s"
+            )
     if summary.final_accuracy is not None:
         lines.append(
             f"final accuracy:   {100 * summary.final_accuracy:.2f}% "

@@ -9,11 +9,17 @@ non-repo working directory degrades to absent keys, never to an error.
 
 from __future__ import annotations
 
+import os
 import platform
 import subprocess
 import sys
 import time
 import uuid
+
+# Environment knobs that change performance behaviour; their values are
+# stamped into run metadata and benchmark files so perf trajectories stay
+# comparable across machines (docs/PERFORMANCE.md).
+_PERF_ENV_VARS = ("REPRO_CPUS", "REPRO_FORCE_PARALLEL")
 
 
 def new_run_id() -> str:
@@ -54,15 +60,50 @@ def git_metadata(cwd: str | None = None) -> dict:
 
 
 def environment_metadata() -> dict:
-    """Python/numpy versions and platform identity."""
+    """Python/numpy versions, platform identity and perf-relevant env."""
     import numpy as np
 
-    return {
+    import repro
+
+    meta = {
+        "repro_version": repro.__version__,
         "python": platform.python_version(),
         "numpy": np.__version__,
         "platform": platform.platform(),
         "argv": list(sys.argv),
+        "cpu_count": os.cpu_count(),
     }
+    env = {k: os.environ[k] for k in _PERF_ENV_VARS if k in os.environ}
+    if env:
+        meta["env"] = env
+    return meta
+
+
+def provenance(cwd: str | None = None) -> dict:
+    """Compact run-provenance block for benchmark files (``BENCH_*.json``).
+
+    Repro version, git SHA when available, ``cpu_count`` and the
+    performance env vars — everything needed to compare perf numbers
+    recorded on different machines.
+    """
+    import numpy as np
+
+    import repro
+
+    meta = {
+        "repro_version": repro.__version__,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "env": {k: os.environ.get(k) for k in _PERF_ENV_VARS},
+    }
+    git = git_metadata(cwd)
+    if git:
+        meta["git_sha"] = git["commit"]
+        if "dirty" in git:
+            meta["git_dirty"] = git["dirty"]
+    return meta
 
 
 def run_metadata(command: str | None = None, include_git: bool = True) -> dict:

@@ -32,7 +32,9 @@ from typing import Any, Callable, Iterable, Sequence
 
 from repro.errors import ConfigError
 from repro.obs import events as obs_events
+from repro.obs import metrics as met
 from repro.obs import profiling as prof
+from repro.obs import trace as tr
 from repro.utils.rng import spawn_rngs
 
 BACKENDS = ("auto", "process", "thread", "serial")
@@ -180,9 +182,17 @@ class _WorkerResult:
     events: list[dict]
     profile: prof.ProfileReport | None
     pid: int
+    spans: list | None = None  # finished tr.SpanRecord list (may be empty)
+    metrics: dict | None = None  # met.MetricsRegistry.snapshot()
 
 
-def _call_captured(fn: Callable, args: tuple, profile: bool) -> _WorkerResult:
+def _call_captured(
+    fn: Callable,
+    args: tuple,
+    profile: bool,
+    trace_ctx: "tr.TraceContext | None" = None,
+    capture_metrics: bool = False,
+) -> _WorkerResult:
     """Run ``fn(*args)`` in a worker process under a fresh capture scope.
 
     The forked child inherits the parent's event log *including its open
@@ -191,6 +201,10 @@ def _call_captured(fn: Callable, args: tuple, profile: bool) -> _WorkerResult:
     travel back through the result, not race the parent on a shared file
     descriptor. Profiling state is likewise reset so the returned report
     is exactly this task's delta.
+
+    Trace context shipped by the parent is adopted so the worker's spans
+    parent onto the dispatching span; finished spans and a metrics
+    snapshot travel back with the result for exact merge in the parent.
     """
     log = obs_events.EventLog()
     sink = log.add_sink(obs_events.CollectingSink())
@@ -198,13 +212,36 @@ def _call_captured(fn: Callable, args: tuple, profile: bool) -> _WorkerResult:
     prof.reset_profiling()
     if profile:
         prof.enable_profiling()
+    if trace_ctx is not None:
+        tr.adopt_context(trace_ctx)
+    if capture_metrics:
+        met.set_metrics(met.MetricsRegistry())
+        met.enable_metrics()
+    else:
+        # Uncaptured observations cannot travel back to the parent; keep
+        # the (possibly inherited-enabled) metrics path off in the worker.
+        met.disable_metrics()
+    traced = trace_ctx is not None and trace_ctx.enabled
     try:
-        value = fn(*args)
+        if traced:
+            with tr.span("parallel.task"):
+                value = fn(*args)
+        else:
+            value = fn(*args)
     finally:
         obs_events.set_event_log(previous_log)
     report = prof.profile_report() if profile else None
     prof.reset_profiling()
-    return _WorkerResult(value=value, events=sink.records, profile=report, pid=os.getpid())
+    spans = tr.drain_spans() if traced else []
+    metrics = met.get_metrics().snapshot() if capture_metrics else None
+    return _WorkerResult(
+        value=value,
+        events=sink.records,
+        profile=report,
+        pid=os.getpid(),
+        spans=spans,
+        metrics=metrics,
+    )
 
 
 def _absorb(result: _WorkerResult) -> Any:
@@ -225,6 +262,10 @@ def _absorb(result: _WorkerResult) -> Any:
             )
     if result.profile is not None:
         prof.merge_report(result.profile)
+    if result.spans:
+        tr.get_trace_recorder().merge(result.spans)
+    if result.metrics is not None:
+        met.get_metrics().merge(result.metrics)
     return result.value
 
 
@@ -273,20 +314,34 @@ def map_workers(
         return results
 
     workers = min(config.workers, len(items))
+    trace_ctx = tr.trace_context()
     executor: Executor
     if backend == "thread":
-        # Threads share the parent's (now thread-safe) event log and
-        # profiler registry; no capture indirection is needed.
+        # Threads share the parent's (now thread-safe) event log, profiler
+        # registry, trace recorder and metrics registry; only the span
+        # parentage needs installing per task (pool threads start with an
+        # empty span stack and would otherwise produce orphan roots).
         executor = ThreadPoolExecutor(max_workers=workers, thread_name_prefix="repro")
-        submit = lambda i: executor.submit(fn, *task_args(i))  # noqa: E731
+        if trace_ctx.enabled:
+            submit = lambda i: executor.submit(  # noqa: E731
+                tr.call_with_parent, trace_ctx.parent_id, fn, *task_args(i)
+            )
+        else:
+            submit = lambda i: executor.submit(fn, *task_args(i))  # noqa: E731
         unwrap = lambda value: value  # noqa: E731
     else:
         executor = ProcessPoolExecutor(
             max_workers=workers, mp_context=multiprocessing.get_context("fork")
         )
         capture_profile = config.capture_obs and prof.enabled
+        capture_metrics = config.capture_obs and met.enabled
         submit = lambda i: executor.submit(  # noqa: E731
-            _call_captured, fn, task_args(i), capture_profile
+            _call_captured,
+            fn,
+            task_args(i),
+            capture_profile,
+            trace_ctx if config.capture_obs else None,
+            capture_metrics,
         )
         unwrap = _absorb if config.capture_obs else lambda r: r.value  # noqa: E731
 

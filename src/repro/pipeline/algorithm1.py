@@ -28,6 +28,7 @@ from repro.errors import ConfigError, ReproError
 from repro.ge.montecarlo import estimate_error_model
 from repro.nn.module import Module
 from repro.obs import events as obs_events
+from repro.obs import trace as tr
 from repro.quant.convert import calibrate_model, quantize_model, refresh_weight_steps
 from repro.quant.qconfig import QConfig
 from repro.sim.proxsim import attach_multiplier, detach_multiplier, evaluate_accuracy, resolve_multiplier
@@ -84,35 +85,36 @@ def quantization_stage(
     log = obs_events.get_event_log()
     started = time.perf_counter()
     log.stage("quantization", "start", use_kd=use_kd, temperature=temperature)
-    student = quantize_model(clone_model(fp_model), qconfig, fold_bn=fold_bn)
-    calibrate_model(
-        student,
-        iterate_batches(
-            data.train_x, data.train_y, train_config.batch_size, shuffle=False
-        ),
-        max_batches=calibration_batches,
-    )
-    accuracy_before = evaluate_accuracy(student, data.test_x, data.test_y)
-    log.eval("quantization/before_ft", accuracy_before)
-    if use_kd:
-        teacher_logits = precompute_teacher_logits(
-            fp_model, data.train_x, train_config.batch_size
+    with tr.span("stage.quantization", use_kd=use_kd, temperature=temperature):
+        student = quantize_model(clone_model(fp_model), qconfig, fold_bn=fold_bn)
+        calibrate_model(
+            student,
+            iterate_batches(
+                data.train_x, data.train_y, train_config.batch_size, shuffle=False
+            ),
+            max_batches=calibration_batches,
         )
-        loss = kd_batch_loss(teacher_logits, temperature)
-    else:
-        loss = cross_entropy_loss()
-    history = train_model(
-        student,
-        data,
-        loss,
-        train_config,
-        callbacks=callbacks,
-        guard=guard,
-        checkpoints=checkpoints,
-        resume=resume,
-    )
-    accuracy_after = evaluate_accuracy(student, data.test_x, data.test_y)
-    log.eval("quantization/after_ft", accuracy_after)
+        accuracy_before = evaluate_accuracy(student, data.test_x, data.test_y)
+        log.eval("quantization/before_ft", accuracy_before)
+        if use_kd:
+            teacher_logits = precompute_teacher_logits(
+                fp_model, data.train_x, train_config.batch_size
+            )
+            loss = kd_batch_loss(teacher_logits, temperature)
+        else:
+            loss = cross_entropy_loss()
+        history = train_model(
+            student,
+            data,
+            loss,
+            train_config,
+            callbacks=callbacks,
+            guard=guard,
+            checkpoints=checkpoints,
+            resume=resume,
+        )
+        accuracy_after = evaluate_accuracy(student, data.test_x, data.test_y)
+        log.eval("quantization/after_ft", accuracy_after)
     log.stage(
         "quantization",
         "end",
@@ -162,43 +164,49 @@ def approximation_stage(
         temperature=temperature,
     )
 
-    student = clone_model(quant_model)
-    remove_alpha_regularization(student)
-    refresh_weight_steps(student)
+    with tr.span(
+        "stage.approximation",
+        multiplier=mult.name if mult is not None else None,
+        method=method,
+        temperature=temperature,
+    ):
+        student = clone_model(quant_model)
+        remove_alpha_regularization(student)
+        refresh_weight_steps(student)
 
-    error_model = None
-    if method.endswith("ge") and mult is not None and not mult.is_exact:
-        error_model = estimate_error_model(mult, rng=rng)
-    attach_multiplier(student, mult, error_model)
-    accuracy_before = evaluate_accuracy(student, data.test_x, data.test_y)
-    log.eval("approximation/before_ft", accuracy_before)
+        error_model = None
+        if method.endswith("ge") and mult is not None and not mult.is_exact:
+            error_model = estimate_error_model(mult, rng=rng)
+        attach_multiplier(student, mult, error_model)
+        accuracy_before = evaluate_accuracy(student, data.test_x, data.test_y)
+        log.eval("approximation/before_ft", accuracy_before)
 
-    if method in ("approxkd", "approxkd_ge"):
-        teacher = clone_model(quant_model)
-        detach_multiplier(teacher)
-        remove_alpha_regularization(teacher)
-        teacher_logits = precompute_teacher_logits(
-            teacher, data.train_x, train_config.batch_size
+        if method in ("approxkd", "approxkd_ge"):
+            teacher = clone_model(quant_model)
+            detach_multiplier(teacher)
+            remove_alpha_regularization(teacher)
+            teacher_logits = precompute_teacher_logits(
+                teacher, data.train_x, train_config.batch_size
+            )
+            loss = kd_batch_loss(teacher_logits, temperature)
+        elif method == "alpha":
+            loss = alpha_regularization_loss(student, alpha)
+        else:  # normal, ge
+            loss = cross_entropy_loss()
+
+        history = train_model(
+            student,
+            data,
+            loss,
+            train_config,
+            callbacks=callbacks,
+            guard=guard,
+            checkpoints=checkpoints,
+            resume=resume,
         )
-        loss = kd_batch_loss(teacher_logits, temperature)
-    elif method == "alpha":
-        loss = alpha_regularization_loss(student, alpha)
-    else:  # normal, ge
-        loss = cross_entropy_loss()
-
-    history = train_model(
-        student,
-        data,
-        loss,
-        train_config,
-        callbacks=callbacks,
-        guard=guard,
-        checkpoints=checkpoints,
-        resume=resume,
-    )
-    remove_alpha_regularization(student)
-    accuracy_after = evaluate_accuracy(student, data.test_x, data.test_y)
-    log.eval("approximation/after_ft", accuracy_after)
+        remove_alpha_regularization(student)
+        accuracy_after = evaluate_accuracy(student, data.test_x, data.test_y)
+        log.eval("approximation/after_ft", accuracy_after)
     log.stage(
         "approximation",
         "end",

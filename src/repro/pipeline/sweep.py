@@ -24,6 +24,7 @@ identical to the serial one.
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import asdict, dataclass, field, fields
 from functools import partial
 from pathlib import Path
@@ -35,6 +36,8 @@ from repro.distill.approxkd import recommended_t2
 from repro.errors import ConfigError
 from repro.nn.module import Module
 from repro.obs import events as obs_events
+from repro.obs import metrics as met
+from repro.obs import trace as tr
 from repro.parallel import (
     amortized_workers,
     get_default_config,
@@ -207,19 +210,28 @@ def _run_cell(context: _CellContext, cell: _Cell) -> SweepPoint:
     log = obs_events.get_event_log()
     where = f"sweep[{cell.name}/{cell.method}/T{cell.temperature:g}]"
     log.stage(where, "start")
-    stage, failure = call_with_retry(
-        lambda: approximation_stage(
-            context.quant_model,
-            context.data,
-            cell.mult,
-            method=cell.method,
-            train_config=context.train_config,
-            temperature=cell.temperature,
-            rng=context.rng,
-        )[1],
-        where=where,
-        retries=context.retries,
-    )
+    cell_started = _time.perf_counter()
+    with tr.span(
+        "sweep.cell",
+        multiplier=cell.name,
+        method=cell.method,
+        temperature=cell.temperature,
+    ):
+        stage, failure = call_with_retry(
+            lambda: approximation_stage(
+                context.quant_model,
+                context.data,
+                cell.mult,
+                method=cell.method,
+                train_config=context.train_config,
+                temperature=cell.temperature,
+                rng=context.rng,
+            )[1],
+            where=where,
+            retries=context.retries,
+        )
+    if met.enabled:
+        met.observe("sweep.cell_seconds", _time.perf_counter() - cell_started)
     if failure is not None:
         log.stage(where, "end", status="failed", error=failure.error)
         return _failed_point(cell, failure)
@@ -352,6 +364,7 @@ def run_sweep(
         result.points = prior + [finished[i] for i in sorted(finished)]
         if state_path is not None:
             result.to_json(state_path)
+        met.emit_snapshot(scope="sweep_cell", cell=cell.key)
 
     context = _CellContext(quant_model, data, train_config, rng, retries)
     # Fan-out cannot amortise on a single usable CPU or a near-empty grid

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import json
 import re
+import time
 import zipfile
 from dataclasses import dataclass
 from pathlib import Path
@@ -31,6 +32,8 @@ import numpy as np
 from repro.errors import CheckpointError
 from repro.nn.module import Module
 from repro.obs import events as obs_events
+from repro.obs import metrics as met
+from repro.obs import trace as tr
 from repro.train.optim import Optimizer
 from repro.utils.atomic import atomic_write_json, atomic_writer, file_sha256
 from repro.utils.serialization import load_model_arrays, model_state_arrays
@@ -111,17 +114,21 @@ class CheckpointManager:
         )
 
         path = self.path_for(epoch)
-        with atomic_writer(path, "wb") as stream:
-            np.savez(stream, **arrays)
-        atomic_write_json(
-            self.manifest_for(path),
-            {
-                "file": path.name,
-                "sha256": file_sha256(path),
-                "epoch": int(epoch),
-                "format": FORMAT_VERSION,
-            },
-        )
+        write_started = time.perf_counter()
+        with tr.span("checkpoint.save", epoch=int(epoch)):
+            with atomic_writer(path, "wb") as stream:
+                np.savez(stream, **arrays)
+            atomic_write_json(
+                self.manifest_for(path),
+                {
+                    "file": path.name,
+                    "sha256": file_sha256(path),
+                    "epoch": int(epoch),
+                    "format": FORMAT_VERSION,
+                },
+            )
+        if met.enabled:
+            met.observe("checkpoint.save_seconds", time.perf_counter() - write_started)
         log = obs_events.get_event_log()
         if log.enabled:
             log.checkpoint("save", epoch=int(epoch), path=str(path))

@@ -11,6 +11,7 @@ and restore exact execution afterwards.
 from __future__ import annotations
 
 import contextlib
+import time
 
 import numpy as np
 
@@ -22,6 +23,8 @@ from repro.data.dataloader import iterate_batches
 from repro.ge.error_model import PiecewiseLinearErrorModel
 from repro.ge.montecarlo import estimate_error_model
 from repro.nn.module import Module
+from repro.obs import metrics as met
+from repro.obs import trace as tr
 from repro.quant.convert import quant_layers
 
 
@@ -95,9 +98,12 @@ def evaluate_accuracy(
     was_training = model.training
     model.eval()
     correct = 0
-    with no_grad():
+    with tr.span("eval", samples=len(y)), no_grad():
         for xb, yb in iterate_batches(x, y, batch_size, shuffle=False):
+            batch_started = time.perf_counter() if met.enabled else 0.0
             logits = model(Tensor(xb))
             correct += int((logits.data.argmax(axis=1) == yb).sum())
+            if met.enabled:
+                met.observe("eval.batch_seconds", time.perf_counter() - batch_started)
     model.train(was_training)
     return correct / len(y)

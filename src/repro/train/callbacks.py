@@ -18,6 +18,7 @@ import numpy as np
 from repro.errors import ConfigError
 from repro.nn.module import Module
 from repro.obs import events as obs_events
+from repro.obs import metrics as met
 from repro.obs.stats import LayerStats, StatsHook
 from repro.train.trainer import History
 
@@ -118,5 +119,11 @@ class TelemetryCallback(Callback):
             snapshots[name] = stats
             if log.enabled:
                 log.emit(obs_events.LAYER_STATS, epoch=epoch + 1, **stats.to_dict())
+            if met.enabled:
+                # Gauge series per layer: the metrics snapshots turn the
+                # per-epoch StatsHook values into a time series.
+                met.set_gauge("layer.eps_mean", float(stats.eps_mean), layer=name)
+                if stats.grad_norm is not None:
+                    met.set_gauge("layer.grad_norm", float(stats.grad_norm), layer=name)
         self.per_epoch.append(snapshots)
         return False

@@ -33,6 +33,8 @@ from repro.data.synthetic_cifar import Dataset
 from repro.errors import ConfigError, DivergenceError
 from repro.nn.module import Module
 from repro.obs import events as obs_events
+from repro.obs import metrics as met
+from repro.obs import trace as tr
 from repro.sim.proxsim import evaluate_accuracy
 from repro.train.lr_schedule import LRSchedule, StepDecay
 from repro.train.optim import SGD, global_grad_norm
@@ -172,108 +174,119 @@ def train_model(
     n = len(data.train_x)
     epoch = start_epoch
     while epoch < config.epochs:
-        epoch_started = time.perf_counter()
-        if guard is not None:
-            guard.remember(epoch, model, optimizer, rng)
-        lr = schedule.lr_at(epoch) * (guard.lr_scale if guard is not None else 1.0)
-        optimizer.lr = lr
-        model.train()
-        order = rng.permutation(n)
-        epoch_loss, batches = 0.0, 0
-        failure: tuple[str, str] | None = None
-        for start in range(0, n, config.batch_size):
-            idx = order[start : start + config.batch_size]
-            xb = data.train_x[idx]
-            if config.augment:
-                xb = augment_batch(xb, rng)
-            yb = data.train_y[idx]
-            optimizer.zero_grad()
-            logits = model(Tensor(xb))
-            loss = batch_loss(logits, yb, idx)
-            loss_value = loss.item()
+        # A `continue` or `break` inside the `with` still closes the epoch
+        # span, so rollback retries show up as separate epoch spans.
+        with tr.span("epoch", epoch=epoch + 1):
+            epoch_started = time.perf_counter()
             if guard is not None:
-                reason = guard.check_loss(loss_value)
-                if reason is not None:
-                    failure = (reason, f"batch {batches}: loss={loss_value!r}")
-                    break
-            loss.backward()
-            if guard is not None and guard.config.max_grad_norm is not None:
-                grad_norm = global_grad_norm(optimizer.params)
-                reason = guard.check_grad_norm(grad_norm)
-                if reason is not None:
-                    failure = (reason, f"batch {batches}: grad_norm={grad_norm:.3e}")
-                    break
-            optimizer.step()
-            epoch_loss += loss_value
-            batches += 1
+                guard.remember(epoch, model, optimizer, rng)
+            lr = schedule.lr_at(epoch) * (guard.lr_scale if guard is not None else 1.0)
+            optimizer.lr = lr
+            model.train()
+            order = rng.permutation(n)
+            epoch_loss, batches = 0.0, 0
+            failure: tuple[str, str] | None = None
+            for start in range(0, n, config.batch_size):
+                batch_started = time.perf_counter() if met.enabled else 0.0
+                idx = order[start : start + config.batch_size]
+                xb = data.train_x[idx]
+                if config.augment:
+                    xb = augment_batch(xb, rng)
+                yb = data.train_y[idx]
+                optimizer.zero_grad()
+                logits = model(Tensor(xb))
+                loss = batch_loss(logits, yb, idx)
+                loss_value = loss.item()
+                if guard is not None:
+                    reason = guard.check_loss(loss_value)
+                    if reason is not None:
+                        failure = (reason, f"batch {batches}: loss={loss_value!r}")
+                        break
+                loss.backward()
+                if guard is not None and guard.config.max_grad_norm is not None:
+                    grad_norm = global_grad_norm(optimizer.params)
+                    reason = guard.check_grad_norm(grad_norm)
+                    if reason is not None:
+                        failure = (reason, f"batch {batches}: grad_norm={grad_norm:.3e}")
+                        break
+                optimizer.step()
+                epoch_loss += loss_value
+                batches += 1
+                if met.enabled:
+                    met.observe(
+                        "train.batch_seconds", time.perf_counter() - batch_started
+                    )
 
-        acc = None
-        if failure is None and (
-            (epoch + 1) % config.eval_every == 0 or epoch == config.epochs - 1
-        ):
-            acc = evaluate_accuracy(model, data.test_x, data.test_y, config.batch_size)
-            if guard is not None:
-                reason = guard.check_accuracy(acc)
-                if reason is not None:
-                    failure = (reason, f"accuracy={acc:.4f}")
-
-        if failure is not None:
-            reason, detail = failure
-            retrying = guard.trip(epoch, reason, detail, model, optimizer, rng)
-            if callbacks:
-                for cb in callbacks:
-                    handler = getattr(cb, "on_rollback", None)
-                    if handler is not None:
-                        handler(epoch, reason, model)
-            if retrying:
-                continue  # retry the same epoch at the reduced LR
-            raise DivergenceError(
-                f"training diverged at epoch {epoch + 1}/{config.epochs} "
-                f"({reason}: {detail}) and the guard's retry budget is spent "
-                f"after {guard.attempts} rollback(s)"
-            )
-
-        history.train_loss.append(epoch_loss / max(batches, 1))
-        history.learning_rate.append(lr)
-        if acc is not None:
-            history.test_accuracy.append(acc)
-            if guard is not None:
-                guard.record_accuracy(acc)
-        history.epoch_time.append(time.perf_counter() - epoch_started)
-        if log.enabled:
-            log.epoch(
-                epoch=epoch + 1,
-                epochs=config.epochs,
-                loss=history.train_loss[-1],
-                lr=lr,
-                accuracy=acc,
-                epoch_time=history.epoch_time[-1],
-            )
-        if checkpoints is not None and (
-            (epoch + 1) % checkpoints.every == 0 or epoch == config.epochs - 1
-        ):
-            checkpoints.save(
-                epoch + 1,
-                model,
-                optimizer,
-                state={
-                    "rng": get_rng_state(rng),
-                    "history": history_to_dict(history),
-                    "lr_scale": guard.lr_scale if guard is not None else 1.0,
-                    "seed": config.seed,
-                },
-            )
-        if acc is not None:
-            if config.verbose:
-                print(
-                    f"epoch {epoch + 1:3d}/{config.epochs}  lr={lr:.2e}  "
-                    f"loss={history.train_loss[-1]:.4f}  acc={acc:.4f}"
-                )
-            if callbacks and any(
-                cb.on_epoch_end(epoch, history, model) for cb in callbacks
+            acc = None
+            if failure is None and (
+                (epoch + 1) % config.eval_every == 0 or epoch == config.epochs - 1
             ):
-                break
-        epoch += 1
+                acc = evaluate_accuracy(
+                    model, data.test_x, data.test_y, config.batch_size
+                )
+                if guard is not None:
+                    reason = guard.check_accuracy(acc)
+                    if reason is not None:
+                        failure = (reason, f"accuracy={acc:.4f}")
+
+            if failure is not None:
+                reason, detail = failure
+                retrying = guard.trip(epoch, reason, detail, model, optimizer, rng)
+                if callbacks:
+                    for cb in callbacks:
+                        handler = getattr(cb, "on_rollback", None)
+                        if handler is not None:
+                            handler(epoch, reason, model)
+                if retrying:
+                    continue  # retry the same epoch at the reduced LR
+                raise DivergenceError(
+                    f"training diverged at epoch {epoch + 1}/{config.epochs} "
+                    f"({reason}: {detail}) and the guard's retry budget is spent "
+                    f"after {guard.attempts} rollback(s)"
+                )
+
+            history.train_loss.append(epoch_loss / max(batches, 1))
+            history.learning_rate.append(lr)
+            if acc is not None:
+                history.test_accuracy.append(acc)
+                if guard is not None:
+                    guard.record_accuracy(acc)
+            history.epoch_time.append(time.perf_counter() - epoch_started)
+            if log.enabled:
+                log.epoch(
+                    epoch=epoch + 1,
+                    epochs=config.epochs,
+                    loss=history.train_loss[-1],
+                    lr=lr,
+                    accuracy=acc,
+                    epoch_time=history.epoch_time[-1],
+                )
+            met.emit_snapshot(log, scope="epoch", epoch=epoch + 1)
+            if checkpoints is not None and (
+                (epoch + 1) % checkpoints.every == 0 or epoch == config.epochs - 1
+            ):
+                checkpoints.save(
+                    epoch + 1,
+                    model,
+                    optimizer,
+                    state={
+                        "rng": get_rng_state(rng),
+                        "history": history_to_dict(history),
+                        "lr_scale": guard.lr_scale if guard is not None else 1.0,
+                        "seed": config.seed,
+                    },
+                )
+            if acc is not None:
+                if config.verbose:
+                    print(
+                        f"epoch {epoch + 1:3d}/{config.epochs}  lr={lr:.2e}  "
+                        f"loss={history.train_loss[-1]:.4f}  acc={acc:.4f}"
+                    )
+                if callbacks and any(
+                    cb.on_epoch_end(epoch, history, model) for cb in callbacks
+                ):
+                    break
+            epoch += 1
     if not history.test_accuracy and config.epochs == 0:
         history.test_accuracy.append(
             evaluate_accuracy(model, data.test_x, data.test_y, config.batch_size)

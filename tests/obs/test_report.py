@@ -1,9 +1,12 @@
 """`repro report`: summarising a synthetic JSONL event stream."""
 
+import json
+
 import pytest
 
 from repro.errors import ReproError
 from repro.obs import events as ev
+from repro.obs import metrics as met
 from repro.obs.report import render_summary, summarize_run
 
 pytestmark = pytest.mark.obs
@@ -183,3 +186,105 @@ class TestPlanCacheCounters:
         log.close()
         text = render_summary(summarize_run(path))
         assert "plan cache:" not in text
+
+
+def _histogram_payload(values):
+    hist = met.Histogram("h")
+    for value in values:
+        hist.observe(value)
+    return hist.to_dict()
+
+
+@pytest.fixture
+def metrics_log(tmp_path):
+    """A run whose log carries metrics snapshots and a trace event."""
+    path = tmp_path / "metrics.jsonl"
+    ticks = iter([float(i) for i in range(100)])
+    log = ev.EventLog(run_id="synth", clock=lambda: next(ticks))
+    log.add_sink(ev.JsonlSink(path))
+    log.run_start(command="approximate", config={})
+    log.emit(
+        ev.METRICS,
+        scope="epoch",
+        metrics={
+            "counters": {"plan_cache.hit": 10, "plan_cache.miss": 10},
+            "gauges": {},
+            "histograms": {},
+        },
+    )
+    log.emit(
+        ev.METRICS,
+        scope="final",
+        metrics={
+            "counters": {"plan_cache.hit": 90, "plan_cache.miss": 10},
+            "gauges": {"layer.eps_mean{layer=conv1}": 0.25},
+            "histograms": {
+                "eval.batch_seconds": _histogram_payload(
+                    [0.010, 0.011, 0.012, 0.013, 0.050]
+                )
+            },
+        },
+    )
+    log.emit(
+        ev.TRACE,
+        path="trace.json",
+        spans=42,
+        top_self_time=[
+            {"name": "approx.matmul", "calls": 12, "total_s": 0.5, "self_s": 0.4}
+        ],
+    )
+    log.run_end(status="ok", exit_code=0)
+    log.close()
+    return path
+
+
+class TestMetricsSections:
+    def test_last_snapshot_wins(self, metrics_log):
+        summary = summarize_run(metrics_log)
+        assert summary.metrics_snapshots == 2
+        assert summary.metrics["counters"]["plan_cache.hit"] == 90
+
+    def test_latency_quantiles_match_numpy_bound(self, metrics_log):
+        import numpy as np
+
+        summary = summarize_run(metrics_log)
+        quantiles = summary.latency_quantiles()["eval.batch_seconds"]
+        samples = [0.010, 0.011, 0.012, 0.013, 0.050]
+        for label, q in (("p50", 0.5), ("p95", 0.95), ("p99", 0.99)):
+            exact = float(np.quantile(samples, q, method="inverted_cdf"))
+            assert abs(quantiles[label] - exact) / exact <= met.QUANTILE_REL_ERROR
+
+    def test_hit_rate_series(self, metrics_log):
+        summary = summarize_run(metrics_log)
+        series = summary.plan_cache_hit_rate()
+        assert [rate for _, rate in series] == [0.5, 0.9]
+
+    def test_trace_event_is_summarized(self, metrics_log):
+        summary = summarize_run(metrics_log)
+        assert summary.trace["path"] == "trace.json"
+        assert summary.trace["spans"] == 42
+
+    def test_render_sections(self, metrics_log):
+        text = render_summary(summarize_run(metrics_log))
+        assert "metrics (2 snapshot(s), quantile error <= 4.4%):" in text
+        assert "eval.batch_seconds" in text
+        assert "layer.eps_mean{layer=conv1}" in text
+        assert "plan cache hit rate over time [%]: 50.0  90.0" in text
+        assert "chrome trace: trace.json (42 span(s))" in text
+        assert "approx.matmul" in text
+
+    def test_to_dict_is_json_complete(self, metrics_log):
+        summary = summarize_run(metrics_log)
+        payload = summary.to_dict()
+        json.dumps(payload)  # the --format json path must serialize
+        assert "_hit_rate_series" not in payload
+        assert payload["quantile_rel_error"] == met.QUANTILE_REL_ERROR
+        assert "p95" in payload["latency_quantiles"]["eval.batch_seconds"]
+        assert payload["plan_cache_hit_rate"][-1][1] == 0.9
+        assert payload["metrics_snapshots"] == 2
+        assert {e["name"] for e in payload["evals"]} == set()
+
+    def test_render_omits_metrics_without_events(self, run_log):
+        text = render_summary(summarize_run(run_log))
+        assert "quantile error" not in text
+        assert "hit rate over time" not in text

@@ -1,0 +1,92 @@
+"""Size-based JSONL log rotation: segments, manifest, transparent reads."""
+
+import io
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import events as obs_events
+
+pytestmark = pytest.mark.obs
+
+
+def _fill(path, n, max_bytes=1024, payload_bytes=64):
+    """Emit ``n`` records through a rotating sink; returns the records."""
+    log = obs_events.EventLog(run_id="rotate")
+    log.add_sink(obs_events.JsonlSink(path, max_bytes=max_bytes))
+    records = []
+    for i in range(n):
+        records.append(log.emit("tick", i=i, pad="x" * payload_bytes))
+    log.close()
+    return records
+
+
+class TestRotation:
+    def test_live_file_stays_under_cap(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _fill(path, 40)
+        assert path.stat().st_size <= 1024
+        segments = obs_events.segment_paths(path)
+        assert len(segments) > 1
+        for segment in segments[:-1]:
+            assert segment.stat().st_size <= 1024
+
+    def test_segment_names_and_manifest(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _fill(path, 40)
+        manifest = obs_events.manifest_path(path)
+        assert manifest == tmp_path / "run.jsonl.manifest.json"
+        payload = json.loads(manifest.read_text())
+        assert payload["version"] == 1
+        assert payload["segments"] == [
+            f"run.{i + 1:04d}.jsonl" for i in range(len(payload["segments"]))
+        ]
+        for name in payload["segments"]:
+            assert (tmp_path / name).exists()
+
+    def test_read_events_reassembles_in_order(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        written = _fill(path, 60)
+        back = obs_events.read_events(path)
+        assert len(back) == 60
+        assert [r["i"] for r in back] == [r["i"] for r in written]
+        assert [r["seq"] for r in back] == list(range(60))
+
+    def test_unrotated_log_reads_unchanged(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        written = _fill(path, 3, max_bytes=None)
+        assert not obs_events.manifest_path(path).exists()
+        assert obs_events.segment_paths(path) == [path]
+        assert len(obs_events.read_events(path)) == len(written)
+
+    def test_missing_segment_raises(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _fill(path, 40)
+        victim = obs_events.segment_paths(path)[0]
+        victim.unlink()
+        with pytest.raises(ReproError, match="segment not found"):
+            obs_events.read_events(path)
+
+    def test_invalid_manifest_raises(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _fill(path, 40)
+        obs_events.manifest_path(path).write_text('{"oops": true}')
+        with pytest.raises(ReproError, match="invalid rotation manifest"):
+            obs_events.read_events(path)
+
+    def test_tiny_cap_rejected(self, tmp_path):
+        with pytest.raises(ReproError, match="max_bytes"):
+            obs_events.JsonlSink(tmp_path / "run.jsonl", max_bytes=512)
+
+    def test_stream_target_cannot_rotate(self):
+        with pytest.raises(ReproError, match="path target"):
+            obs_events.JsonlSink(io.StringIO(), max_bytes=4096)
+
+    def test_logging_to_forwards_max_bytes(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with obs_events.logging_to(path, max_bytes=1024) as log:
+            for i in range(40):
+                log.emit("tick", i=i, pad="x" * 64)
+        assert obs_events.manifest_path(path).exists()
+        assert len(obs_events.read_events(path)) == 40

@@ -1,0 +1,213 @@
+"""repro.obs.trace: spans, parentage, export, self-time summaries."""
+
+import os
+import threading
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import profiling as prof
+from repro.obs import trace as tr
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture(autouse=True)
+def clean_tracing():
+    tr.reset_tracing()
+    yield
+    tr.disable_tracing()
+    tr.reset_tracing()
+
+
+class TestSpanBasics:
+    def test_disabled_span_records_nothing(self):
+        with tr.span("a"):
+            pass
+        assert len(tr.get_trace_recorder()) == 0
+
+    def test_enabled_span_records(self):
+        tr.enable_tracing()
+        with tr.span("a", layer="conv1"):
+            pass
+        spans = tr.get_trace_recorder().spans()
+        assert [s.name for s in spans] == ["a"]
+        assert spans[0].attrs == {"layer": "conv1"}
+        assert spans[0].parent_id is None
+        assert spans[0].pid == os.getpid()
+        assert spans[0].dur_ns >= 0
+
+    def test_nesting_sets_parent(self):
+        tr.enable_tracing()
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+        inner, outer = tr.get_trace_recorder().spans()
+        assert inner.name == "inner"
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        # child is contained within the parent's interval
+        assert inner.start_ns >= outer.start_ns
+        assert inner.end_ns <= outer.end_ns
+
+    def test_current_span_id_tracks_stack(self):
+        tr.enable_tracing()
+        assert tr.current_span_id() is None
+        with tr.span("a") as a:
+            assert tr.current_span_id() == a._id
+        assert tr.current_span_id() is None
+
+    def test_span_ids_unique(self):
+        tr.enable_tracing()
+        for _ in range(10):
+            with tr.span("x"):
+                pass
+        ids = [s.span_id for s in tr.get_trace_recorder().spans()]
+        assert len(set(ids)) == 10
+
+    def test_reset_inside_block_drops_sample(self):
+        tr.enable_tracing()
+        with tr.span("outer"):
+            tr.reset_tracing()
+            tr.enable_tracing()
+        assert len(tr.get_trace_recorder()) == 0
+
+    def test_tracing_context_manager_restores(self):
+        assert not tr.enabled
+        with tr.tracing() as recorder:
+            assert tr.enabled
+            with tr.span("a"):
+                pass
+            assert len(recorder) == 1
+        assert not tr.enabled
+
+    def test_exception_still_closes_span(self):
+        tr.enable_tracing()
+        with pytest.raises(ValueError):
+            with tr.span("boom"):
+                raise ValueError("x")
+        assert [s.name for s in tr.get_trace_recorder().spans()] == ["boom"]
+
+
+class TestThreads:
+    def test_threads_get_independent_stacks(self):
+        tr.enable_tracing()
+        seen = []
+
+        def worker():
+            with tr.span("thread_root"):
+                seen.append(tr.current_span_id())
+
+        with tr.span("main_root"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        spans = {s.name: s for s in tr.get_trace_recorder().spans()}
+        # the thread's root has no parent unless call_with_parent is used
+        assert spans["thread_root"].parent_id is None
+        assert spans["thread_root"].tid != spans["main_root"].tid
+
+    def test_call_with_parent_links_and_restores(self):
+        tr.enable_tracing()
+        with tr.span("dispatch") as d:
+            result = tr.call_with_parent(d._id, lambda v: v + 1, 41)
+        assert result == 42
+        spans = {s.name: s for s in tr.get_trace_recorder().spans()}
+        assert spans["parallel.task"].parent_id == spans["dispatch"].span_id
+
+
+class TestProfilingBridge:
+    def test_timer_opens_matching_span(self):
+        tr.enable_tracing()
+        with prof.timer("approx.lut_gather"):
+            pass
+        assert [s.name for s in tr.get_trace_recorder().spans()] == [
+            "approx.lut_gather"
+        ]
+
+    def test_timer_without_tracing_opens_nothing(self):
+        with prof.timer("approx.lut_gather"):
+            pass
+        assert len(tr.get_trace_recorder()) == 0
+
+
+class TestContextPropagation:
+    def test_trace_context_captures_parent(self):
+        tr.enable_tracing()
+        with tr.span("root") as r:
+            ctx = tr.trace_context()
+        assert ctx.enabled
+        assert ctx.parent_id == r._id
+        assert ctx.trace_id == tr.get_trace_recorder().trace_id
+
+    def test_adopt_and_drain(self):
+        tr.enable_tracing()
+        with tr.span("root"):
+            ctx = tr.trace_context()
+        parent_recorder = tr.get_trace_recorder()
+        root = parent_recorder.spans()[0]
+
+        tr.adopt_context(ctx)  # simulates the forked worker
+        with tr.span("work"):
+            pass
+        shipped = tr.drain_spans()
+        assert [s.name for s in shipped] == ["work"]
+        assert shipped[0].parent_id == root.span_id
+        assert tr.get_trace_recorder().trace_id == ctx.trace_id
+
+
+class TestExport:
+    def _sample_spans(self):
+        tr.enable_tracing()
+        with tr.span("outer", epoch=1):
+            with tr.span("inner"):
+                pass
+            with tr.span("inner"):
+                pass
+        tr.disable_tracing()
+        return tr.get_trace_recorder().spans()
+
+    def test_chrome_round_trip(self, tmp_path):
+        spans = self._sample_spans()
+        path = tmp_path / "trace.json"
+        tr.write_chrome_trace(path, spans)
+        doc = __import__("json").loads(path.read_text())
+        events = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        assert len(events) == 3
+        assert all(e["ts"] >= 0 and e["dur"] >= 0 for e in events)
+        reread = tr.read_chrome_trace(path)
+        assert {s.span_id for s in reread} == {s.span_id for s in spans}
+        by_id = {s.span_id: s for s in reread}
+        for original in spans:
+            back = by_id[original.span_id]
+            assert back.name == original.name
+            assert back.parent_id == original.parent_id
+            assert back.start_ns == original.start_ns
+            assert back.dur_ns == original.dur_ns
+
+    def test_read_chrome_trace_missing_file(self, tmp_path):
+        with pytest.raises(ReproError):
+            tr.read_chrome_trace(tmp_path / "absent.json")
+
+    def test_read_chrome_trace_invalid_json(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json")
+        with pytest.raises(ReproError):
+            tr.read_chrome_trace(bad)
+
+    def test_self_time_subtracts_direct_children(self):
+        spans = self._sample_spans()
+        rows = {r["name"]: r for r in tr.self_time_summary(spans)}
+        assert rows["inner"]["calls"] == 2
+        assert rows["outer"]["calls"] == 1
+        inner_total = rows["inner"]["total_s"]
+        outer = rows["outer"]
+        assert outer["self_s"] == pytest.approx(
+            outer["total_s"] - inner_total, abs=1e-9
+        )
+
+    def test_render_flame_summary(self):
+        spans = self._sample_spans()
+        text = tr.render_flame_summary(spans, top=5)
+        assert "outer" in text and "inner" in text
+        assert "3 span(s)" in text

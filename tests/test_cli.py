@@ -178,3 +178,65 @@ class TestInspection:
     def test_missing_checkpoint_errors_cleanly(self, tmp_path, capsys):
         code = main(["evaluate", "--checkpoint", str(tmp_path / "none.npz"), *FAST_DATA])
         assert code == 1
+
+
+class TestObservabilityFlags:
+    def test_trace_metrics_and_reports(self, fp_checkpoint, tmp_path, capsys):
+        import json
+
+        log = tmp_path / "run.jsonl"
+        trace = tmp_path / "trace.json"
+        code = main(
+            [
+                "evaluate",
+                "--checkpoint", str(fp_checkpoint),
+                "--log-json", str(log),
+                "--trace", str(trace),
+                "--metrics",
+                *FAST_DATA,
+            ]
+        )
+        assert code == 0
+        assert log.exists() and trace.exists()
+        capsys.readouterr()
+
+        # text report renders the metrics + trace sections
+        assert main(["report", str(log)]) == 0
+        text = capsys.readouterr().out
+        assert "eval.batch_seconds" in text
+        assert "quantile error" in text
+
+        # --format json emits the full machine-readable RunSummary
+        assert main(["report", str(log), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["metrics_snapshots"] >= 1
+        assert "eval.batch_seconds" in payload["latency_quantiles"]
+        assert payload["trace"]["path"] == str(trace)
+
+        # the trace subcommand summarises the exported file
+        assert main(["trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "span(s)" in out and "eval" in out
+
+    def test_log_rotation_flag(self, fp_checkpoint, tmp_path, capsys):
+        from repro.obs import events as ev
+
+        log = tmp_path / "rotated.jsonl"
+        code = main(
+            [
+                "evaluate",
+                "--checkpoint", str(fp_checkpoint),
+                "--log-json", str(log),
+                "--log-rotate-mb", "0.001",
+                "--metrics",
+                *FAST_DATA,
+            ]
+        )
+        assert code == 0
+        # 0.001 MB ≈ 1 KB: the run_start config alone forces a rotation,
+        # and read_events reassembles the stream transparently
+        records = ev.read_events(log)
+        assert [r["type"] for r in records][0] == ev.RUN_START
+        capsys.readouterr()
+        assert main(["report", str(log)]) == 0
+        assert "run " in capsys.readouterr().out
