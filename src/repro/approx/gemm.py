@@ -25,15 +25,17 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.approx.backend import (
+    GemmBackend,
+    get_backend,
+    tiered_exact_int_matmul,
+)
 from repro.approx.multiplier import Multiplier
 from repro.approx.plan import GemmPlan, check_magnitude
 from repro.errors import MultiplierError, ShapeError
 from repro.obs import profiling as prof
 from repro.obs import trace as tr
 from repro.parallel import ParallelConfig, amortized_workers, map_workers
-
-# Largest |product|·K for which float64 accumulation is provably exact.
-_EXACT_FLOAT64_BOUND = 2.0**52
 
 # Row-block size of the threaded GEMM path. Each output row depends only on
 # the matching row of ``a``, so row blocks evaluate independently and the
@@ -42,22 +44,66 @@ _EXACT_FLOAT64_BOUND = 2.0**52
 ROW_BLOCK = 256
 
 
-def exact_int_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Exact integer GEMM.
+def exact_int_matmul(
+    a: np.ndarray, b: np.ndarray, backend: str | GemmBackend | None = None
+) -> np.ndarray:
+    """Exact integer GEMM through the active backend.
 
-    Uses float32/float64 BLAS — exact for the bounded operands produced by
-    the quantizer — and falls back to int64 accumulation for larger values.
+    The reference strategy is tiered float32/float64 BLAS — exact for the
+    bounded operands produced by the quantizer (docs/PERFORMANCE.md lists
+    the tier bounds) — with int64 accumulation above the float64 tier. A
+    backend may substitute its own exact kernel (e.g. int8-accumulate)
+    or decline, in which case the tiered reference runs; the result is
+    bitwise identical either way.
     """
     a = np.asarray(a)
     b = np.asarray(b)
     with prof.timer("approx.exact_matmul", nbytes=a.nbytes + b.nbytes):
-        if a.size and b.size:
-            max_sum = float(np.abs(a).max()) * float(np.abs(b).max()) * a.shape[1]
-            if max_sum < 2.0**23:
-                return np.rint(a.astype(np.float32) @ b.astype(np.float32)).astype(np.int64)
-            if max_sum < _EXACT_FLOAT64_BOUND:
-                return np.rint(a.astype(np.float64) @ b.astype(np.float64)).astype(np.int64)
-        return a.astype(np.int64) @ b.astype(np.int64)
+        y = get_backend(backend).exact_int(a, b)
+        if y is None:
+            y = tiered_exact_int_matmul(a, b)
+        return y
+
+
+def exact_int_matmul_cached(a: np.ndarray, b: np.ndarray, cache: dict) -> np.ndarray:
+    """:func:`exact_int_matmul` with memoized conversions of operand ``b``.
+
+    Gradient estimation runs an exact GEMM alongside every approximate one
+    with the *same* weight operand each batch; ``cache`` (owned by the
+    layer's :class:`~repro.approx.plan.LayerKernelState`) memoizes the
+    dtype conversion and magnitude of ``b`` across batches. The tier
+    decision and arithmetic are identical to the tiered reference, so the
+    result is bitwise identical — only the ``astype`` of ``b`` is reused.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    with prof.timer("approx.exact_matmul", nbytes=a.nbytes + b.nbytes):
+        if not (a.size and b.size):
+            return a.astype(np.int64) @ b.astype(np.int64)
+        bmax = cache.get("absmax")
+        if bmax is None:
+            bmax = cache["absmax"] = float(np.abs(b).max())
+        max_sum = float(np.abs(a).max()) * bmax * a.shape[1]
+        if max_sum < 2.0**23:
+            b32 = cache.get("f4")
+            if b32 is None:
+                b32 = cache["f4"] = b.astype(np.float32)
+            return np.rint(a.astype(np.float32) @ b32).astype(np.int64)
+        if max_sum < 2.0**52:
+            b64 = cache.get("f8")
+            if b64 is None:
+                b64 = cache["f8"] = b.astype(np.float64)
+            return np.rint(a.astype(np.float64) @ b64).astype(np.int64)
+        if max_sum >= 2.0**63:
+            raise MultiplierError(
+                "exact integer GEMM would overflow the int64 accumulator: "
+                f"worst-case partial sum {max_sum:.3g} >= 2^63 for shapes "
+                f"{a.shape} x {b.shape}; rescale or requantize the operands"
+            )
+        b_i8 = cache.get("i8")
+        if b_i8 is None:
+            b_i8 = cache["i8"] = b.astype(np.int64)
+        return a.astype(np.int64) @ b_i8
 
 
 def approx_matmul(
@@ -66,6 +112,7 @@ def approx_matmul(
     multiplier: Multiplier,
     workers: int | None = None,
     plan: GemmPlan | None = None,
+    backend: str | GemmBackend | None = None,
 ) -> np.ndarray:
     """Approximate integer GEMM ``a @ b`` using ``multiplier`` elementwise.
 
@@ -89,6 +136,12 @@ def approx_matmul(
         (:func:`repro.approx.plan.build_plan`). Skips every
         weight-dependent scan and gathers into a pooled workspace; the
         result is bitwise identical to the plan-less call.
+    backend:
+        GEMM backend name or instance
+        (:mod:`repro.approx.backend`); ``None`` uses the process-wide
+        default. Backends whose ``use_plans`` is False (``exact-blas``)
+        ignore ``plan`` and run the uncached reference scans — every
+        backend choice is bitwise identical.
     """
     a = np.asarray(a)
     b = np.asarray(b)
@@ -96,8 +149,11 @@ def approx_matmul(
         raise ShapeError(f"incompatible GEMM shapes {a.shape} x {b.shape}")
     if a.dtype.kind not in "iu" or b.dtype.kind not in "iu":
         raise MultiplierError("approx_matmul operates on integer codes")
+    resolved = get_backend(backend)
     if multiplier.is_exact:
-        return exact_int_matmul(a, b)
+        return exact_int_matmul(a, b, backend=resolved)
+    if not resolved.use_plans:
+        plan = None
 
     xhi = 2 ** (multiplier.x_bits - 1) - 1
     whi = 2 ** (multiplier.w_bits - 1) - 1
@@ -154,7 +210,8 @@ def _approx_matmul_block(
     identical to it (``tests/approx/test_plan.py``).
     """
     # float32 accumulation is exact while every partial sum of integer
-    # products stays below 2^24; fall back to float64 otherwise.
+    # products stays below 2^24 (the float32 mantissa bound); gate at 2^23
+    # for a 2x margin, fall back to float64 otherwise (docs/PERFORMANCE.md).
     max_product = float(np.abs(multiplier.lut).max())
     use_f32 = max_product * a.shape[1] < 2.0**23
     lut = multiplier.signed_lut_f32() if use_f32 else multiplier.signed_lut_f64()

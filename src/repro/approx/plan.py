@@ -44,10 +44,13 @@ from repro.errors import MultiplierError, ShapeError
 from repro.obs import metrics as met
 from repro.obs import profiling as prof
 
-# float64 partial sums of integer products are exact below this bound.
+# float32 partial sums of integer products are exact below 2^24 (the
+# mantissa bound); we gate at 2^23 to keep a 2x safety margin. The full
+# tier table lives in docs/PERFORMANCE.md.
 _EXACT_FLOAT32_BOUND = 2.0**23
 
 _caching_enabled = True
+_train_plans_enabled = True
 
 
 def enable_plan_cache() -> None:
@@ -81,6 +84,48 @@ class plan_cache_disabled:
     def __exit__(self, *exc) -> None:
         if self._previous:
             enable_plan_cache()
+
+
+def enable_train_plans() -> None:
+    """Re-enable the training-path plan extensions (the default state)."""
+    global _train_plans_enabled
+    _train_plans_enabled = True
+
+
+def disable_train_plans() -> None:
+    """Disable the training-path plan extensions only.
+
+    The forward plan cache keeps working exactly as it did before the
+    training-path extensions existed: every weight-version bump is a full
+    miss/rebuild, backward state is recomputed per step and im2col runs
+    unplanned. Benchmarks use this to measure what this layer buys.
+    """
+    global _train_plans_enabled
+    _train_plans_enabled = False
+
+
+def train_plans_enabled() -> bool:
+    """Whether the training-path plan extensions are active.
+
+    Covers code-level plan revalidation across optimizer steps, cached
+    backward operands (fake-quantized weights, exact-GEMM conversions)
+    and the shape-keyed im2col plans. Implied off while plan caching as a
+    whole is disabled.
+    """
+    return _caching_enabled and _train_plans_enabled
+
+
+class train_plans_disabled:
+    """Context manager running a block with only the training-path plan
+    extensions off (forward plan caching stays on)."""
+
+    def __enter__(self) -> None:
+        self._previous = _train_plans_enabled
+        disable_train_plans()
+
+    def __exit__(self, *exc) -> None:
+        if self._previous:
+            enable_train_plans()
 
 
 def check_magnitude(codes: np.ndarray, bound: int, name: str, operand: str) -> None:
@@ -158,12 +203,49 @@ def workspace_pool() -> WorkspacePool:
     return _workspace
 
 
+class LayerKernelState:
+    """Cached weight-derived kernel state for one quantized-layer tag.
+
+    Holds the quantized weight codes, the clipped-STE mask and the
+    forward plan (``None`` on the exact path, a list for grouped
+    convolutions), plus two lazily populated side tables used by the
+    training path:
+
+    - ``bwd`` — fake-quantized weight layouts for the backward GEMMs
+      (``∂C/∂X`` multiplies by ``wq·step``, which is batch-invariant);
+    - ``exact_ops`` — dtype-converted weight operands for the exact GEMM
+      that gradient estimation runs alongside the approximate one.
+
+    Both survive code-level revalidation: when an optimizer step leaves
+    the integer codes (and steps) unchanged, ``wq·step`` is unchanged
+    too, so the cached arrays remain bitwise-valid.
+    """
+
+    __slots__ = ("wq", "w_mask", "plan", "bwd", "exact_ops")
+
+    def __init__(self, wq: np.ndarray, w_mask: np.ndarray, plan: Any = None):
+        self.wq = wq
+        self.w_mask = w_mask
+        self.plan = plan
+        self.bwd: dict = {}
+        self.exact_ops: dict = {}
+
+    def adopt(self, other: "LayerKernelState") -> "LayerKernelState":
+        """Carry another state's plan and lazy side tables (revalidation)."""
+        self.plan = other.plan
+        self.bwd = other.bwd
+        self.exact_ops = other.exact_ops
+        return self
+
+
 class GemmPlan:
     """Precomputed weight-stationary state for one ``A @ B`` operand ``B``.
 
     Built once per (weights, multiplier) via :func:`build_plan`; executed
-    per batch via :meth:`execute`. Instances are immutable after build and
-    safe to share across threads (scratch space comes from the pool).
+    per batch via :meth:`execute`. Instances are safe to share across
+    threads for execution (scratch space comes from the pool); the single
+    sanctioned mutation is :func:`repair_plan`, which the training loop
+    applies between batches to absorb sparse weight-code drift.
     """
 
     __slots__ = (
@@ -216,11 +298,16 @@ class GemmPlan:
             return np.zeros((m, self.n), dtype=np.int64)
         itemsize = self.dtype.itemsize
         buf = _workspace.take(m * k * v, self.dtype)
+        idx_buf = _workspace.take(m * k, np.dtype(np.int32))
         try:
             gathered = buf[: m * k * v].reshape(m * k, v)
             with prof.timer("approx.lut_gather", nbytes=a.nbytes):
-                a_idx = (a.astype(np.intp) + self.xhi).ravel()
-                np.take(self.lut_rows, a_idx, axis=0, out=gathered)
+                # Shift codes into LUT row indices in a pooled int32 buffer:
+                # xhi < 2^15, so the shifted index always fits, and skipping
+                # the intp conversion avoids a fresh m*k allocation per batch.
+                idx = idx_buf[: m * k].reshape(m, k)
+                np.add(a, self.xhi, out=idx, casting="unsafe")
+                np.take(self.lut_rows, idx.reshape(-1), axis=0, out=gathered)
             prof.count("approx.lut_gathered_values", n=v, nbytes=m * k * v * itemsize)
             with prof.timer(
                 "approx.matmul_blas", nbytes=(m * k * v + k * v * self.n) * itemsize
@@ -228,6 +315,7 @@ class GemmPlan:
                 y = gathered.reshape(m, k * v) @ self.big_h
         finally:
             _workspace.give(buf)
+            _workspace.give(idx_buf)
         return np.rint(y).astype(np.int64)
 
 
@@ -275,6 +363,66 @@ def build_plan(b: np.ndarray, multiplier: Multiplier) -> GemmPlan:
     return plan
 
 
+def repair_plan(
+    plan: GemmPlan,
+    old_b: np.ndarray,
+    new_b: np.ndarray,
+    changed: tuple[np.ndarray, np.ndarray] | None = None,
+) -> bool:
+    """Patch ``plan`` in place for a sparse weight-code change.
+
+    An optimizer step typically flips a handful of 4-bit codes out of
+    hundreds of thousands; rebuilding the whole plan for that is the
+    training-loop regression this module fixes. Each flipped position
+    ``(k, n)`` moves at most one ±1 entry of ``big_h`` between value
+    rows — an O(changed) scatter — provided every new magnitude already
+    has a value slot. Returns False (plan untouched at the affected
+    positions' final state is then irrelevant — caller rebuilds) when a
+    magnitude appears that the plan has no slot for.
+
+    After a successful repair ``big_h`` is exactly the matrix
+    :func:`build_plan` would scatter for ``new_b``, except that value
+    slots no longer used anywhere keep their (now all-zero) rows —
+    zero-mask rows contribute exactly 0.0 to every partial sum, so
+    :meth:`GemmPlan.execute` stays bitwise identical to a fresh build.
+    This is the single sanctioned mutation of a plan; callers must not
+    run it concurrently with :meth:`GemmPlan.execute` on other threads.
+
+    ``changed`` optionally passes the differing positions ``(kk, nn)``
+    in ``b`` coordinates when the caller already diffed the operands,
+    skipping a redundant comparison pass.
+    """
+    if old_b.shape != new_b.shape or (plan.k, plan.n) != old_b.shape:
+        return False
+    kk, nn = np.nonzero(old_b != new_b) if changed is None else changed
+    if kk.size == 0:
+        return True
+    v = plan.num_values
+    if v == 0:
+        return False  # plan built on all-zero weights has no slots at all
+    with prof.timer("approx.plan_repair", nbytes=int(kk.size)):
+        slot = np.full(plan.whi + 1, -1, dtype=np.intp)
+        slot[plan.values] = np.arange(v)
+        new_vals = np.asarray(new_b[kk, nn])
+        new_mag = np.abs(new_vals)
+        live = new_mag > 0
+        if live.any() and (slot[new_mag[live]] < 0).any():
+            return False
+        old_vals = np.asarray(old_b[kk, nn])
+        old_mag = np.abs(old_vals)
+        olive = old_mag > 0
+        # Clear the old ±1 entries first, then scatter the new ones — a
+        # sign flip at an unchanged magnitude lands on the same slot and
+        # must end at the new sign.
+        plan.big_h[kk[olive] * v + slot[old_mag[olive]], nn[olive]] = 0
+        plan.big_h[kk[live] * v + slot[new_mag[live]], nn[live]] = np.sign(
+            new_vals[live]
+        ).astype(plan.dtype)
+    prof.count("approx.plan_repaired", n=1, nbytes=int(kk.size))
+    met.inc("plan_cache.repair")
+    return True
+
+
 class PlanCache:
     """Per-layer memo of weight-stationary GEMM state.
 
@@ -296,8 +444,21 @@ class PlanCache:
         key: Any,
         multiplier: Multiplier | None,
         build: Callable[[], Any],
+        revalidate: Callable[[Any], tuple[Any, bool]] | None = None,
     ) -> Any:
-        """The cached payload for ``(tag, key, multiplier)``, building on miss."""
+        """The cached payload for ``(tag, key, multiplier)``, building on miss.
+
+        ``revalidate`` extends the cache to the training loop: it is
+        consulted when the stored key differs from the requested one
+        *only in its leading component* (the weight version — tuple keys
+        are ``(weight_version, step_version, weight_bits)``). The
+        callback receives the stale payload and returns ``(payload,
+        reused)``; ``reused=True`` means the expensive parts of the old
+        payload were kept (e.g. an optimizer step left the quantized
+        codes unchanged, so the plan is still bitwise-valid), counted as
+        ``approx.plan_cache_revalidate`` instead of a miss. Either way
+        the entry is re-keyed to the current version.
+        """
         if not _caching_enabled:
             prof.count("approx.plan_cache_bypass")
             met.inc("plan_cache.bypass")
@@ -307,6 +468,25 @@ class PlanCache:
             prof.count("approx.plan_cache_hit")
             met.inc("plan_cache.hit")
             return entry[2]
+        if (
+            revalidate is not None
+            and _train_plans_enabled
+            and entry is not None
+            and entry[1] is multiplier
+            and isinstance(key, tuple)
+            and isinstance(entry[0], tuple)
+            and len(key) == len(entry[0])
+            and key[1:] == entry[0][1:]
+        ):
+            payload, reused = revalidate(entry[2])
+            self._entries[tag] = (key, multiplier, payload)
+            if reused:
+                prof.count("approx.plan_cache_revalidate")
+                met.inc("plan_cache.revalidate")
+            else:
+                prof.count("approx.plan_cache_miss")
+                met.inc("plan_cache.miss")
+            return payload
         prof.count("approx.plan_cache_miss")
         met.inc("plan_cache.miss")
         payload = build()
@@ -342,8 +522,10 @@ def cache_stats() -> dict:
     for name in (
         "approx.plan_cache_hit",
         "approx.plan_cache_miss",
+        "approx.plan_cache_revalidate",
         "approx.plan_cache_bypass",
         "approx.plan_built",
+        "approx.plan_repaired",
         "approx.plan_workspace_alloc",
     ):
         stat = report.counter(name)

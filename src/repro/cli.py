@@ -29,7 +29,10 @@ The compute-heavy subcommands (``sweep``/``profile``/``approximate``/
 ``evaluate``) additionally take ``--workers N`` (``docs/PERFORMANCE.md``):
 sweep cells and Monte-Carlo simulations spread over a worker pool and
 large approximate GEMMs run row-chunked on threads, with results
-identical to the serial ones on a fixed seed.
+identical to the serial ones on a fixed seed. They also accept
+``--gemm-backend NAME`` to pick the GEMM execution backend
+(``repro.approx.backend``; also via ``REPRO_GEMM_BACKEND``) — backend
+choice changes speed only, never results.
 
 The training subcommands (``train``/``quantize``/``approximate``/``sweep``)
 additionally support the resilience flags (``docs/RESILIENCE.md``):
@@ -54,6 +57,7 @@ from repro.approx import (
     mean_relative_error,
     network_energy,
 )
+from repro.approx import backend as approx_backend
 from repro.data import make_synthetic_cifar
 from repro.errors import ReproError
 from repro.ge import estimate_error_model
@@ -437,6 +441,18 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: 1 = serial; results are identical at any worker count)",
     )
 
+    gemm_flags = argparse.ArgumentParser(add_help=False)
+    gemm = gemm_flags.add_argument_group("gemm backend")
+    gemm.add_argument(
+        "--gemm-backend",
+        choices=approx_backend.available_backends(),
+        default=None,
+        metavar="NAME",
+        help="GEMM execution backend (default: REPRO_GEMM_BACKEND or plan-lut); "
+        f"one of: {', '.join(approx_backend.available_backends())}. Backend "
+        "choice changes speed only — results are bitwise identical",
+    )
+
     res_flags = argparse.ArgumentParser(add_help=False)
     res = res_flags.add_argument_group("resilience")
     res.add_argument(
@@ -499,7 +515,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_train)
 
     p = sub.add_parser(
-        "quantize", help="8A4W quantization stage", parents=[obs_flags, res_flags]
+        "quantize",
+        help="8A4W quantization stage",
+        parents=[obs_flags, res_flags, gemm_flags],
     )
     _add_data_args(p)
     _add_train_args(p, default_lr=0.02)
@@ -513,7 +531,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "approximate",
         help="approximation stage",
-        parents=[obs_flags, res_flags, par_flags],
+        parents=[obs_flags, res_flags, par_flags, gemm_flags],
     )
     _add_data_args(p)
     _add_train_args(p, default_lr=0.02)
@@ -525,7 +543,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_approximate)
 
     p = sub.add_parser(
-        "evaluate", help="evaluate a checkpoint", parents=[obs_flags, par_flags]
+        "evaluate",
+        help="evaluate a checkpoint",
+        parents=[obs_flags, par_flags, gemm_flags],
     )
     _add_data_args(p)
     p.add_argument("--checkpoint", required=True)
@@ -535,7 +555,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "sweep",
         help="multiplier x method sweep on a quantized checkpoint",
-        parents=[obs_flags, res_flags, par_flags],
+        parents=[obs_flags, res_flags, par_flags, gemm_flags],
     )
     _add_data_args(p)
     _add_train_args(p, default_lr=0.02)
@@ -573,7 +593,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "profile",
         help="fit a multiplier's error model",
-        parents=[obs_flags, par_flags],
+        parents=[obs_flags, par_flags, gemm_flags],
     )
     p.add_argument("--multiplier", required=True)
     p.add_argument("--seed", type=int, default=0)
@@ -635,6 +655,11 @@ def main(argv: list[str] | None = None) -> int:
     # sites (chunked GEMM, error-model fitting inside stages) see it too.
     previous_parallel = set_default_config(
         ParallelConfig(workers=max(1, getattr(args, "workers", 1)))
+    )
+    # Same pattern for the GEMM backend: the flag becomes the process-wide
+    # default so every GEMM call site sees it, restored on exit.
+    previous_gemm = approx_backend.set_default_backend(
+        getattr(args, "gemm_backend", None)
     )
     if args.quiet:
         console.level = obs_events.WARNING
@@ -708,6 +733,7 @@ def main(argv: list[str] | None = None) -> int:
         obs_events.set_event_log(previous_log)
         log.close()
         set_default_config(previous_parallel)
+        approx_backend.set_default_backend(previous_gemm)
     return code
 
 

@@ -13,11 +13,17 @@ degenerates to a constant (``k = 0``) and GE is exactly the plain STE.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.errors import ReproError
+
+try:  # numpy >= 1.25
+    from numpy.exceptions import RankWarning
+except ImportError:  # pragma: no cover - older numpy
+    RankWarning = np.RankWarning
 
 
 @dataclass(frozen=True)
@@ -85,7 +91,11 @@ def fit_error_model(
     if y_std == 0.0:
         k, c = 0.0, float(eps.mean())
     else:
-        k, c = np.polyfit(y, eps, deg=1)
+        with warnings.catch_warnings():
+            # Nearly-constant y makes the Vandermonde matrix ill-conditioned;
+            # the constant-collapse guard below already handles that case.
+            warnings.simplefilter("ignore", RankWarning)
+            k, c = np.polyfit(y, eps, deg=1)
         k, c = float(k), float(c)
 
     lower = float(np.percentile(eps, saturation_percentile))
@@ -95,5 +105,12 @@ def fit_error_model(
 
     explained_swing = abs(k) * (np.percentile(y, 99) - np.percentile(y, 1))
     if eps_std == 0.0 or explained_swing < slope_significance * eps_std:
-        return PiecewiseLinearErrorModel(0.0, float(eps.mean()), lower, upper)
+        # Constant model: f(y) ≡ mean(ε). On skewed error distributions the
+        # mean can fall outside the percentile saturation band, which would
+        # clip the intercept to a value the fit never chose (and trip the
+        # bounds check). Widen the band just enough to contain it.
+        mean = float(eps.mean())
+        return PiecewiseLinearErrorModel(
+            0.0, mean, min(lower, mean), max(upper, mean)
+        )
     return PiecewiseLinearErrorModel(k, c, lower, upper)

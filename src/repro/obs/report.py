@@ -231,9 +231,11 @@ def render_summary(summary: RunSummary) -> str:
         lines.append("plan cache:")
         lines.append(
             f"  hits {hits}  misses {misses}  "
+            f"revalidates {cache.get('cache_revalidate', 0)}  "
             f"bypasses {cache.get('cache_bypass', 0)}  "
             f"plans built {cache.get('built', 0)} "
             f"({cache.get('built_bytes', 0)} bytes)  "
+            f"repaired {cache.get('repaired', 0)}  "
             f"workspace allocs {cache.get('workspace_alloc', 0)} "
             f"({cache.get('workspace_alloc_bytes', 0)} bytes){rate}"
         )

@@ -14,15 +14,34 @@ The backward pass implements:
   is attached, the upstream gradient is scaled elementwise by ``(1 + K)``,
   where ``K`` is the derivative of the fitted error function evaluated at
   the *exact* GEMM outputs (Eq. 13).
+
+Weight-derived state is memoized in a
+:class:`~repro.approx.plan.LayerKernelState` held by the layer's
+:class:`~repro.approx.plan.PlanCache`: the forward GEMM plan, the
+fake-quantized weight layouts the backward pass needs, and the converted
+exact-GEMM operands gradient estimation needs. A revalidation hook keeps
+all of it alive across optimizer steps whenever the *integer codes* did
+not change (small-learning-rate SGD barely moves 4-bit codes), which is
+what makes repeated-batch retraining as cheap as repeated evaluation.
+Every cached path is bitwise identical to the uncached reference
+(``tests/quant/test_train_plans.py``).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.approx.gemm import approx_matmul, exact_int_matmul
+from repro.approx.backend import float_matmul
+from repro.approx.gemm import approx_matmul, exact_int_matmul, exact_int_matmul_cached
 from repro.approx.multiplier import Multiplier
-from repro.approx.plan import GemmPlan, build_plan, plan_caching_enabled
+from repro.approx.plan import (
+    GemmPlan,
+    LayerKernelState,
+    build_plan,
+    plan_caching_enabled,
+    repair_plan,
+    train_plans_enabled,
+)
 from repro.autograd.function import Function
 from repro.autograd.im2col import col2im, conv_out_size, im2col, sliding_windows
 from repro.errors import QuantizationError, ShapeError
@@ -61,19 +80,28 @@ def _int_gemm(
     multiplier: Multiplier | None,
     need_exact: bool,
     plan: GemmPlan | None = None,
+    exact_cache: dict | None = None,
 ) -> tuple[np.ndarray, np.ndarray | None]:
     """Integer GEMM, approximate when a non-exact multiplier is given.
 
     Returns ``(y_int, y_exact)`` where ``y_exact`` is only materialised when
     ``need_exact`` (for GE region tests) and differs from ``y_int``. ``plan``
-    is an optional weight-stationary plan built from this exact ``b``; the
-    result is bitwise identical with or without it.
+    is an optional weight-stationary plan built from this exact ``b``;
+    ``exact_cache`` optionally memoizes the exact path's conversions of
+    ``b`` across batches (:func:`repro.approx.gemm.exact_int_matmul_cached`).
+    The result is bitwise identical with or without either.
     """
+
+    def _exact(lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+        if exact_cache is not None:
+            return exact_int_matmul_cached(lhs, rhs, exact_cache)
+        return exact_int_matmul(lhs, rhs)
+
     if multiplier is None or multiplier.is_exact:
-        y = exact_int_matmul(a, b)
+        y = _exact(a, b)
         return y, (y if need_exact else None)
     y = approx_matmul(a, b, multiplier, plan=plan)
-    y_exact = exact_int_matmul(a, b) if need_exact else None
+    y_exact = _exact(a, b) if need_exact else None
     return y, y_exact
 
 
@@ -88,6 +116,20 @@ def _maybe_plan(b: np.ndarray, multiplier: Multiplier | None) -> GemmPlan | None
     if multiplier is None or multiplier.is_exact or not plan_caching_enabled():
         return None
     return build_plan(b, multiplier)
+
+
+def _bwd_cached(bwd: dict | None, key: str, make):
+    """Memoize a backward operand in the layer state's side table.
+
+    With ``bwd`` None (no plan cache attached, or training-path plans
+    disabled) the operand is recomputed fresh — the reference behaviour.
+    """
+    if bwd is None:
+        return make()
+    value = bwd.get(key)
+    if value is None:
+        value = bwd[key] = make()
+    return value
 
 
 def _gradient_scale(
@@ -125,19 +167,56 @@ class QuantLinearFunction(Function):
         self.w_step_col = _weight_step_per_channel(w_step, weight.shape[0])
         xq, self.x_mask = _quantize_codes(x, act_step, act_bits)
 
-        def _weight_state():
-            wq, w_mask = _quantize_codes(weight, self.w_step_col[:, None], w_bits)
-            return wq, w_mask, _maybe_plan(np.ascontiguousarray(wq.T), multiplier)
+        def _quantize_weight():
+            return _quantize_codes(weight, self.w_step_col[:, None], w_bits)
+
+        def _state_from(wq, w_mask):
+            return LayerKernelState(
+                wq, w_mask, _maybe_plan(np.ascontiguousarray(wq.T), multiplier)
+            )
+
+        def _build():
+            return _state_from(*_quantize_weight())
+
+        def _revalidate(old):
+            # An optimizer step bumped the weight version; if the 4-bit
+            # codes are unchanged (steps are, by key construction), the
+            # plan, backward layouts and exact-operand conversions all
+            # still describe the current weights exactly. Sparse code
+            # drift keeps the plan via an in-place repair; the code-value
+            # dependent side tables are dropped and lazily refilled.
+            wq, w_mask = _quantize_weight()
+            neq = wq != old.wq
+            if not neq.any():
+                return LayerKernelState(old.wq, w_mask).adopt(old), True
+            if old.plan is not None:
+                # wq is (N, K); the plan operand is wq.T, so swap the diff axes.
+                nz_r, nz_c = np.nonzero(neq)
+                if repair_plan(old.plan, old.wq.T, wq.T, changed=(nz_c, nz_r)):
+                    return LayerKernelState(wq, w_mask, old.plan), True
+            return _state_from(wq, w_mask), False
 
         if plan_cache is not None:
-            wq, self.w_mask, plan = plan_cache.get(
-                "linear", plan_key, multiplier, _weight_state
+            state = plan_cache.get(
+                "linear", plan_key, multiplier, _build, revalidate=_revalidate
             )
+            use_train = train_plans_enabled()
         else:
-            wq, self.w_mask = _quantize_codes(weight, self.w_step_col[:, None], w_bits)
-            plan = None
+            wq, w_mask = _quantize_weight()
+            state = LayerKernelState(wq, w_mask, None)
+            use_train = False
+        wq = state.wq
+        self.w_mask = state.w_mask
+        self._bwd = state.bwd if use_train else None
         need_exact = error_model is not None and not error_model.is_constant
-        y_int, y_exact = _int_gemm(xq, wq.T, multiplier, need_exact, plan=plan)
+        y_int, y_exact = _int_gemm(
+            xq,
+            wq.T,
+            multiplier,
+            need_exact,
+            plan=state.plan,
+            exact_cache=state.exact_ops if use_train else None,
+        )
         self.xq, self.wq = xq, wq
         self.scale = _gradient_scale(error_model, y_exact)
         self.has_bias = bias is not None
@@ -149,9 +228,13 @@ class QuantLinearFunction(Function):
     def backward(self, grad_out):
         g = grad_out * self.scale
         x_fq = self.xq.astype(np.float32) * np.float32(self.act_step)
-        w_fq = self.wq.astype(np.float32) * self.w_step_col[:, None]
-        grad_x = (g @ w_fq) * self.x_mask
-        grad_w = (g.T @ x_fq) * self.w_mask
+        w_fq = _bwd_cached(
+            self._bwd,
+            "w_fq",
+            lambda: self.wq.astype(np.float32) * self.w_step_col[:, None],
+        )
+        grad_x = float_matmul(g, w_fq) * self.x_mask
+        grad_w = float_matmul(g.T, x_fq) * self.w_mask
         grad_b = grad_out.sum(axis=0) if self.has_bias else None
         return (grad_x, grad_w, grad_b, None, None, None, None, None, None)
 
@@ -202,41 +285,82 @@ class QuantConv2dFunction(Function):
         xq, self.x_mask = _quantize_codes(x, act_step, act_bits)
         self.w_step_col = _weight_step_per_channel(w_step, oc)
         self.depthwise = groups == c and cg == 1 and oc == c
+        grouped = groups != 1 and not self.depthwise
 
         def _quantize_weight():
             return _quantize_codes(weight, self.w_step_col[:, None, None, None], w_bits)
 
-        def _weight_state():
-            wq, w_mask = _quantize_weight()
+        def _state_from(wq, w_mask):
             if self.depthwise:
                 # Depthwise runs a LUT window sum, not a GEMM; cache only
-                # the weight quantization.
-                return wq, w_mask, None
-            return wq, w_mask, _maybe_plan(
-                np.ascontiguousarray(wq.reshape(oc, -1).T), multiplier
+                # the weight quantization (and backward layouts).
+                return LayerKernelState(wq, w_mask, None)
+            if grouped:
+                ocg = oc // groups
+                plans = [
+                    _maybe_plan(
+                        np.ascontiguousarray(
+                            wq[g * ocg : (g + 1) * ocg].reshape(ocg, -1).T
+                        ),
+                        multiplier,
+                    )
+                    for g in range(groups)
+                ]
+                return LayerKernelState(wq, w_mask, plans)
+            return LayerKernelState(
+                wq,
+                w_mask,
+                _maybe_plan(np.ascontiguousarray(wq.reshape(oc, -1).T), multiplier),
             )
 
-        def _group_state():
-            wq, w_mask = _quantize_weight()
-            ocg = oc // groups
-            plans = [
-                _maybe_plan(
-                    np.ascontiguousarray(wq[g * ocg : (g + 1) * ocg].reshape(ocg, -1).T),
-                    multiplier,
-                )
-                for g in range(groups)
-            ]
-            return wq, w_mask, plans
+        def _build():
+            return _state_from(*_quantize_weight())
 
-        grouped = groups != 1 and not self.depthwise
+        def _revalidate(old):
+            wq, w_mask = _quantize_weight()
+            neq = wq != old.wq
+            if not neq.any():
+                return LayerKernelState(old.wq, w_mask).adopt(old), True
+            if not self.depthwise and old.plan is not None:
+                if grouped:
+                    ocg = oc // groups
+                    repaired = all(
+                        old.plan[g] is not None
+                        and repair_plan(
+                            old.plan[g],
+                            old.wq[g * ocg : (g + 1) * ocg].reshape(ocg, -1).T,
+                            wq[g * ocg : (g + 1) * ocg].reshape(ocg, -1).T,
+                        )
+                        for g in range(groups)
+                    )
+                else:
+                    # wq flattens to (OC, CKK); the plan operand is its
+                    # transpose, so swap the diff axes.
+                    nz_r, nz_c = np.nonzero(neq.reshape(oc, -1))
+                    repaired = repair_plan(
+                        old.plan,
+                        old.wq.reshape(oc, -1).T,
+                        wq.reshape(oc, -1).T,
+                        changed=(nz_c, nz_r),
+                    )
+                if repaired:
+                    return LayerKernelState(wq, w_mask, old.plan), True
+            return _state_from(wq, w_mask), False
+
         if plan_cache is not None:
             tag = "groups" if grouped else ("depthwise" if self.depthwise else "conv")
-            wq, self.w_mask, plan_state = plan_cache.get(
-                tag, plan_key, multiplier, _group_state if grouped else _weight_state
+            state = plan_cache.get(
+                tag, plan_key, multiplier, _build, revalidate=_revalidate
             )
+            use_train = train_plans_enabled()
         else:
-            wq, self.w_mask = _quantize_weight()
-            plan_state = [None] * groups if grouped else None
+            wq, w_mask = _quantize_weight()
+            state = LayerKernelState(wq, w_mask, [None] * groups if grouped else None)
+            use_train = False
+        wq = state.wq
+        self.w_mask = state.w_mask
+        self._bwd = state.bwd if use_train else None
+        plan_state = state.plan
         self.wq = wq
         need_exact = error_model is not None and not error_model.is_constant
         rescale_col = np.float32(self.act_step) * self.w_step_col  # (OC,)
@@ -245,7 +369,12 @@ class QuantConv2dFunction(Function):
             cols, _ = im2col(xq, (kh, kw), stride, padding)
             self.cols = cols
             y_int, y_exact = _int_gemm(
-                cols, wq.reshape(oc, -1).T, multiplier, need_exact, plan=plan_state
+                cols,
+                wq.reshape(oc, -1).T,
+                multiplier,
+                need_exact,
+                plan=plan_state,
+                exact_cache=state.exact_ops if use_train else None,
             )
             self.scale = _gradient_scale(error_model, y_exact)
             out = y_int.astype(np.float32) * rescale_col[None, :]
@@ -316,14 +445,23 @@ class QuantConv2dFunction(Function):
             g2 = grad_out.transpose(0, 2, 3, 1).reshape(n * oh * ow, oc)
             g2 = g2 * self.scale
             x_fq = self.cols.astype(np.float32) * sx
-            w_fq = self.wq.reshape(oc, -1).astype(np.float32) * sw_col[:, None]
-            grad_w = (g2.T @ x_fq).reshape(self.wq.shape)
-            grad_cols = g2 @ w_fq
+            w_fq = _bwd_cached(
+                self._bwd,
+                "w_fq2",
+                lambda: self.wq.reshape(oc, -1).astype(np.float32) * sw_col[:, None],
+            )
+            grad_w = float_matmul(g2.T, x_fq).reshape(self.wq.shape)
+            grad_cols = float_matmul(g2, w_fq)
             grad_x = col2im(grad_cols, self.x_shape, (kh, kw), stride, padding)
         elif self.depthwise:
             g4 = grad_out * self.scale  # (N, C, OH, OW)
             win_fq = self.windows.astype(np.float32) * sx
-            w_fq = self.wq.reshape(c, kh, kw).astype(np.float32) * sw_col[:, None, None]
+            w_fq = _bwd_cached(
+                self._bwd,
+                "w_fq3",
+                lambda: self.wq.reshape(c, kh, kw).astype(np.float32)
+                * sw_col[:, None, None],
+            )
             grad_w = np.einsum("nchw,nchwij->cij", g4, win_fq, optimize=True)
             grad_w = grad_w.reshape(self.wq.shape)
             grad_windows = np.einsum("nchw,cij->nchwij", g4, w_fq, optimize=True)
@@ -332,6 +470,15 @@ class QuantConv2dFunction(Function):
         else:
             ocg = oc // groups
             cg = c // groups
+            w_fq_groups = _bwd_cached(
+                self._bwd,
+                "w_fq_groups",
+                lambda: [
+                    self.wq[g * ocg : (g + 1) * ocg].reshape(ocg, -1).astype(np.float32)
+                    * sw_col[g * ocg : (g + 1) * ocg, None]
+                    for g in range(groups)
+                ],
+            )
             grad_w = np.empty(self.wq.shape, dtype=np.float32)
             grad_x_parts = []
             for g in range(groups):
@@ -339,12 +486,10 @@ class QuantConv2dFunction(Function):
                 g2 = gg.transpose(0, 2, 3, 1).reshape(n * oh * ow, ocg)
                 g2 = g2 * self.group_scales[g]
                 x_fq = self.group_cols[g].astype(np.float32) * sx
-                w_fq = (
-                    self.wq[g * ocg : (g + 1) * ocg].reshape(ocg, -1).astype(np.float32)
-                    * sw_col[g * ocg : (g + 1) * ocg, None]
+                grad_w[g * ocg : (g + 1) * ocg] = float_matmul(g2.T, x_fq).reshape(
+                    ocg, cg, kh, kw
                 )
-                grad_w[g * ocg : (g + 1) * ocg] = (g2.T @ x_fq).reshape(ocg, cg, kh, kw)
-                grad_cols = g2 @ w_fq
+                grad_cols = float_matmul(g2, w_fq_groups[g])
                 grad_x_parts.append(col2im(grad_cols, (n, cg, h, w), (kh, kw), stride, padding))
             grad_x = np.concatenate(grad_x_parts, axis=1)
 

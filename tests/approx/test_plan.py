@@ -21,6 +21,7 @@ from repro.approx.plan import (
     cache_stats,
     plan_cache_disabled,
     plan_caching_enabled,
+    repair_plan,
     workspace_pool,
 )
 from repro.errors import MultiplierError, ShapeError
@@ -259,3 +260,91 @@ class TestPlanCache:
         expected = plan.execute(a)
         np.testing.assert_array_equal(plan.execute(a), expected)
         assert isinstance(plan, GemmPlan)
+
+
+class TestRepairPlan:
+    """In-place plan repair after sparse weight-code drift.
+
+    A successful repair must leave the plan bitwise-equivalent to a fresh
+    build for the new operand; anything the repair cannot express returns
+    False and leaves the caller to rebuild.
+    """
+
+    def _check_repaired(self, rng, mult, plan, old_b, new_b):
+        assert repair_plan(plan, old_b, new_b)
+        xhi = 2 ** (mult.x_bits - 1) - 1
+        a = rng.integers(-xhi, xhi + 1, size=(9, old_b.shape[0]), dtype=np.int32)
+        np.testing.assert_array_equal(plan.execute(a), approx_matmul(a, new_b, mult))
+        np.testing.assert_array_equal(
+            plan.execute(a), build_plan(new_b, mult).execute(a)
+        )
+
+    def test_sign_flip_same_magnitude(self, rng):
+        mult = get_multiplier("truncated3")
+        _, b = _random_operands(rng, mult, k=8, n=5)
+        plan = build_plan(b, mult)
+        new_b = b.copy()
+        nz = np.argwhere(new_b != 0)[0]
+        new_b[tuple(nz)] = -new_b[tuple(nz)]
+        self._check_repaired(rng, mult, plan, b, new_b)
+
+    def test_magnitude_change_to_known_value(self, rng):
+        mult = get_multiplier("truncated4")
+        b = np.array([[1, -2], [3, 4], [-5, 6]], dtype=np.int32)
+        plan = build_plan(b, mult)
+        new_b = b.copy()
+        new_b[0, 0] = 4  # 4 is already an active value
+        self._check_repaired(rng, mult, plan, b, new_b)
+
+    def test_entry_vanishing_to_zero(self, rng):
+        mult = get_multiplier("truncated4")
+        b = np.array([[1, -2], [3, 4], [-5, 6]], dtype=np.int32)
+        plan = build_plan(b, mult)
+        new_b = b.copy()
+        new_b[1, 1] = 0  # the slot row goes all-zero, contributing 0.0
+        self._check_repaired(rng, mult, plan, b, new_b)
+
+    def test_unchanged_operand_is_trivially_repaired(self, rng):
+        mult = get_multiplier("truncated3")
+        _, b = _random_operands(rng, mult, k=6, n=4)
+        plan = build_plan(b, mult)
+        h_before = plan.big_h.copy()
+        assert repair_plan(plan, b, b.copy())
+        np.testing.assert_array_equal(plan.big_h, h_before)
+
+    def test_new_magnitude_declines(self):
+        mult = get_multiplier("truncated4")
+        b = np.array([[1, 2], [2, 1]], dtype=np.int32)
+        plan = build_plan(b, mult)
+        new_b = b.copy()
+        new_b[0, 0] = 7  # magnitude 7 has no slot in this plan
+        assert not repair_plan(plan, b, new_b)
+
+    def test_shape_mismatch_declines(self, rng):
+        mult = get_multiplier("truncated3")
+        _, b = _random_operands(rng, mult, k=6, n=4)
+        plan = build_plan(b, mult)
+        assert not repair_plan(plan, b[:4], b[:4].copy())
+
+    def test_all_zero_plan_declines(self):
+        mult = get_multiplier("truncated4")
+        b = np.zeros((3, 2), dtype=np.int32)
+        plan = build_plan(b, mult)
+        new_b = b.copy()
+        new_b[0, 0] = 1
+        assert not repair_plan(plan, b, new_b)
+
+    def test_precomputed_changed_indices_match_full_diff(self, rng):
+        mult = get_multiplier("truncated4")
+        _, b = _random_operands(rng, mult, k=10, n=6)
+        while not (b != 0).any():  # pragma: no cover - astronomically unlikely
+            _, b = _random_operands(rng, mult, k=10, n=6)
+        new_b = b.copy()
+        nz = np.argwhere(new_b != 0)[:3]
+        for idx in nz:
+            new_b[tuple(idx)] = -new_b[tuple(idx)]
+        plan_full = build_plan(b, mult)
+        plan_pre = build_plan(b, mult)
+        assert repair_plan(plan_full, b, new_b)
+        assert repair_plan(plan_pre, b, new_b, changed=np.nonzero(b != new_b))
+        np.testing.assert_array_equal(plan_full.big_h, plan_pre.big_h)

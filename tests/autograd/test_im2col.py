@@ -100,3 +100,81 @@ class TestSlidingWindows:
         cols_from_win = win.transpose(0, 2, 3, 1, 4, 5).reshape(n * oh * ow, c * kh * kw)
         cols, _ = im2col(x, (2, 2), stride=2, padding=1)
         np.testing.assert_allclose(cols_from_win, cols)
+
+
+class TestSlidingWindowsValidation:
+    def test_rejects_non_nchw(self):
+        with pytest.raises(ShapeError):
+            sliding_windows(np.zeros((2, 5, 5)), (3, 3))
+        with pytest.raises(ShapeError):
+            sliding_windows(np.zeros((5, 5)), (3, 3))
+
+
+class TestColPlans:
+    """Shape-stationary im2col/col2im plans must be bitwise-invisible."""
+
+    def _cases(self, rng):
+        return [
+            (rng.normal(size=(2, 3, 8, 8)).astype(np.float32), (3, 3), 1, 1),
+            (rng.normal(size=(1, 2, 9, 7)).astype(np.float32), (3, 3), 2, 1),
+            (rng.normal(size=(2, 4, 6, 6)).astype(np.float32), (2, 2), 2, 0),
+            (rng.integers(-7, 8, size=(3, 2, 5, 5)).astype(np.int32), (3, 3), 1, 2),
+        ]
+
+    def test_im2col_identical_with_and_without_plans(self, rng):
+        from repro.approx.plan import train_plans_disabled
+        from repro.autograd.im2col import clear_col_plans
+
+        for x, kernel, stride, padding in self._cases(rng):
+            clear_col_plans()
+            with train_plans_disabled():
+                ref, ref_shape = im2col(x, kernel, stride, padding)
+            for _ in range(3):  # repeat so pooled buffers get reused
+                cols, out_shape = im2col(x, kernel, stride, padding)
+                assert out_shape == ref_shape
+                np.testing.assert_array_equal(cols, ref)
+
+    def test_col2im_identical_with_and_without_plans(self, rng):
+        from repro.approx.plan import train_plans_disabled
+        from repro.autograd.im2col import clear_col_plans
+
+        for x, kernel, stride, padding in self._cases(rng):
+            cols, _ = im2col(x, kernel, stride, padding)
+            c = rng.normal(size=cols.shape).astype(np.float64)
+            clear_col_plans()
+            with train_plans_disabled():
+                ref = col2im(c, x.shape, kernel, stride, padding)
+            for _ in range(3):
+                np.testing.assert_array_equal(
+                    col2im(c, x.shape, kernel, stride, padding), ref
+                )
+
+    def test_interleaved_forward_backward_pool_reuse(self, rng):
+        # im2col needs border-clean padding buffers; col2im dirties its
+        # accumulation scratch. Interleaving the two must never leak a
+        # dirty buffer into the border-clean pool.
+        from repro.autograd.im2col import clear_col_plans
+
+        x = rng.normal(size=(2, 3, 8, 8)).astype(np.float32)
+        clear_col_plans()
+        ref_cols, _ = im2col(x, (3, 3), 1, 1)
+        c = rng.normal(size=ref_cols.shape)
+        ref_dx = col2im(c, x.shape, (3, 3), 1, 1)
+        for _ in range(4):
+            cols, _ = im2col(x, (3, 3), 1, 1)
+            np.testing.assert_array_equal(cols, ref_cols)
+            np.testing.assert_array_equal(col2im(c, x.shape, (3, 3), 1, 1), ref_dx)
+
+    def test_plans_are_counted_and_clearable(self, rng):
+        from repro.autograd.im2col import _col_plans, clear_col_plans
+        from repro.obs import profiling as prof
+
+        x = rng.normal(size=(1, 2, 6, 6)).astype(np.float32)
+        clear_col_plans()
+        with prof.profiled() as report:
+            im2col(x, (3, 3), 1, 1)
+            im2col(x, (3, 3), 1, 1)
+        assert report.counter("autograd.col_plan_built").calls == 1
+        assert len(_col_plans) == 1
+        clear_col_plans()
+        assert len(_col_plans) == 0

@@ -92,3 +92,29 @@ class TestFitting:
         assert (vals <= m.upper + 1e-9).all()
         scales = m.gradient_scale(np.linspace(-1000, 1000, 101))
         assert np.isfinite(scales).all()
+
+
+class TestSkewedConstantCollapse:
+    def test_mean_outside_percentile_band_is_preserved(self, rng):
+        # 999 samples at -1 plus one huge outlier: the mean (~999) lies
+        # far outside the [p1, p99] band of the errors. The constant
+        # model must still return exactly the mean, not a clipped value.
+        y = rng.uniform(-1.0, 1.0, 1000)
+        eps = np.full(1000, -1.0)
+        eps[0] = 1e6
+        m = fit_error_model(y, eps)
+        assert m.is_constant
+        mean = float(eps.mean())
+        assert m.c == pytest.approx(mean)
+        np.testing.assert_allclose(m(np.array([-50.0, 0.0, 50.0])), mean)
+
+    def test_fit_emits_no_rank_warning(self):
+        # Nearly-constant y makes polyfit's Vandermonde matrix rank
+        # deficient; the fit must swallow the RankWarning.
+        import warnings
+
+        y = 1.0 + 1e-12 * np.arange(64)
+        eps = np.linspace(-1.0, 1.0, 64)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            fit_error_model(y, eps)

@@ -1,0 +1,223 @@
+"""Training-path plan caching: N-step bitwise equivalence and revalidation.
+
+The training loop reuses weight-derived kernel state across optimizer
+steps — plan revalidation/repair, cached backward weight layouts,
+memoized exact-GEMM operands and shape-keyed im2col plans. All of it is
+an *optimization only*: training with the full cached path, with only
+the forward plan cache (the pre-training-plans behaviour) and with
+caching disabled entirely must produce bitwise-identical weights and
+logits at every step.
+"""
+
+from contextlib import nullcontext
+
+import numpy as np
+
+from repro.approx import (
+    get_multiplier,
+    plan_cache_disabled,
+    train_plans_disabled,
+    train_plans_enabled,
+)
+from repro.autograd import Tensor
+from repro.autograd.im2col import clear_col_plans
+from repro.ge import PiecewiseLinearErrorModel
+from repro.obs import profiling as prof
+from repro.quant import QuantConv2d, QuantLinear
+from repro.train import SGD
+
+MULT = get_multiplier("truncated3")
+# Non-constant slope so gradient estimation runs its exact GEMM too.
+GE_MODEL = PiecewiseLinearErrorModel(0.05, 0.0, -4.0, 4.0)
+
+
+def _build_mlp(error_model=GE_MODEL):
+    rng = np.random.default_rng(7)
+    layers = []
+    for din, dout in ((12, 24), (24, 5)):
+        layer = QuantLinear(din, dout, rng=rng)
+        layer.act_step, layer.weight_step = 1 / 16, 1 / 8
+        layer.weight.data = np.clip(layer.weight.data, -0.8, 0.8)
+        layer.set_multiplier(MULT, error_model)
+        layers.append(layer)
+    return layers
+
+
+def _build_conv():
+    rng = np.random.default_rng(8)
+    layers = [
+        QuantConv2d(3, 6, 3, padding=1, rng=rng),
+        QuantConv2d(6, 6, 3, stride=2, padding=1, rng=rng),
+    ]
+    for layer in layers:
+        layer.act_step, layer.weight_step = 1 / 16, 1 / 8
+        layer.weight.data = np.clip(layer.weight.data, -0.8, 0.8)
+        layer.set_multiplier(MULT)
+    return layers
+
+
+def _train(build, xs, gs, lr=0.05, mutate=None):
+    """Train fresh layers on fixed batches; returns per-step weight/logit history."""
+    clear_col_plans()
+    layers = build()
+    opt = SGD([p for layer in layers for p in layer.parameters()], lr=lr)
+    history = []
+    for step, (xb, gb) in enumerate(zip(xs, gs)):
+        if mutate is not None:
+            mutate(step, layers)
+        opt.zero_grad()
+        h = Tensor(xb)
+        for layer in layers:
+            h = layer(h)
+        h.backward(gb)
+        opt.step()
+        history.append(
+            ([layer.weight.data.copy() for layer in layers], h.data.copy())
+        )
+    return history
+
+
+def _assert_histories_identical(reference, other, label):
+    assert len(reference) == len(other)
+    for step, ((ws_ref, y_ref), (ws, y)) in enumerate(zip(reference, other)):
+        for w_ref, w in zip(ws_ref, ws):
+            np.testing.assert_array_equal(
+                w_ref, w, err_msg=f"{label}: weights diverged at step {step}"
+            )
+        np.testing.assert_array_equal(
+            y_ref, y, err_msg=f"{label}: logits diverged at step {step}"
+        )
+
+
+def _batches(rng, steps, x_shape, g_shape, g_scale=1e-2):
+    xs = [rng.normal(size=x_shape).astype(np.float32) for _ in range(steps)]
+    gs = [(rng.normal(size=g_shape) * g_scale).astype(np.float32) for _ in range(steps)]
+    return xs, gs
+
+
+CONTEXTS = {
+    "uncached": plan_cache_disabled,
+    "prior": train_plans_disabled,
+    "cached": nullcontext,
+}
+
+
+class TestTrainingBitwiseEquivalence:
+    def test_linear_training_identical_across_cache_modes(self, rng):
+        xs, gs = _batches(rng, 5, (6, 12), (6, 5))
+        runs = {}
+        for mode, ctx in CONTEXTS.items():
+            with ctx():
+                runs[mode] = _train(_build_mlp, xs, gs)
+        _assert_histories_identical(runs["uncached"], runs["prior"], "prior")
+        _assert_histories_identical(runs["uncached"], runs["cached"], "cached")
+
+    def test_conv_training_identical_across_cache_modes(self, rng):
+        xs, gs = _batches(rng, 4, (3, 3, 8, 8), (3, 6, 4, 4))
+        runs = {}
+        for mode, ctx in CONTEXTS.items():
+            with ctx():
+                runs[mode] = _train(_build_conv, xs, gs)
+        _assert_histories_identical(runs["uncached"], runs["prior"], "prior")
+        _assert_histories_identical(runs["uncached"], runs["cached"], "cached")
+
+    def test_refresh_weight_step_mid_run_stays_identical(self, rng):
+        xs, gs = _batches(rng, 4, (6, 12), (6, 5))
+
+        def mutate(step, layers):
+            if step == 2:
+                for layer in layers:
+                    layer.refresh_weight_step()
+
+        with plan_cache_disabled():
+            reference = _train(_build_mlp, xs, gs, mutate=mutate)
+        cached = _train(_build_mlp, xs, gs, mutate=mutate)
+        _assert_histories_identical(reference, cached, "refresh_weight_step")
+
+    def test_load_state_dict_mid_run_stays_identical(self, rng):
+        xs, gs = _batches(rng, 4, (6, 12), (6, 5))
+        donor_states = [layer.state_dict() for layer in _build_mlp()]
+
+        def mutate(step, layers):
+            if step == 2:
+                for layer, state in zip(layers, donor_states):
+                    layer.load_state_dict(state)
+
+        def build():
+            rng2 = np.random.default_rng(99)
+            layers = []
+            for din, dout in ((12, 24), (24, 5)):
+                layer = QuantLinear(din, dout, rng=rng2)
+                layer.act_step, layer.weight_step = 1 / 16, 1 / 8
+                layer.set_multiplier(MULT, GE_MODEL)
+                layers.append(layer)
+            return layers
+
+        with plan_cache_disabled():
+            reference = _train(build, xs, gs, mutate=mutate)
+        cached = _train(build, xs, gs, mutate=mutate)
+        _assert_histories_identical(reference, cached, "load_state_dict")
+
+    def test_large_lr_code_churn_stays_identical(self, rng):
+        # lr large enough that many 4-bit codes flip every step, forcing
+        # the repair / full-rebuild paths rather than pure revalidation.
+        xs, gs = _batches(rng, 4, (6, 12), (6, 5), g_scale=1.0)
+        with plan_cache_disabled():
+            reference = _train(_build_mlp, xs, gs, lr=0.5)
+        cached = _train(_build_mlp, xs, gs, lr=0.5)
+        _assert_histories_identical(reference, cached, "large-lr")
+
+
+class TestRevalidation:
+    def test_unchanged_codes_revalidate_without_rebuilding(self, rng):
+        # A vanishingly small learning rate bumps every Parameter version
+        # without moving any weight across a 4-bit rounding boundary: the
+        # codes are unchanged, so after the first build the plan must be
+        # revalidated, never rebuilt.
+        xs, gs = _batches(rng, 4, (6, 12), (6, 5))
+        with prof.profiled() as report:
+            _train(_build_mlp, xs, gs, lr=1e-12)
+        assert report.counter("approx.plan_built").calls == 2  # one per layer
+        assert report.counter("approx.plan_cache_revalidate").calls == 6
+        assert report.counter("approx.plan_repaired") is None
+
+    def test_sparse_code_drift_repairs_in_place(self, rng):
+        # Flip exactly one weight to a magnitude the plan already knows:
+        # the plan must be repaired in place, not rebuilt.
+        layers = _build_mlp(error_model=None)
+        layer = layers[0]
+        x = rng.normal(size=(6, 12)).astype(np.float32)
+        with prof.profiled() as report:
+            layer(Tensor(x))
+            new_w = layer.weight.data.copy()
+            # sign-flip the largest weight: its 4-bit code is certainly
+            # nonzero, and the flipped magnitude is one the plan knows
+            idx = np.unravel_index(np.argmax(np.abs(new_w)), new_w.shape)
+            new_w[idx] = -new_w[idx]
+            layer.weight.data = new_w  # rebind bumps the version
+            repaired_out = layer(Tensor(x)).data
+        assert report.counter("approx.plan_built").calls == 1
+        assert report.counter("approx.plan_repaired").calls == 1
+        layer._plan_cache.clear()
+        with plan_cache_disabled():
+            np.testing.assert_array_equal(repaired_out, layer(Tensor(x)).data)
+
+    def test_train_plans_disabled_restores_prior_miss_behaviour(self, rng):
+        xs, gs = _batches(rng, 3, (6, 12), (6, 5))
+        with train_plans_disabled():
+            assert not train_plans_enabled()
+            with prof.profiled() as report:
+                _train(_build_mlp, xs, gs, lr=1e-12)
+        # every step is a fresh miss: no revalidation at all
+        assert report.counter("approx.plan_cache_revalidate") is None
+        assert report.counter("approx.plan_built").calls == 6
+
+    def test_col_plans_only_built_when_train_plans_enabled(self, rng):
+        xs, gs = _batches(rng, 2, (2, 3, 8, 8), (2, 6, 4, 4))
+        clear_col_plans()
+        with train_plans_disabled(), prof.profiled() as report:
+            _train(_build_conv, xs, gs)
+        assert report.counter("autograd.col_plan_built") is None
+        with prof.profiled() as report:
+            _train(_build_conv, xs, gs)
+        assert report.counter("autograd.col_plan_built").calls >= 1

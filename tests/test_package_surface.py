@@ -1,0 +1,60 @@
+"""Guard against ghost namespace packages.
+
+A directory containing only ``__pycache__`` (e.g. left behind by a
+deleted module tree) still imports as a *namespace package* under
+``repro.*`` — it has no source, no ``__init__``, and silently shadows
+the error a user should get. These tests pin the package surface to real
+source modules.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+from pathlib import Path
+
+import repro
+
+SRC_ROOT = Path(repro.__file__).parent
+TESTS_ROOT = Path(__file__).parent
+
+
+def _source_dirs(root: Path):
+    for path in sorted(root.rglob("*")):
+        if path.is_dir() and path.name != "__pycache__":
+            yield path
+
+
+def test_every_repro_directory_is_a_real_package():
+    for directory in _source_dirs(SRC_ROOT):
+        entries = [p for p in directory.iterdir() if p.name != "__pycache__"]
+        assert entries, (
+            f"{directory} contains only __pycache__ — a ghost namespace "
+            "package; delete the directory"
+        )
+        assert (directory / "__init__.py").exists(), (
+            f"{directory} lacks __init__.py — it would import as an "
+            "implicit namespace package"
+        )
+        assert any(p.suffix == ".py" for p in entries), (
+            f"{directory} has no Python source modules"
+        )
+
+
+def test_every_importable_subpackage_has_real_source():
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        module = importlib.import_module(info.name)
+        origin = getattr(module, "__file__", None)
+        assert origin is not None and origin.endswith(".py"), (
+            f"{info.name} resolves to {origin!r} — namespace package or "
+            "bytecode-only ghost"
+        )
+
+
+def test_no_pycache_only_directories_under_tests():
+    for directory in _source_dirs(TESTS_ROOT):
+        entries = [p for p in directory.iterdir() if p.name != "__pycache__"]
+        assert entries, (
+            f"{directory} contains only __pycache__ — stale test tree; "
+            "delete the directory"
+        )
