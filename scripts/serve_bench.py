@@ -1,0 +1,257 @@
+#!/usr/bin/env python
+"""Serving benchmark: micro-batched throughput at a p95 latency SLO.
+
+Builds a small quantized CNN with an approximate multiplier attached,
+then measures three ways of scoring the same single-sample request
+stream (``docs/SERVING.md``):
+
+- **sequential** — a plain loop of single-sample forwards on a warm
+  plan cache; the no-server baseline and the reference outputs;
+- **unbatched serve** — the full server stack (queue + replicas) with
+  ``max_batch=1``, isolating the serving overhead;
+- **batched serve** — the same stack with micro-batching enabled; the
+  load generator issues single-sample requests from concurrent clients
+  and the server coalesces them under the latency deadline.
+
+Every served response is verified bitwise against direct single-sample
+evaluation (the batch-invariance guarantee); the report records latency
+quantiles, whether the p95 SLO held, and batch occupancy. Results land
+in ``BENCH_serve.json`` with full provenance for trend tracking.
+
+CI gates: ``--require-serve-speedup MIN`` (batched serve vs sequential,
+both within the same p95 SLO) and ``--require-batched-speedup MIN``
+(batched vs unbatched serve).
+
+Usage::
+
+    PYTHONPATH=src python scripts/serve_bench.py [--smoke] \
+        [--out BENCH_serve.json] [--require-serve-speedup 1.5] \
+        [--require-batched-speedup 1.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import platform
+import time
+
+import numpy as np
+
+
+def _build_served_model(smoke: bool):
+    """A trained, quantized, approximate CNN plus its dataset."""
+    from repro.data import make_synthetic_cifar
+    from repro.models import simplecnn
+    from repro.pipeline import quantization_stage
+    from repro.sim import attach_multiplier
+    from repro.train import TrainConfig, cross_entropy_loss, train_model
+
+    data = make_synthetic_cifar(
+        num_train=128 if smoke else 400,
+        num_test=96 if smoke else 256,
+        image_size=16,
+        seed=7,
+    )
+    model = simplecnn(base_width=4 if smoke else 8, rng=0)
+    train_model(
+        model,
+        data,
+        cross_entropy_loss(),
+        TrainConfig(epochs=1 if smoke else 2, batch_size=64, lr=0.05, seed=0),
+    )
+    quant, _ = quantization_stage(
+        model,
+        data,
+        train_config=TrainConfig(epochs=1, batch_size=64, lr=0.01, seed=0),
+    )
+    quant.eval()
+    attach_multiplier(quant, "truncated4")
+    return quant, data
+
+
+def _sequential_baseline(model, xs: np.ndarray) -> tuple[float, float, np.ndarray]:
+    """(samples/s, p95 ms, logits) for a single-sample eval loop."""
+    from repro.autograd.grad_mode import no_grad
+    from repro.autograd.tensor import Tensor
+
+    with no_grad():
+        model(Tensor(xs[:1]))  # warm the plan cache outside the timing
+        latencies = []
+        outputs = []
+        start = time.perf_counter()
+        for i in range(len(xs)):
+            t0 = time.perf_counter()
+            outputs.append(model(Tensor(xs[i : i + 1])).data)
+            latencies.append(time.perf_counter() - t0)
+        duration = time.perf_counter() - start
+    sps = len(xs) / duration
+    p95_ms = float(np.percentile(np.asarray(latencies) * 1e3, 95))
+    return sps, p95_ms, np.concatenate(outputs)
+
+
+def _served_run(model, data, *, max_batch: int, requests: int, concurrency: int,
+                slo_p95_ms: float, replicas: int | None):
+    from repro.serve import ServeConfig, Server, run_load
+    from repro.serve.loadgen import dataset_samples
+
+    config = ServeConfig(
+        deadline_ms=5.0,
+        max_batch=max_batch,
+        queue_depth=max(4 * max_batch, 4 * concurrency, 64),
+        replicas=replicas,
+    )
+    server = Server(model, config)
+    warm = dataset_samples(data, limit=min(max_batch, 8))
+    server.start(warm=warm)
+    try:
+        report = run_load(
+            server,
+            data,
+            requests=requests,
+            concurrency=concurrency,
+            batch_fraction=0.0,  # all single-sample: micro-batching does the work
+            slo_p95_ms=slo_p95_ms,
+            reference_models={0: model},
+        )
+    finally:
+        server.stop()
+    return report
+
+
+def bench_serve(smoke: bool) -> dict:
+    model, data = _build_served_model(smoke)
+    requests = 96 if smoke else 512
+    concurrency = 8 if smoke else 16
+
+    seq_xs_count = min(requests, 96 if smoke else 256)
+    from repro.serve.loadgen import dataset_samples
+
+    xs = dataset_samples(data, limit=seq_xs_count)
+    seq_sps, seq_p95_ms, _ = _sequential_baseline(model, xs)
+    # The SLO both serving modes are judged against: generous relative to
+    # the single-sample latency so it measures throughput, not luck.
+    slo_p95_ms = max(250.0, 20.0 * seq_p95_ms)
+
+    unbatched = _served_run(
+        model, data, max_batch=1, requests=requests, concurrency=concurrency,
+        slo_p95_ms=slo_p95_ms, replicas=None,
+    )
+    # max_batch matches the offered concurrency: a closed-loop client pool
+    # can keep at most `concurrency` samples queued, so a larger max_batch
+    # would never fill and every batch would wait out the whole deadline.
+    batched = _served_run(
+        model, data, max_batch=concurrency, requests=requests,
+        concurrency=concurrency, slo_p95_ms=slo_p95_ms, replicas=None,
+    )
+    for name, report in (("unbatched", unbatched), ("batched", batched)):
+        if report.failed_requests:
+            raise AssertionError(f"{name} serve run had failed requests: {report}")
+        if report.bitwise_mismatches:
+            raise AssertionError(
+                f"{name} serve responses not bitwise identical to direct eval "
+                f"({report.bitwise_mismatches}/{report.bitwise_checked})"
+            )
+        if not report.slo_met:
+            raise AssertionError(
+                f"{name} serve run missed the p95 SLO: "
+                f"p95 {report.latency_p95_ms:.1f}ms > {slo_p95_ms:.1f}ms"
+            )
+    return {
+        "bench": "serve",
+        "requests": requests,
+        "concurrency": concurrency,
+        "replicas": batched.server_stats["replicas"],
+        "deadline_ms": batched.server_stats["deadline_ms"],
+        "max_batch": batched.server_stats["max_batch"],
+        "sequential_sps": round(seq_sps, 2),
+        "sequential_p95_ms": round(seq_p95_ms, 3),
+        "unbatched_sps": round(unbatched.throughput_sps, 2),
+        "unbatched_p95_ms": round(unbatched.latency_p95_ms, 3),
+        "batched_sps": round(batched.throughput_sps, 2),
+        "batched_p50_ms": round(batched.latency_p50_ms, 3),
+        "batched_p95_ms": round(batched.latency_p95_ms, 3),
+        "batched_p99_ms": round(batched.latency_p99_ms, 3),
+        "slo_p95_ms": round(slo_p95_ms, 3),
+        "slo_met": batched.slo_met and unbatched.slo_met,
+        "speedup": round(batched.throughput_sps / seq_sps, 3),
+        "speedup_vs_unbatched": round(
+            batched.throughput_sps / unbatched.throughput_sps, 3
+        ),
+        "mean_batch_size": round(batched.server_stats["mean_batch_size"], 2),
+        "batch_occupancy": round(batched.server_stats["batch_occupancy"], 3),
+        "bitwise_checked": batched.bitwise_checked + unbatched.bitwise_checked,
+        "bitwise_identical": True,
+        "rejected_retries": batched.rejected_retries,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[1])
+    parser.add_argument("--out", default="BENCH_serve.json", help="output JSON path")
+    parser.add_argument("--smoke", action="store_true", help="small CI-sized workload")
+    parser.add_argument(
+        "--require-serve-speedup", type=float, default=None, metavar="MIN",
+        help="exit nonzero unless batched serving beats the sequential "
+             "single-sample baseline by at least MIN x at the same p95 SLO",
+    )
+    parser.add_argument(
+        "--require-batched-speedup", type=float, default=None, metavar="MIN",
+        help="exit nonzero unless batched serving beats unbatched serving "
+             "(max_batch=1) by at least MIN x",
+    )
+    args = parser.parse_args(argv)
+
+    entry = bench_serve(args.smoke)
+    print(
+        f"serve: sequential {entry['sequential_sps']:.0f} sps | unbatched "
+        f"{entry['unbatched_sps']:.0f} sps | batched {entry['batched_sps']:.0f} sps "
+        f"({entry['speedup']}x vs sequential, {entry['speedup_vs_unbatched']}x vs "
+        f"unbatched) | p95 {entry['batched_p95_ms']:.1f}ms within "
+        f"{entry['slo_p95_ms']:.0f}ms SLO | mean batch {entry['mean_batch_size']}",
+        flush=True,
+    )
+
+    from repro.obs.runmeta import provenance
+    from repro.utils.serialization import save_results
+
+    payload = {
+        "meta": {
+            "smoke": args.smoke,
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "provenance": provenance(),
+        },
+        "results": [entry],
+    }
+    save_results(payload, args.out)
+    print(f"wrote {args.out}")
+
+    failed = False
+    if (
+        args.require_serve_speedup is not None
+        and entry["speedup"] < args.require_serve_speedup
+    ):
+        print(
+            f"FAIL: batched serve speedup {entry['speedup']}x < "
+            f"required {args.require_serve_speedup}x"
+        )
+        failed = True
+    if (
+        args.require_batched_speedup is not None
+        and entry["speedup_vs_unbatched"] < args.require_batched_speedup
+    ):
+        print(
+            f"FAIL: batched-vs-unbatched speedup {entry['speedup_vs_unbatched']}x < "
+            f"required {args.require_batched_speedup}x"
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

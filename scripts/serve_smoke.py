@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""CI smoke for the serving stack (``docs/SERVING.md``).
+
+Two phases:
+
+1. Run ``scripts/serve_bench.py --smoke`` and assert the emitted
+   ``BENCH_serve.json`` carries the SLO fields trend tracking relies on,
+   with batched serving at least matching unbatched serving.
+2. A chaos pass: serve mixed single/batch traffic while a replica fault
+   is injected mid-load. The fault must be isolated (its batch fails,
+   everything else completes bitwise-identical to direct evaluation)
+   and the server must still serve and drain cleanly afterwards.
+
+Exit status is nonzero on any violated assertion, so CI can gate on it.
+
+Usage::
+
+    PYTHONPATH=src python scripts/serve_smoke.py [--out BENCH_serve.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+REQUIRED_FIELDS = (
+    "sequential_sps",
+    "unbatched_sps",
+    "batched_sps",
+    "batched_p50_ms",
+    "batched_p95_ms",
+    "batched_p99_ms",
+    "slo_p95_ms",
+    "slo_met",
+    "speedup",
+    "speedup_vs_unbatched",
+    "mean_batch_size",
+    "batch_occupancy",
+    "bitwise_checked",
+    "bitwise_identical",
+)
+
+
+def check_bench(out: Path) -> None:
+    import serve_bench
+
+    code = serve_bench.main(
+        ["--smoke", "--out", str(out), "--require-batched-speedup", "1.0"]
+    )
+    assert code == 0, f"serve_bench exited {code}"
+    payload = json.loads(out.read_text())
+    assert payload["meta"]["provenance"], "bench payload lacks provenance"
+    (entry,) = payload["results"]
+    missing = [field for field in REQUIRED_FIELDS if field not in entry]
+    assert not missing, f"BENCH_serve.json missing SLO fields: {missing}"
+    assert entry["slo_met"] is True, f"smoke run missed its SLO: {entry}"
+    assert entry["bitwise_identical"] is True
+    assert entry["bitwise_checked"] > 0
+    print(
+        f"bench smoke ok: batched {entry['batched_sps']:.0f} sps "
+        f"({entry['speedup_vs_unbatched']}x vs unbatched), "
+        f"p95 {entry['batched_p95_ms']:.1f}ms <= {entry['slo_p95_ms']:.0f}ms"
+    )
+
+
+def check_fault_isolation() -> None:
+    from serve_bench import _build_served_model
+
+    from repro.errors import ServeError
+    from repro.serve import Client, ServeConfig, Server, run_load
+
+    model, data = _build_served_model(smoke=True)
+    config = ServeConfig(deadline_ms=5.0, max_batch=8, queue_depth=64, replicas=2)
+    server = Server(model, config).start()
+    try:
+        client = Client(server)
+
+        stop_injecting = threading.Event()
+
+        def inject() -> None:
+            # Keep arming one-shot faults on replica 0 while the load runs.
+            while not stop_injecting.is_set():
+                server.inject_replica_fault(0)
+                time.sleep(0.02)
+
+        injector = threading.Thread(target=inject, daemon=True)
+        injector.start()
+        report = run_load(
+            server,
+            data,
+            requests=96,
+            concurrency=6,
+            batch_fraction=0.25,  # mixed single-sample and batch requests
+            batch_size=4,
+            reference_models={0: model},
+        )
+        stop_injecting.set()
+        injector.join(timeout=5)
+
+        assert report.failed_requests >= 1, "no injected fault ever fired"
+        assert report.requests >= 1, "every request failed — fault not isolated"
+        assert report.bitwise_mismatches == 0, (
+            f"surviving responses diverged: {report.bitwise_mismatches}"
+        )
+        assert server.stats()["replica_faults"] >= 1
+        # The server must still be healthy after the chaos. The injector
+        # may have left one armed fault behind; at most one retry absorbs it.
+        x = data.test_x[0].astype("float32")
+        try:
+            prediction = client.predict(x)
+        except ServeError:
+            prediction = client.predict(x)
+        assert prediction.weights_version == 0
+    finally:
+        try:
+            server.stop()
+        except ServeError:
+            pass
+    print(
+        f"fault smoke ok: {report.failed_requests} request(s) failed by injected "
+        f"faults, {report.requests} served, 0 bitwise mismatches, server healthy"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[1])
+    parser.add_argument("--out", default="BENCH_serve_smoke.json")
+    args = parser.parse_args(argv)
+    sys.path.insert(0, str(Path(__file__).parent))
+    check_bench(Path(args.out))
+    check_fault_isolation()
+    print("serve smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,17 @@ The package is organised as one subpackage per subsystem:
 - :mod:`repro.data` — synthetic CIFAR10-like dataset and loaders.
 - :mod:`repro.sim` — ProxSim-style approximate execution of quantized models.
 - :mod:`repro.pipeline` — Algorithm 1 end-to-end and experiment configs.
+- :mod:`repro.config` — unified runtime-knob resolution (one precedence
+  chain for every ``REPRO_*`` setting).
+- :mod:`repro.serve` — micro-batched inference serving on the plan-cached
+  path.
+- :mod:`repro.obs` / :mod:`repro.parallel` / :mod:`repro.resilience` —
+  observability, multi-worker execution, fault tolerance.
+
+The supported top-level surface is the names re-exported below (also
+documented in :mod:`repro.api` and snapshot-tested by
+``tests/test_public_api.py``); deeper imports reach into implementation
+modules and carry no stability promise.
 """
 
 from repro.errors import (
@@ -48,17 +59,35 @@ __all__ = [
     "__version__",
 ]
 
-# Convenience re-exports of the most common entry points, loaded lazily so
-# `import repro` stays cheap and the module graph stays acyclic.
+# The curated public API: stable re-exports of the supported entry
+# points, loaded lazily so `import repro` stays cheap and the module
+# graph stays acyclic. tests/test_public_api.py snapshots this table —
+# additions are reviewed there, removals/renames are breaking.
 _LAZY_EXPORTS = {
+    # data
     "make_synthetic_cifar": ("repro.data", "make_synthetic_cifar"),
+    "Dataset": ("repro.data", "Dataset"),
+    "DatasetProtocol": ("repro.data", "DatasetProtocol"),
+    # models / training
     "create_model": ("repro.models", "create_model"),
+    "TrainConfig": ("repro.train", "TrainConfig"),
+    # approximation
     "get_multiplier": ("repro.approx", "get_multiplier"),
+    "Multiplier": ("repro.approx", "Multiplier"),
+    "PlanCache": ("repro.approx", "PlanCache"),
+    # pipeline (Algorithm 1)
     "quantization_stage": ("repro.pipeline", "quantization_stage"),
     "approximation_stage": ("repro.pipeline", "approximation_stage"),
     "run_algorithm1": ("repro.pipeline", "run_algorithm1"),
-    "TrainConfig": ("repro.train", "TrainConfig"),
+    # evaluation
     "evaluate_accuracy": ("repro.sim", "evaluate_accuracy"),
+    # runtime configuration
+    "configure": ("repro.config", "configure"),
+    "config_scope": ("repro.config", "config_scope"),
+    # serving
+    "Server": ("repro.serve", "Server"),
+    "ServeConfig": ("repro.serve", "ServeConfig"),
+    "Client": ("repro.serve", "Client"),
 }
 
 

@@ -26,22 +26,24 @@ bitwise-identical answer or declines (returns ``None``) and the caller
 falls back to the reference. This is asserted in
 ``tests/approx/test_backend.py``.
 
-Selection, most specific wins:
+Selection follows the documented :mod:`repro.config` precedence, most
+specific wins:
 
 1. per call — ``approx_matmul(..., backend="exact-blas")``;
 2. scoped — ``with gemm_backend("int8-accumulate"): ...``;
-3. process-wide — ``set_default_backend(name)`` (the CLI's
-   ``--gemm-backend`` flag installs this);
-4. environment — ``REPRO_GEMM_BACKEND``, read once on first use;
-5. otherwise ``plan-lut``.
+3. process-wide — ``set_default_backend(name)``, which installs the
+   ``gemm_backend`` knob's :func:`repro.config.configure` tier;
+4. CLI — the ``--gemm-backend`` flag (``repro.cli`` installs it on the
+   knob's CLI tier);
+5. environment — ``REPRO_GEMM_BACKEND``;
+6. otherwise ``plan-lut``.
 """
 
 from __future__ import annotations
 
-import os
-
 import numpy as np
 
+from repro import config
 from repro.errors import MultiplierError
 
 # float32 partial sums of integer products are exact below 2^24 (the
@@ -200,7 +202,6 @@ _BACKENDS: dict[str, GemmBackend] = {
 }
 
 _DEFAULT_NAME = "plan-lut"
-_default_backend: GemmBackend | None = None
 
 
 def available_backends() -> list[str]:
@@ -224,24 +225,29 @@ def get_backend(backend: str | GemmBackend | None = None) -> GemmBackend:
 
 
 def default_backend() -> GemmBackend:
-    """The process-wide backend (``REPRO_GEMM_BACKEND`` seeds the default)."""
-    global _default_backend
-    if _default_backend is None:
-        _default_backend = get_backend(
-            os.environ.get("REPRO_GEMM_BACKEND") or _DEFAULT_NAME
-        )
-    return _default_backend
+    """The ambient backend under the :mod:`repro.config` precedence.
+
+    Resolves the ``gemm_backend`` knob — :func:`set_default_backend` tier,
+    then CLI flag, then ``REPRO_GEMM_BACKEND`` — falling back to
+    ``plan-lut``.
+    """
+    value = config.resolve("gemm_backend")
+    if value is None:
+        return _BACKENDS[_DEFAULT_NAME]
+    return get_backend(value)
 
 
 def set_default_backend(backend: str | GemmBackend | None) -> str | None:
-    """Install the process-wide backend; returns the previous name.
+    """Install the process-wide backend; returns the previous installed name.
 
-    ``None`` resets to the environment/default resolution on next use.
+    ``None`` clears the override so resolution falls back to the CLI
+    flag / environment / default tiers on next use.
     """
-    global _default_backend
-    previous = _default_backend.name if _default_backend is not None else None
-    _default_backend = None if backend is None else get_backend(backend)
-    return previous
+    resolved = None if backend is None else get_backend(backend)
+    previous = config.configure(gemm_backend=resolved)["gemm_backend"]
+    if previous is None:
+        return None
+    return get_backend(previous).name
 
 
 class gemm_backend:

@@ -9,6 +9,9 @@ Subcommands mirror the stages of Algorithm 1 plus inspection utilities:
   approximate multiplier.
 - ``repro multipliers``  — list available multipliers with MRE and savings.
 - ``repro profile``      — Monte-Carlo error model of one multiplier.
+- ``repro serve``        — micro-batched inference serving of a checkpoint
+  (``docs/SERVING.md``): a built-in load run by default, or an HTTP
+  front end with ``--port``.
 - ``repro report``       — summarise a JSONL run log written by ``--log-json``
   (``--format json`` emits the full machine-readable RunSummary).
 - ``repro trace``        — self-time flame summary of a Chrome trace
@@ -51,6 +54,7 @@ from __future__ import annotations
 import argparse
 from pathlib import Path
 
+from repro import config
 from repro.approx import (
     available_multipliers,
     get_multiplier,
@@ -276,6 +280,65 @@ def cmd_evaluate(args, console: obs_console.Console, log: obs_events.EventLog) -
     return 0
 
 
+def cmd_serve(args, console: obs_console.Console, log: obs_events.EventLog) -> int:
+    import time
+
+    from repro.serve import HttpFrontend, Server, run_load
+    from repro.serve.loadgen import dataset_samples
+
+    data = _dataset(args)
+    model, meta = _load_checkpoint(Path(args.checkpoint))
+    if args.multiplier:
+        if not meta.get("quantized"):
+            raise ReproError("--multiplier requires a quantized checkpoint")
+        attach_multiplier(model, args.multiplier)
+    # Serve knobs (--deadline-ms etc.) arrive via the repro.config CLI tier
+    # installed by main(); ServeConfig resolves them there.
+    server = Server(model)
+    warm = dataset_samples(data, limit=min(server.config.max_batch, 8))
+    server.start(warm=warm)
+    console.info(
+        f"serving {args.checkpoint}: {server.config.replicas} replica(s), "
+        f"max batch {server.config.max_batch}, "
+        f"deadline {server.config.deadline_ms}ms"
+    )
+    try:
+        if args.port is not None:
+            with HttpFrontend(server, host=args.host, port=args.port) as frontend:
+                console.result(f"listening on {frontend.url} (POST /v1/predict)")
+                try:
+                    deadline = (
+                        time.monotonic() + args.duration if args.duration > 0 else None
+                    )
+                    while deadline is None or time.monotonic() < deadline:
+                        time.sleep(0.2)
+                except KeyboardInterrupt:
+                    console.info("interrupted; draining")
+        else:
+            report = run_load(
+                server,
+                data,
+                requests=args.requests,
+                concurrency=args.concurrency,
+                batch_fraction=args.batch_fraction,
+                batch_size=args.request_batch,
+                slo_p95_ms=args.slo_p95_ms,
+            )
+            log.emit("serve_load", **report.to_dict())
+            console.result(
+                f"served {report.requests} requests ({report.samples} samples) "
+                f"in {report.duration_s:.2f}s: {report.throughput_sps:.1f} "
+                f"samples/s, p50 {report.latency_p50_ms:.1f}ms, "
+                f"p95 {report.latency_p95_ms:.1f}ms "
+                f"({'within' if report.slo_met else 'MISSES'} "
+                f"{report.slo_p95_ms:.0f}ms SLO), mean batch "
+                f"{report.server_stats['mean_batch_size']:.1f}"
+            )
+    finally:
+        server.stop()
+    return 0
+
+
 def cmd_sweep(args, console: obs_console.Console, log: obs_events.EventLog) -> int:
     from repro.pipeline import run_sweep
 
@@ -453,6 +516,39 @@ def build_parser() -> argparse.ArgumentParser:
         "choice changes speed only — results are bitwise identical",
     )
 
+    serve_flags = argparse.ArgumentParser(add_help=False)
+    sv = serve_flags.add_argument_group(
+        "serving (defaults: REPRO_SERVE_* environment, then built-ins)"
+    )
+    sv.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="micro-batching latency deadline from the oldest queued request",
+    )
+    sv.add_argument(
+        "--max-batch",
+        type=int,
+        default=None,
+        metavar="N",
+        help="maximum samples coalesced into one served micro-batch",
+    )
+    sv.add_argument(
+        "--queue-depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help="queued-sample bound before requests are rejected with backpressure",
+    )
+    sv.add_argument(
+        "--replicas",
+        type=int,
+        default=None,
+        metavar="N",
+        help="model replica workers (default: one per usable CPU)",
+    )
+
     res_flags = argparse.ArgumentParser(add_help=False)
     res = res_flags.add_argument_group("resilience")
     res.add_argument(
@@ -600,6 +696,71 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser(
+        "serve",
+        help="serve a checkpoint with micro-batched inference (docs/SERVING.md)",
+        parents=[obs_flags, gemm_flags, serve_flags],
+    )
+    p.add_argument("checkpoint", help="model checkpoint (.npz) to serve")
+    p.add_argument(
+        "--multiplier",
+        default=None,
+        help="attach an approximate multiplier (quantized checkpoints only)",
+    )
+    _add_data_args(p)
+    p.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="expose an HTTP front end on PORT (0 = ephemeral) instead of "
+        "running the built-in load",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="HTTP bind host")
+    p.add_argument(
+        "--duration",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help="with --port: serve for S seconds then drain (0 = until ctrl-C)",
+    )
+    p.add_argument(
+        "--requests",
+        type=int,
+        default=256,
+        metavar="N",
+        help="without --port: total load-run requests (default: 256)",
+    )
+    p.add_argument(
+        "--concurrency",
+        type=int,
+        default=8,
+        metavar="N",
+        help="without --port: concurrent load-run clients (default: 8)",
+    )
+    p.add_argument(
+        "--batch-fraction",
+        type=float,
+        default=0.25,
+        metavar="F",
+        help="fraction of load-run requests that are batches (default: 0.25)",
+    )
+    p.add_argument(
+        "--request-batch",
+        type=int,
+        default=8,
+        metavar="N",
+        help="samples per batch request in the load run (default: 8)",
+    )
+    p.add_argument(
+        "--slo-p95-ms",
+        type=float,
+        default=250.0,
+        metavar="MS",
+        help="p95 latency SLO the load report is judged against (default: 250)",
+    )
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
         "report", help="summarise a JSONL run log", parents=[obs_flags]
     )
     p.add_argument("logfile", help="event log written with --log-json")
@@ -656,10 +817,16 @@ def main(argv: list[str] | None = None) -> int:
     previous_parallel = set_default_config(
         ParallelConfig(workers=max(1, getattr(args, "workers", 1)))
     )
-    # Same pattern for the GEMM backend: the flag becomes the process-wide
-    # default so every GEMM call site sees it, restored on exit.
-    previous_gemm = approx_backend.set_default_backend(
-        getattr(args, "gemm_backend", None)
+    # Runtime-knob flags land in the repro.config CLI tier (above the
+    # environment, below configure()/scopes) and are restored on exit.
+    previous_cli = config.set_cli_overrides(
+        {
+            "gemm_backend": getattr(args, "gemm_backend", None),
+            "serve_deadline_ms": getattr(args, "deadline_ms", None),
+            "serve_max_batch": getattr(args, "max_batch", None),
+            "serve_queue_depth": getattr(args, "queue_depth", None),
+            "serve_replicas": getattr(args, "replicas", None),
+        }
     )
     if args.quiet:
         console.level = obs_events.WARNING
@@ -733,7 +900,7 @@ def main(argv: list[str] | None = None) -> int:
         obs_events.set_event_log(previous_log)
         log.close()
         set_default_config(previous_parallel)
-        approx_backend.set_default_backend(previous_gemm)
+        config.set_cli_overrides(previous_cli)
     return code
 
 

@@ -1,0 +1,320 @@
+"""Unified runtime configuration resolution (``repro.config``).
+
+Every runtime knob the library reads from its environment — worker
+parallelism, the GEMM backend, the serving deadlines — resolves through
+one helper, :func:`resolve`, implementing a single documented precedence
+(most specific wins):
+
+1. **per-call kwarg** — an explicit argument at a call site
+   (``resolve("serve_max_batch", call=value)``);
+2. **context manager** — ``with config_scope(serve_max_batch=8): ...``
+   (thread-local: concurrent threads see only their own scopes; a forked
+   worker inherits the scopes of the thread that forked it);
+3. **:func:`configure`** — process-wide programmatic override;
+4. **CLI flag** — installed by ``repro.cli.main`` via
+   :func:`set_cli_overrides`;
+5. **environment** — the knob's ``REPRO_*`` variable;
+6. **default** — the knob's registered default.
+
+This module is the only place in ``src/repro`` that reads ``REPRO_*``
+environment variables at runtime (asserted by the public-API tests);
+everything else — :mod:`repro.parallel`, :mod:`repro.approx.backend`,
+:mod:`repro.serve` — calls :func:`resolve`. The knob registry below is
+also the provenance source for run metadata (:mod:`repro.obs.runmeta`).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "Knob",
+    "KNOBS",
+    "config_scope",
+    "configure",
+    "configured",
+    "describe",
+    "env_var",
+    "knob_names",
+    "perf_env_vars",
+    "resolve",
+    "set_cli_overrides",
+]
+
+
+# ----------------------------------------------------------------------
+# value parsers / validators
+# ----------------------------------------------------------------------
+def _parse_int_min1(name: str) -> Callable[[str], int]:
+    def parse(raw: str) -> int:
+        try:
+            return max(1, int(raw))
+        except (TypeError, ValueError):
+            raise ConfigError(f"{name} must be an integer, got {raw!r}") from None
+
+    return parse
+
+
+def _parse_float_min0(name: str) -> Callable[[str], float]:
+    def parse(raw: str) -> float:
+        try:
+            value = float(raw)
+        except (TypeError, ValueError):
+            raise ConfigError(f"{name} must be a number, got {raw!r}") from None
+        if value < 0:
+            raise ConfigError(f"{name} must be >= 0, got {raw!r}")
+        return value
+
+    return parse
+
+
+def _parse_flag(raw: str) -> bool:
+    return raw.strip() not in ("", "0")
+
+
+def _parse_str(raw: str) -> str:
+    return raw
+
+
+@dataclass(frozen=True)
+class Knob:
+    """One registered runtime knob.
+
+    ``parse_env`` turns the raw environment string into a value (raising
+    :class:`~repro.errors.ConfigError` on malformed input); programmatic
+    overrides (scope/:func:`configure`/CLI) are stored as given — their
+    call sites validate on use.
+    """
+
+    name: str
+    env: str
+    default: Any
+    parse_env: Callable[[str], Any]
+    doc: str = ""
+
+
+# The knob registry. Defaults of ``None`` mean "auto": the consuming
+# module picks (e.g. ``cpus`` falls back to ``os.cpu_count()``,
+# ``gemm_backend`` to ``plan-lut``, ``serve_replicas`` to one replica
+# per usable CPU).
+KNOBS: dict[str, Knob] = {
+    knob.name: knob
+    for knob in (
+        Knob(
+            "cpus",
+            "REPRO_CPUS",
+            None,
+            _parse_int_min1("REPRO_CPUS"),
+            "usable hardware parallelism override (default: os.cpu_count())",
+        ),
+        Knob(
+            "force_parallel",
+            "REPRO_FORCE_PARALLEL",
+            False,
+            _parse_flag,
+            "bypass the small-work amortization guard (testing aid)",
+        ),
+        Knob(
+            "gemm_backend",
+            "REPRO_GEMM_BACKEND",
+            None,
+            _parse_str,
+            "GEMM execution backend name (default: plan-lut)",
+        ),
+        Knob(
+            "serve_deadline_ms",
+            "REPRO_SERVE_DEADLINE_MS",
+            5.0,
+            _parse_float_min0("REPRO_SERVE_DEADLINE_MS"),
+            "micro-batching latency deadline in milliseconds",
+        ),
+        Knob(
+            "serve_max_batch",
+            "REPRO_SERVE_MAX_BATCH",
+            32,
+            _parse_int_min1("REPRO_SERVE_MAX_BATCH"),
+            "maximum samples coalesced into one served micro-batch",
+        ),
+        Knob(
+            "serve_queue_depth",
+            "REPRO_SERVE_QUEUE_DEPTH",
+            256,
+            _parse_int_min1("REPRO_SERVE_QUEUE_DEPTH"),
+            "admission-control bound on queued samples before rejection",
+        ),
+        Knob(
+            "serve_replicas",
+            "REPRO_SERVE_REPLICAS",
+            None,
+            _parse_int_min1("REPRO_SERVE_REPLICAS"),
+            "model-replica worker count (default: one per usable CPU)",
+        ),
+    )
+}
+
+
+# ----------------------------------------------------------------------
+# override stores, one per precedence tier
+# ----------------------------------------------------------------------
+_lock = threading.Lock()
+_configured: dict[str, Any] = {}  # tier 3: configure()
+_cli: dict[str, Any] = {}  # tier 4: CLI flags
+_local = threading.local()  # tier 2: config_scope stack
+
+
+def _knob(name: str) -> Knob:
+    try:
+        return KNOBS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown config knob {name!r}; known knobs: {', '.join(sorted(KNOBS))}"
+        ) from None
+
+
+def _scopes() -> list[dict[str, Any]]:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
+
+
+def resolve(name: str, call: Any = None) -> Any:
+    """The effective value of knob ``name`` under the documented precedence.
+
+    ``call`` is the per-call override tier: pass the caller's explicit
+    kwarg through and ``None`` (the conventional "not given") falls to
+    the ambient tiers.
+    """
+    knob = _knob(name)
+    if call is not None:
+        return call
+    for scope in reversed(_scopes()):
+        if name in scope:
+            return scope[name]
+    with _lock:
+        if name in _configured:
+            return _configured[name]
+        if name in _cli:
+            return _cli[name]
+    raw = os.environ.get(knob.env, "")
+    if raw.strip():
+        return knob.parse_env(raw)
+    return knob.default
+
+
+def configure(**knobs: Any) -> dict[str, Any]:
+    """Install process-wide overrides; returns the previous override map.
+
+    Setting a knob to ``None`` clears its override (resolution falls to
+    the CLI/environment/default tiers again). The returned mapping can be
+    passed back — ``configure(**previous)`` — to restore the prior state
+    of exactly the knobs touched.
+    """
+    previous: dict[str, Any] = {}
+    with _lock:
+        for name, value in knobs.items():
+            _knob(name)
+            previous[name] = _configured.get(name)
+            if value is None:
+                _configured.pop(name, None)
+            else:
+                _configured[name] = value
+    return previous
+
+
+def configured(name: str) -> Any:
+    """The :func:`configure`-tier override for ``name`` (``None`` if unset)."""
+    _knob(name)
+    with _lock:
+        return _configured.get(name)
+
+
+def set_cli_overrides(overrides: dict[str, Any] | None) -> dict[str, Any]:
+    """Replace the CLI-flag tier wholesale; returns the previous mapping.
+
+    ``repro.cli.main`` installs the parsed flags here on entry and
+    restores the previous mapping on exit. ``None``-valued entries (flags
+    left at their parser default) are dropped rather than stored.
+    """
+    with _lock:
+        previous = dict(_cli)
+        _cli.clear()
+        for name, value in (overrides or {}).items():
+            _knob(name)
+            if value is not None:
+                _cli[name] = value
+        return previous
+
+
+class config_scope:
+    """Context manager applying overrides to the current thread only.
+
+    Scopes nest (innermost wins) and are thread-local: a replica or pool
+    thread never sees another thread's scope, while a forked worker
+    process inherits the scopes of the thread that forked it.
+    """
+
+    def __init__(self, **knobs: Any):
+        for name in knobs:
+            _knob(name)
+        self._knobs = {k: v for k, v in knobs.items() if v is not None}
+
+    def __enter__(self) -> "config_scope":
+        _scopes().append(self._knobs)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        stack = _scopes()
+        if stack and stack[-1] is self._knobs:
+            stack.pop()
+        else:  # pragma: no cover - misnested scopes; remove defensively
+            try:
+                stack.remove(self._knobs)
+            except ValueError:
+                pass
+
+
+def env_var(name: str) -> str:
+    """The environment variable backing knob ``name``."""
+    return _knob(name).env
+
+
+def knob_names() -> list[str]:
+    """Sorted names of every registered knob."""
+    return sorted(KNOBS)
+
+
+def perf_env_vars() -> tuple[str, ...]:
+    """Environment variables stamped into run/benchmark provenance."""
+    return tuple(KNOBS[name].env for name in sorted(KNOBS))
+
+
+def describe() -> list[dict]:
+    """One row per knob: name, env var, default and effective value.
+
+    Purely informational (the CLI's config table and the docs use it);
+    malformed environment values surface as the error text instead of
+    aborting the listing.
+    """
+    rows = []
+    for name in sorted(KNOBS):
+        knob = KNOBS[name]
+        try:
+            effective = resolve(name)
+        except ConfigError as exc:
+            effective = f"<error: {exc}>"
+        rows.append(
+            {
+                "knob": name,
+                "env": knob.env,
+                "default": knob.default,
+                "effective": effective,
+                "doc": knob.doc,
+            }
+        )
+    return rows

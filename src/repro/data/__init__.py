@@ -1,6 +1,13 @@
-"""Synthetic CIFAR10-like data, loaders and augmentation."""
+"""Synthetic CIFAR10-like data, loaders, augmentation and the dataset protocol."""
 
 from repro.data.dataloader import augment_batch, iterate_batches
+from repro.data.protocol import DatasetProtocol
 from repro.data.synthetic_cifar import Dataset, make_synthetic_cifar
 
-__all__ = ["Dataset", "make_synthetic_cifar", "iterate_batches", "augment_batch"]
+__all__ = [
+    "Dataset",
+    "DatasetProtocol",
+    "make_synthetic_cifar",
+    "iterate_batches",
+    "augment_batch",
+]

@@ -1,0 +1,52 @@
+"""Formal dataset protocol (first slice of the pluggable data interface).
+
+Pipelines, benchmarks and the serving load generator consume datasets
+through three members instead of reaching into loader internals:
+
+- :attr:`DatasetProtocol.io_shape` — ``(input_shape, num_classes)``,
+  enough to build a matching model head;
+- :meth:`DatasetProtocol.train_batches` — shuffled minibatch iterator
+  over the training split;
+- :meth:`DatasetProtocol.test_batches` — deterministic, in-order
+  minibatch iterator over the held-out split.
+
+Any object with these members is a dataset — the protocol is
+``runtime_checkable``, so ``isinstance(obj, DatasetProtocol)`` verifies a
+new workload structurally with no registration or base class. The
+in-memory synthetic CIFAR10-like :class:`~repro.data.synthetic_cifar.Dataset`
+is the reference implementation; streaming or sharded sources implement
+the same three members and drop into every consumer unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Protocol, runtime_checkable
+
+import numpy as np
+
+Batch = tuple[np.ndarray, np.ndarray]
+
+
+@runtime_checkable
+class DatasetProtocol(Protocol):
+    """Structural interface every dataset-like object provides."""
+
+    @property
+    def io_shape(self) -> tuple[tuple[int, ...], int]:
+        """``(input_shape, num_classes)`` — per-sample shape, label arity."""
+        ...
+
+    def train_batches(
+        self,
+        batch_size: int,
+        *,
+        shuffle: bool = True,
+        rng=None,
+        drop_last: bool = False,
+    ) -> Iterator[Batch]:
+        """Minibatches ``(x, y)`` over the training split."""
+        ...
+
+    def test_batches(self, batch_size: int) -> Iterator[Batch]:
+        """Deterministic, in-order minibatches over the held-out split."""
+        ...

@@ -15,6 +15,7 @@ Generation is fully deterministic given the seed.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
@@ -24,7 +25,13 @@ from repro.utils.rng import new_rng
 
 @dataclass(frozen=True)
 class Dataset:
-    """In-memory dataset split into train and test parts."""
+    """In-memory dataset split into train and test parts.
+
+    The reference implementation of the formal dataset protocol
+    (:class:`repro.data.protocol.DatasetProtocol`): consumers draw
+    batches through :meth:`train_batches` / :meth:`test_batches` and size
+    models from :attr:`io_shape` instead of touching the arrays directly.
+    """
 
     train_x: np.ndarray
     train_y: np.ndarray
@@ -35,6 +42,37 @@ class Dataset:
     @property
     def image_shape(self) -> tuple[int, int, int]:
         return self.train_x.shape[1:]
+
+    @property
+    def io_shape(self) -> tuple[tuple[int, ...], int]:
+        """``(input_shape, num_classes)`` per the dataset protocol."""
+        return tuple(self.train_x.shape[1:]), self.num_classes
+
+    def train_batches(
+        self,
+        batch_size: int,
+        *,
+        shuffle: bool = True,
+        rng=None,
+        drop_last: bool = False,
+    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Minibatches over the training split (shuffled by default)."""
+        from repro.data.dataloader import iterate_batches
+
+        return iterate_batches(
+            self.train_x,
+            self.train_y,
+            batch_size,
+            shuffle=shuffle,
+            rng=rng,
+            drop_last=drop_last,
+        )
+
+    def test_batches(self, batch_size: int) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Deterministic, in-order minibatches over the held-out split."""
+        from repro.data.dataloader import iterate_batches
+
+        return iterate_batches(self.test_x, self.test_y, batch_size, shuffle=False)
 
     def __post_init__(self) -> None:
         if len(self.train_x) != len(self.train_y) or len(self.test_x) != len(self.test_y):

@@ -42,3 +42,21 @@ class CheckpointError(ReproError):
 
 class DivergenceError(ReproError):
     """Raised when training diverges and the guard's retry budget is spent."""
+
+
+class ServeError(ReproError):
+    """Raised on inference-serving misuse (submits to a stopped server,
+    malformed request shapes, failed replicas)."""
+
+
+class BackpressureError(ServeError):
+    """Raised when admission control rejects a request because the serving
+    queue is past its depth threshold.
+
+    Carries ``retry_after_s`` — the server's estimate of when capacity
+    frees up — so clients can back off instead of hammering the queue.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 0.05):
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)

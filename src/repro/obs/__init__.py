@@ -104,6 +104,7 @@ from repro.obs.trace import (
     enable_tracing,
     get_trace_recorder,
     read_chrome_trace,
+    record_span,
     render_flame_summary,
     reset_tracing,
     self_time_summary,
@@ -185,6 +186,7 @@ __all__ = [
     "reset_tracing",
     "get_trace_recorder",
     "current_span_id",
+    "record_span",
     "trace_context",
     "adopt_context",
     "drain_spans",

@@ -16,10 +16,16 @@ import sys
 import time
 import uuid
 
-# Environment knobs that change performance behaviour; their values are
-# stamped into run metadata and benchmark files so perf trajectories stay
-# comparable across machines (docs/PERFORMANCE.md).
-_PERF_ENV_VARS = ("REPRO_CPUS", "REPRO_FORCE_PARALLEL")
+# Environment knobs that change performance behaviour are stamped into
+# run metadata and benchmark files so perf trajectories stay comparable
+# across machines (docs/PERFORMANCE.md). The list comes from the runtime
+# knob registry (repro.config), so new knobs are covered automatically.
+
+
+def _perf_env_vars() -> tuple[str, ...]:
+    from repro import config
+
+    return config.perf_env_vars()
 
 
 def new_run_id() -> str:
@@ -73,7 +79,7 @@ def environment_metadata() -> dict:
         "argv": list(sys.argv),
         "cpu_count": os.cpu_count(),
     }
-    env = {k: os.environ[k] for k in _PERF_ENV_VARS if k in os.environ}
+    env = {k: os.environ[k] for k in _perf_env_vars() if k in os.environ}
     if env:
         meta["env"] = env
     return meta
@@ -96,7 +102,7 @@ def provenance(cwd: str | None = None) -> dict:
         "numpy": np.__version__,
         "platform": platform.platform(),
         "cpu_count": os.cpu_count(),
-        "env": {k: os.environ.get(k) for k in _PERF_ENV_VARS},
+        "env": {k: os.environ.get(k) for k in _perf_env_vars() if k in os.environ},
     }
     git = git_metadata(cwd)
     if git:

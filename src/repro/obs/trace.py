@@ -230,6 +230,37 @@ class span:
         )
 
 
+def record_span(
+    name: str,
+    start_ns: int,
+    end_ns: int,
+    parent_id: str | None = None,
+    **attrs,
+) -> None:
+    """Record one externally-timed span (no-op when tracing is disabled).
+
+    For spans whose start and end live on different threads — e.g. a
+    serving request enqueued by a client thread and completed by a
+    replica worker — where the ``span`` context manager cannot bracket
+    the interval. Timestamps must come from ``get_trace_recorder().now_ns()``
+    so they share the recorder's wall-clock anchor.
+    """
+    if not enabled:
+        return
+    _recorder.add(
+        SpanRecord(
+            name=name,
+            span_id=_next_span_id(),
+            parent_id=parent_id,
+            start_ns=int(start_ns),
+            dur_ns=max(int(end_ns) - int(start_ns), 0),
+            pid=os.getpid(),
+            tid=threading.get_ident(),
+            attrs=attrs,
+        )
+    )
+
+
 # ----------------------------------------------------------------------
 # cross-process / cross-thread propagation
 # ----------------------------------------------------------------------

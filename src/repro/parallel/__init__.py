@@ -21,6 +21,7 @@ from repro.parallel.executor import (
     fork_available,
     get_default_config,
     map_workers,
+    persistent_executor,
     resolve_backend,
     set_default_config,
 )
@@ -36,6 +37,7 @@ __all__ = [
     "fork_available",
     "get_default_config",
     "map_workers",
+    "persistent_executor",
     "resolve_backend",
     "set_default_config",
 ]

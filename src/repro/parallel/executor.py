@@ -30,6 +30,7 @@ from concurrent.futures import ThreadPoolExecutor, wait
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Iterable, Sequence
 
+from repro import config
 from repro.errors import ConfigError
 from repro.obs import events as obs_events
 from repro.obs import metrics as met
@@ -99,23 +100,22 @@ def effective_workers(workers: int | None = None) -> int:
 
 
 def cpu_parallelism() -> int:
-    """Usable hardware parallelism (``REPRO_CPUS`` overrides detection).
+    """Usable hardware parallelism (the ``cpus`` knob overrides detection).
 
-    The override exists for tests and containers whose visible
-    ``os.cpu_count()`` does not match the cores actually available.
+    The override — ``REPRO_CPUS`` or any higher :mod:`repro.config` tier —
+    exists for tests and containers whose visible ``os.cpu_count()`` does
+    not match the cores actually available.
     """
-    raw = os.environ.get("REPRO_CPUS", "").strip()
-    if raw:
-        try:
-            return max(1, int(raw))
-        except ValueError:
-            raise ConfigError(f"REPRO_CPUS must be an integer, got {raw!r}") from None
+    value = config.resolve("cpus")
+    if value is not None:
+        return max(1, int(value))
     return os.cpu_count() or 1
 
 
 def force_parallel() -> bool:
-    """True when ``REPRO_FORCE_PARALLEL`` disables the small-work guard."""
-    return os.environ.get("REPRO_FORCE_PARALLEL", "").strip() not in ("", "0")
+    """True when the ``force_parallel`` knob disables the small-work guard
+    (``REPRO_FORCE_PARALLEL`` or any higher :mod:`repro.config` tier)."""
+    return bool(config.resolve("force_parallel"))
 
 
 def amortized_workers(
@@ -363,6 +363,23 @@ def map_workers(
                 future.cancel()
             raise
     return results
+
+
+def persistent_executor(
+    workers: int, *, thread_name_prefix: str = "repro-worker"
+) -> Executor:
+    """A long-lived thread executor for resident services.
+
+    Unlike :func:`map_workers` — which spins a pool up and down around one
+    fan-out — this hands back an executor the caller owns for the life of
+    a service. :mod:`repro.serve` runs its model replicas here: inference
+    is BLAS-dominated (the GIL is released inside the GEMM), so threads
+    scale while sharing the parent's event log, metrics registry and trace
+    recorder directly. The caller must ``shutdown()`` it.
+    """
+    if workers < 1:
+        raise ConfigError(f"workers must be >= 1, got {workers}")
+    return ThreadPoolExecutor(max_workers=workers, thread_name_prefix=thread_name_prefix)
 
 
 def chunked(items: Sequence, chunks: int) -> list[list]:

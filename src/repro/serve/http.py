@@ -1,0 +1,177 @@
+"""Stdlib HTTP front end for a :class:`repro.serve.server.Server`.
+
+A thin translation layer — all queueing, batching, backpressure and
+swap semantics live in the server. Endpoints:
+
+- ``GET /healthz`` — liveness + stats snapshot;
+- ``GET /metrics`` — Prometheus exposition
+  (:func:`repro.obs.metrics.to_prometheus`), so the serve counters and
+  latency histograms scrape with zero extra code;
+- ``POST /v1/predict`` — body ``{"inputs": <nested list>}``; treated as
+  one sample when ``"single": true``, else as a ``(batch, ...)`` array
+  (the rank is never guessed — the client says which). Replies
+  ``{"logits": ..., "weights_version": ..., "replica": ...,
+  "latency_s": ...}``. Backpressure maps to ``429`` with a
+  ``Retry-After`` header; a stopped server maps to ``503``.
+- ``POST /v1/swap`` — body ``{"checkpoint": "<path.npz>"}``; loads the
+  archive server-side and publishes it as the next weight version.
+
+Built on :class:`http.server.ThreadingHTTPServer`: each connection gets
+a thread that blocks on its future while replica workers do the math —
+adequate for benchmarks and demos, deliberately not a production
+network stack.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import BackpressureError, ReproError, ServeError
+from repro.obs import metrics as met
+from repro.serve.server import Server
+
+
+class HttpFrontend:
+    """Serve a :class:`Server` over HTTP on ``host:port`` (0 = ephemeral)."""
+
+    def __init__(self, server: Server, host: str = "127.0.0.1", port: int = 0):
+        self._server = server
+        handler = _make_handler(server)
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """Bound ``(host, port)`` — read the port after an ephemeral bind."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "HttpFrontend":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-serve-http",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+
+    def __enter__(self) -> "HttpFrontend":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def _make_handler(server: Server) -> type:
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def log_message(self, *args) -> None:  # silence per-request stderr
+            pass
+
+        def _reply(self, status: int, payload: dict, headers: dict | None = None):
+            body = json.dumps(payload).encode()
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            for key, value in (headers or {}).items():
+                self.send_header(key, value)
+            self.end_headers()
+            self.wfile.write(body)
+
+        def do_GET(self) -> None:
+            if self.path == "/healthz":
+                self._reply(
+                    200 if server.running else 503,
+                    {"ok": server.running, "stats": server.stats()},
+                )
+            elif self.path == "/metrics":
+                body = met.to_prometheus(met.get_metrics()).encode()
+                self.send_response(200)
+                self.send_header("Content-Type", "text/plain; version=0.0.4")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+            else:
+                self._reply(404, {"error": f"unknown path {self.path}"})
+
+        def do_POST(self) -> None:
+            try:
+                length = int(self.headers.get("Content-Length", 0))
+                payload = json.loads(self.rfile.read(length) or b"{}")
+            except (ValueError, json.JSONDecodeError) as exc:
+                self._reply(400, {"error": f"bad JSON body: {exc}"})
+                return
+            if self.path == "/v1/predict":
+                self._predict(payload)
+            elif self.path == "/v1/swap":
+                self._swap(payload)
+            else:
+                self._reply(404, {"error": f"unknown path {self.path}"})
+
+        def _predict(self, payload: dict) -> None:
+            if "inputs" not in payload:
+                self._reply(400, {"error": "body must carry 'inputs'"})
+                return
+            try:
+                x = np.asarray(payload["inputs"], dtype=np.float32)
+            except (ValueError, TypeError) as exc:
+                self._reply(400, {"error": f"inputs not numeric: {exc}"})
+                return
+            single = bool(payload.get("single", False))
+            try:
+                future = server.submit(x) if single else server.submit_batch(x)
+                prediction = future.result(timeout=float(payload.get("timeout_s", 60)))
+            except BackpressureError as exc:
+                self._reply(
+                    429,
+                    {"error": str(exc), "retry_after_s": exc.retry_after_s},
+                    headers={"Retry-After": f"{exc.retry_after_s:.3f}"},
+                )
+                return
+            except ServeError as exc:
+                self._reply(503, {"error": str(exc)})
+                return
+            self._reply(
+                200,
+                {
+                    "logits": prediction.logits.tolist(),
+                    "weights_version": prediction.weights_version,
+                    "replica": prediction.replica,
+                    "latency_s": prediction.latency_s,
+                },
+            )
+
+        def _swap(self, payload: dict) -> None:
+            path = payload.get("checkpoint")
+            if not path:
+                self._reply(400, {"error": "body must carry 'checkpoint' (npz path)"})
+                return
+            try:
+                with np.load(Path(path)) as archive:
+                    arrays = {key: archive[key] for key in archive.files}
+                version = server.swap_weights(arrays)
+            except (ReproError, OSError, ValueError) as exc:
+                self._reply(400, {"error": f"swap failed: {exc}"})
+                return
+            self._reply(200, {"weights_version": version})
+
+    return Handler

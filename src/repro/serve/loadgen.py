@@ -1,0 +1,191 @@
+"""Closed-loop load generator and SLO reporting for :mod:`repro.serve`.
+
+Drives a :class:`~repro.serve.server.Server` with a mix of single-sample
+and batch requests drawn from any :class:`repro.data.DatasetProtocol`
+implementation (the generator never reaches into loader internals), and
+reports the numbers ``BENCH_serve.json`` is built from: client-observed
+latency quantiles (p50/p95/p99), throughput, whether the p95 SLO held,
+batch occupancy from the server's own stats, and — when reference models
+are supplied — a bitwise comparison of every response against direct
+unbatched evaluation under the weight version it was served with.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from repro.autograd.grad_mode import no_grad
+from repro.autograd.tensor import Tensor
+from repro.data.protocol import DatasetProtocol
+from repro.errors import ServeError
+from repro.nn.module import Module
+from repro.serve.client import Client
+from repro.serve.server import Prediction, Server
+from repro.utils.rng import new_rng
+
+
+@dataclass
+class LoadReport:
+    """What one load run measured (JSON-safe via :meth:`to_dict`)."""
+
+    requests: int
+    samples: int
+    duration_s: float
+    throughput_rps: float
+    throughput_sps: float
+    latency_p50_ms: float
+    latency_p95_ms: float
+    latency_p99_ms: float
+    slo_p95_ms: float
+    slo_met: bool
+    rejected_retries: int
+    failed_requests: int
+    bitwise_checked: int
+    bitwise_mismatches: int
+    server_stats: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+def dataset_samples(dataset: DatasetProtocol, limit: int | None = None) -> np.ndarray:
+    """Held-out samples drawn through the dataset protocol, stacked."""
+    rows = []
+    for x, _ in dataset.test_batches(64):
+        rows.append(np.asarray(x, dtype=np.float32))
+        if limit is not None and sum(r.shape[0] for r in rows) >= limit:
+            break
+    stacked = np.concatenate(rows)
+    return stacked[:limit] if limit is not None else stacked
+
+
+def run_load(
+    server: Server,
+    dataset: DatasetProtocol,
+    *,
+    requests: int = 128,
+    concurrency: int = 4,
+    batch_fraction: float = 0.0,
+    batch_size: int = 8,
+    slo_p95_ms: float = 250.0,
+    timeout_s: float = 60.0,
+    reference_models: dict[int, Module] | None = None,
+    seed: int = 0,
+) -> LoadReport:
+    """Drive ``server`` closed-loop and measure latency/throughput/SLO.
+
+    ``concurrency`` client threads issue ``requests`` total requests;
+    each request is a batch of ``batch_size`` samples with probability
+    ``batch_fraction``, else a single sample. Samples come from the
+    dataset's held-out split via the protocol. Latency is measured
+    client-side around the blocking call, so it includes queueing,
+    batching wait and backpressure retries — what a caller experiences.
+
+    ``reference_models`` maps weight version → a model holding exactly
+    those weights; every successful response is then re-evaluated alone
+    on the matching reference and compared bitwise
+    (``np.array_equal``). Responses whose version has no reference are
+    skipped, not failed.
+    """
+    if requests < 1:
+        raise ServeError(f"requests must be >= 1, got {requests}")
+    pool = dataset_samples(dataset)
+    rng = new_rng(seed)
+    # Pre-draw the request plan so worker threads only pop.
+    plan: list[np.ndarray] = []
+    for _ in range(requests):
+        if batch_fraction > 0 and rng.random() < batch_fraction:
+            idx = rng.integers(0, pool.shape[0], size=batch_size)
+            plan.append(pool[idx])
+        else:
+            plan.append(pool[int(rng.integers(0, pool.shape[0]))])
+
+    client = Client(server, retries=64, timeout_s=timeout_s)
+    lock = threading.Lock()
+    latencies: list[float] = []
+    outcomes: list[tuple[np.ndarray, Prediction] | None] = [None] * requests
+    failures = [0]
+    retries_before = server.stats()["rejected"]
+    cursor = [0]
+
+    def worker() -> None:
+        while True:
+            with lock:
+                if cursor[0] >= requests:
+                    return
+                index = cursor[0]
+                cursor[0] += 1
+            x = plan[index]
+            start = time.perf_counter()
+            try:
+                if x.ndim == pool.ndim:  # batch request
+                    prediction = client.predict_batch(x, timeout_s=timeout_s)
+                else:
+                    prediction = client.predict(x, timeout_s=timeout_s)
+            except Exception:
+                with lock:
+                    failures[0] += 1
+                continue
+            elapsed = time.perf_counter() - start
+            with lock:
+                latencies.append(elapsed)
+                outcomes[index] = (x, prediction)
+
+    threads = [
+        threading.Thread(target=worker, name=f"repro-loadgen-{i}", daemon=True)
+        for i in range(max(1, concurrency))
+    ]
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    duration = time.perf_counter() - wall_start
+
+    checked = mismatches = 0
+    if reference_models:
+        for outcome in outcomes:
+            if outcome is None:
+                continue
+            x, prediction = outcome
+            reference = reference_models.get(prediction.weights_version)
+            if reference is None:
+                continue
+            batch = x if x.ndim == pool.ndim else x[None]
+            with no_grad():
+                expected = np.concatenate(
+                    [reference(Tensor(batch[i : i + 1])).data for i in range(len(batch))]
+                )
+            got = prediction.logits if prediction.logits.ndim == 2 else prediction.logits[None]
+            checked += len(batch)
+            if not np.array_equal(expected, got):
+                mismatches += 1
+
+    done = [o for o in outcomes if o is not None]
+    samples = sum(
+        (o[0].shape[0] if o[0].ndim == pool.ndim else 1) for o in done
+    )
+    lat_ms = np.asarray(sorted(latencies)) * 1e3 if latencies else np.array([0.0])
+    p50, p95, p99 = (float(np.percentile(lat_ms, q)) for q in (50, 95, 99))
+    stats = server.stats()
+    return LoadReport(
+        requests=len(done),
+        samples=samples,
+        duration_s=duration,
+        throughput_rps=len(done) / duration if duration > 0 else 0.0,
+        throughput_sps=samples / duration if duration > 0 else 0.0,
+        latency_p50_ms=p50,
+        latency_p95_ms=p95,
+        latency_p99_ms=p99,
+        slo_p95_ms=slo_p95_ms,
+        slo_met=p95 <= slo_p95_ms,
+        rejected_retries=stats["rejected"] - retries_before,
+        failed_requests=failures[0],
+        bitwise_checked=checked,
+        bitwise_mismatches=mismatches,
+        server_stats=stats,
+    )

@@ -196,15 +196,22 @@ class TestExport:
             tr.read_chrome_trace(bad)
 
     def test_self_time_subtracts_direct_children(self):
-        spans = self._sample_spans()
+        # Synthetic whole-microsecond durations: the summary rounds its
+        # seconds to 6 decimals, so measured (sub-µs) spans would make
+        # "self == total - children" hold only when the roundings happen
+        # to commute. Fixed durations keep the arithmetic exact.
+        pid, tid = 1234, 1
+        spans = [
+            tr.SpanRecord("outer", "1234-1", None, 0, 5_000_000, pid, tid),
+            tr.SpanRecord("inner", "1234-2", "1234-1", 1_000, 1_000_000, pid, tid),
+            tr.SpanRecord("inner", "1234-3", "1234-1", 2_000_000, 2_000_000, pid, tid),
+        ]
         rows = {r["name"]: r for r in tr.self_time_summary(spans)}
         assert rows["inner"]["calls"] == 2
         assert rows["outer"]["calls"] == 1
-        inner_total = rows["inner"]["total_s"]
-        outer = rows["outer"]
-        assert outer["self_s"] == pytest.approx(
-            outer["total_s"] - inner_total, abs=1e-9
-        )
+        assert rows["inner"]["total_s"] == pytest.approx(0.003, abs=1e-9)
+        assert rows["outer"]["total_s"] == pytest.approx(0.005, abs=1e-9)
+        assert rows["outer"]["self_s"] == pytest.approx(0.002, abs=1e-9)
 
     def test_render_flame_summary(self):
         spans = self._sample_spans()

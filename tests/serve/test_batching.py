@@ -1,0 +1,153 @@
+"""Request queue: coalescing, deadlines, admission control, shutdown."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import BackpressureError, ServeError
+from repro.serve.batching import Request, RequestQueue
+
+pytestmark = pytest.mark.serve
+
+
+def _req(samples: int = 1) -> Request:
+    if samples == 1:
+        return Request(np.zeros((1, 4), np.float32), single=True)
+    return Request(np.zeros((samples, 4), np.float32), single=False)
+
+
+class TestCoalescing:
+    def test_batch_fills_to_max_batch(self):
+        q = RequestQueue(64)
+        for _ in range(6):
+            q.put(_req())
+        batch = q.next_batch(max_batch=4, deadline_s=0.5)
+        assert len(batch) == 4
+        assert q.depth_samples() == 2
+
+    def test_deadline_releases_partial_batch(self):
+        q = RequestQueue(64)
+        q.put(_req())
+        start = time.perf_counter()
+        batch = q.next_batch(max_batch=32, deadline_s=0.05)
+        waited = time.perf_counter() - start
+        assert len(batch) == 1
+        assert waited < 1.0  # released by deadline, not starvation
+
+    def test_deadline_measured_from_oldest_request(self):
+        q = RequestQueue(64)
+        q.put(_req())
+        time.sleep(0.08)
+        # The oldest request is already past a 50ms deadline: the batch
+        # must release immediately even though the queue is not full.
+        start = time.perf_counter()
+        batch = q.next_batch(max_batch=32, deadline_s=0.05)
+        assert len(batch) == 1
+        assert time.perf_counter() - start < 0.05
+
+    def test_batch_requests_are_indivisible(self):
+        q = RequestQueue(64)
+        q.put(_req(3))
+        q.put(_req(3))
+        batch = q.next_batch(max_batch=4, deadline_s=0.01)
+        # Second request would overflow max_batch: it must not be split.
+        assert [r.samples for r in batch] == [3]
+
+    def test_oversize_first_request_ships_alone(self):
+        q = RequestQueue(64)
+        q.put(_req(10))
+        q.put(_req())
+        batch = q.next_batch(max_batch=4, deadline_s=0.01)
+        assert [r.samples for r in batch] == [10]
+
+    def test_late_arrivals_join_before_deadline(self):
+        q = RequestQueue(64)
+        q.put(_req())
+
+        def late_put():
+            time.sleep(0.02)
+            q.put(_req())
+
+        thread = threading.Thread(target=late_put)
+        thread.start()
+        batch = q.next_batch(max_batch=4, deadline_s=0.3)
+        thread.join()
+        assert len(batch) == 2
+
+
+class TestAdmissionControl:
+    def test_rejects_past_depth_with_retry_hint(self):
+        q = RequestQueue(2, retry_after_hint=lambda: 0.123)
+        q.put(_req())
+        q.put(_req())
+        with pytest.raises(BackpressureError) as excinfo:
+            q.put(_req())
+        assert excinfo.value.retry_after_s == pytest.approx(0.123)
+
+    def test_rejection_is_immediate_not_a_hang(self):
+        q = RequestQueue(1)
+        q.put(_req())
+        start = time.perf_counter()
+        with pytest.raises(BackpressureError):
+            q.put(_req())
+        assert time.perf_counter() - start < 0.1
+
+    def test_depth_counts_samples_not_requests(self):
+        q = RequestQueue(4)
+        q.put(_req(3))
+        with pytest.raises(BackpressureError):
+            q.put(_req(2))
+        q.put(_req(1))  # exactly fills the bound
+        assert q.depth_samples() == 4
+
+    def test_never_admittable_oversize_request_rejected(self):
+        q = RequestQueue(2)
+        with pytest.raises(BackpressureError):
+            q.put(_req(3))
+
+
+class TestShutdown:
+    def test_put_after_close_raises_serve_error(self):
+        q = RequestQueue(8)
+        q.close()
+        with pytest.raises(ServeError):
+            q.put(_req())
+
+    def test_next_batch_returns_none_when_closed_and_drained(self):
+        q = RequestQueue(8)
+        q.put(_req())
+        q.close(drain=True)
+        assert len(q.next_batch(4, 0.01)) == 1
+        assert q.next_batch(4, 0.01) is None
+
+    def test_close_without_drain_fails_queued_futures(self):
+        q = RequestQueue(8)
+        request = _req()
+        q.put(request)
+        q.close(drain=False)
+        with pytest.raises(ServeError):
+            request.future.result(timeout=1)
+        assert q.next_batch(4, 0.01) is None
+
+    def test_close_releases_blocked_consumer(self):
+        q = RequestQueue(8)
+        result = {}
+
+        def consume():
+            result["batch"] = q.next_batch(4, 0.5)
+
+        thread = threading.Thread(target=consume)
+        thread.start()
+        time.sleep(0.05)
+        q.close()
+        thread.join(timeout=2)
+        assert not thread.is_alive()
+        assert result["batch"] is None
+
+    def test_queue_depth_validation(self):
+        with pytest.raises(ServeError):
+            RequestQueue(0)

@@ -1,0 +1,114 @@
+"""HTTP front end: predict/health/metrics/swap over a real socket."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.autograd.grad_mode import no_grad
+from repro.autograd.tensor import Tensor
+from repro.serve import HttpFrontend, ServeConfig, Server
+
+pytestmark = pytest.mark.serve
+
+
+@pytest.fixture()
+def served(quantized_model):
+    config = ServeConfig(deadline_ms=2.0, max_batch=8, queue_depth=64, replicas=1)
+    server = Server(quantized_model, config).start()
+    try:
+        frontend = HttpFrontend(server, port=0)
+    except OSError as exc:  # sandboxed environments may forbid binding
+        server.stop()
+        pytest.skip(f"cannot bind a local socket: {exc}")
+    with frontend:
+        yield frontend, server
+    server.stop()
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, response.read()
+
+
+def _post(url: str, payload: dict):
+    body = json.dumps(payload).encode()
+    request = urllib.request.Request(
+        url, data=body, headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return response.status, json.loads(response.read())
+
+
+class TestHttpFrontend:
+    def test_healthz_reports_running_and_stats(self, served):
+        frontend, _ = served
+        status, body = _get(frontend.url + "/healthz")
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["ok"] is True
+        assert payload["stats"]["replicas"] == 1
+
+    def test_predict_single_is_bitwise(self, served, tiny_dataset, quantized_model):
+        frontend, _ = served
+        x = tiny_dataset.test_x[0].astype(np.float32)
+        status, payload = _post(
+            frontend.url + "/v1/predict", {"inputs": x.tolist(), "single": True}
+        )
+        assert status == 200
+        with no_grad():
+            expected = quantized_model(Tensor(x[None])).data[0]
+        assert np.array_equal(np.asarray(payload["logits"], np.float32), expected)
+        assert payload["weights_version"] == 0
+
+    def test_predict_batch(self, served, tiny_dataset):
+        frontend, _ = served
+        xs = tiny_dataset.test_x[:3].astype(np.float32)
+        status, payload = _post(frontend.url + "/v1/predict", {"inputs": xs.tolist()})
+        assert status == 200
+        assert np.asarray(payload["logits"]).shape[0] == 3
+
+    def test_metrics_exposition(self, served, tiny_dataset):
+        from repro.obs import metrics as met
+
+        frontend, _ = served
+        met.reset_metrics()
+        met.enable_metrics()
+        try:
+            x = tiny_dataset.test_x[0].astype(np.float32)
+            _post(frontend.url + "/v1/predict", {"inputs": x.tolist(), "single": True})
+            status, body = _get(frontend.url + "/metrics")
+        finally:
+            met.disable_metrics()
+            met.reset_metrics()
+        assert status == 200
+        assert b"repro_serve_batch_size" in body
+
+    def test_swap_endpoint(self, served, quantized_model, tmp_path):
+        from repro.utils.serialization import save_model
+
+        frontend, server = served
+        checkpoint = tmp_path / "weights.npz"
+        save_model(quantized_model, checkpoint)
+        status, payload = _post(
+            frontend.url + "/v1/swap", {"checkpoint": str(checkpoint)}
+        )
+        assert status == 200
+        assert payload["weights_version"] == 1
+        assert server.weights_version == 1
+
+    def test_bad_requests_are_4xx(self, served):
+        frontend, _ = served
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(frontend.url + "/v1/predict", {"nope": 1})
+        assert excinfo.value.code == 400
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(frontend.url + "/v1/swap", {"checkpoint": "/no/such/file.npz"})
+        assert excinfo.value.code == 400
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(frontend.url + "/nope")
+        assert excinfo.value.code == 404

@@ -1,0 +1,153 @@
+"""Unified runtime configuration: precedence, scoping, validation."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import config
+from repro.errors import ConfigError
+
+
+@pytest.fixture(autouse=True)
+def _clean_config_state():
+    """Each test starts and ends with empty configure()/CLI tiers."""
+    previous_configured = config.configure(
+        **{name: None for name in config.knob_names()}
+    )
+    previous_cli = config.set_cli_overrides(None)
+    yield
+    config.configure(**{name: None for name in config.knob_names()})
+    config.configure(**{k: v for k, v in previous_configured.items() if v is not None})
+    config.set_cli_overrides(previous_cli)
+
+
+class TestPrecedence:
+    def test_default_when_nothing_set(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVE_MAX_BATCH", raising=False)
+        assert config.resolve("serve_max_batch") == 32
+
+    def test_env_beats_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_MAX_BATCH", "8")
+        assert config.resolve("serve_max_batch") == 8
+
+    def test_cli_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_MAX_BATCH", "8")
+        config.set_cli_overrides({"serve_max_batch": 16})
+        assert config.resolve("serve_max_batch") == 16
+
+    def test_configure_beats_cli(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_MAX_BATCH", "8")
+        config.set_cli_overrides({"serve_max_batch": 16})
+        config.configure(serve_max_batch=24)
+        assert config.resolve("serve_max_batch") == 24
+
+    def test_scope_beats_configure(self):
+        config.configure(serve_max_batch=24)
+        with config.config_scope(serve_max_batch=48):
+            assert config.resolve("serve_max_batch") == 48
+        assert config.resolve("serve_max_batch") == 24
+
+    def test_call_beats_scope(self):
+        with config.config_scope(serve_max_batch=48):
+            assert config.resolve("serve_max_batch", call=64) == 64
+
+    def test_scopes_nest_innermost_wins(self):
+        with config.config_scope(serve_max_batch=4):
+            with config.config_scope(serve_max_batch=2):
+                assert config.resolve("serve_max_batch") == 2
+            assert config.resolve("serve_max_batch") == 4
+
+
+class TestTiers:
+    def test_configure_returns_previous_and_none_clears(self):
+        previous = config.configure(serve_replicas=3)
+        assert previous == {"serve_replicas": None}
+        assert config.configured("serve_replicas") == 3
+        config.configure(serve_replicas=None)
+        assert config.configured("serve_replicas") is None
+
+    def test_cli_overrides_replace_wholesale_and_drop_none(self):
+        config.set_cli_overrides({"serve_replicas": 2, "serve_max_batch": None})
+        assert config.resolve("serve_replicas") == 2
+        assert config.resolve("serve_max_batch") == 32  # None was dropped
+        previous = config.set_cli_overrides({"cpus": 1})
+        assert previous == {"serve_replicas": 2}
+        assert config.resolve("serve_replicas") is None
+
+    def test_scope_is_thread_local(self):
+        seen = {}
+
+        def other_thread():
+            seen["value"] = config.resolve("serve_max_batch")
+
+        with config.config_scope(serve_max_batch=2):
+            thread = threading.Thread(target=other_thread)
+            thread.start()
+            thread.join()
+            assert config.resolve("serve_max_batch") == 2
+        assert seen["value"] == 32  # the other thread never saw the scope
+
+
+class TestValidation:
+    def test_unknown_knob_raises_everywhere(self):
+        with pytest.raises(ConfigError, match="unknown config knob"):
+            config.resolve("no_such_knob")
+        with pytest.raises(ConfigError, match="unknown config knob"):
+            config.configure(no_such_knob=1)
+        with pytest.raises(ConfigError, match="unknown config knob"):
+            config.set_cli_overrides({"no_such_knob": 1})
+        with pytest.raises(ConfigError, match="unknown config knob"):
+            config.config_scope(no_such_knob=1)
+
+    def test_malformed_env_raises_config_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_MAX_BATCH", "not-a-number")
+        with pytest.raises(ConfigError, match="REPRO_SERVE_MAX_BATCH"):
+            config.resolve("serve_max_batch")
+
+    def test_flag_env_parsing(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FORCE_PARALLEL", "1")
+        assert config.resolve("force_parallel") is True
+        monkeypatch.setenv("REPRO_FORCE_PARALLEL", "0")
+        assert config.resolve("force_parallel") is False
+
+
+class TestIntrospection:
+    def test_perf_env_vars_cover_all_knobs(self):
+        env_vars = config.perf_env_vars()
+        assert len(env_vars) == len(config.knob_names())
+        assert all(v.startswith("REPRO_") for v in env_vars)
+
+    def test_describe_reports_effective_values(self):
+        config.configure(serve_max_batch=7)
+        rows = {row["knob"]: row for row in config.describe()}
+        assert rows["serve_max_batch"]["effective"] == 7
+        assert rows["serve_max_batch"]["env"] == "REPRO_SERVE_MAX_BATCH"
+
+    def test_describe_survives_malformed_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CPUS", "banana")
+        rows = {row["knob"]: row for row in config.describe()}
+        assert "error" in str(rows["cpus"]["effective"])
+
+
+class TestConsumersRouteThroughConfig:
+    def test_cpu_parallelism_honours_scope(self):
+        from repro.parallel import cpu_parallelism
+
+        with config.config_scope(cpus=3):
+            assert cpu_parallelism() == 3
+
+    def test_force_parallel_honours_configure(self, monkeypatch):
+        from repro.parallel import force_parallel
+
+        monkeypatch.delenv("REPRO_FORCE_PARALLEL", raising=False)
+        assert force_parallel() is False
+        config.configure(force_parallel=True)
+        assert force_parallel() is True
+
+    def test_gemm_backend_honours_scope(self):
+        from repro.approx import backend as approx_backend
+
+        with config.config_scope(gemm_backend="exact-blas"):
+            assert approx_backend.default_backend().name == "exact-blas"
