@@ -20,19 +20,26 @@ Times the parallelised hot paths (``docs/PERFORMANCE.md``) serially and at
   and the full training path (plan revalidation, cached backward
   operands, im2col plans); weights and logits are asserted bitwise
   identical across all three.
+- **analytic** — closed-form error models vs Monte-Carlo
+  characterization over the multiplier registry (``repro.ge.analytic``),
+  with per-candidate cross-validation of the two fitted models; the
+  full run is committed as ``BENCH_analytic.json``.
 
 ``--smoke`` shrinks every workload for CI. Parallel speedups are
 hardware-bound: on a single-core runner they are expected to be ~1x or
 below (the report records ``cpu_count`` so trends stay interpretable).
-The **eval** and **train** speedups are hardware-independent — the cached
-paths strictly remove work — so CI gates on them via
-``--require-cached-speedup`` / ``--require-train-speedup``.
+The **eval**, **train** and **analytic** speedups are
+hardware-independent — the fast paths strictly remove work — so CI gates
+on them via ``--require-cached-speedup`` / ``--require-train-speedup`` /
+``--require-analytic-speedup``.
 
 Usage::
 
     PYTHONPATH=src python scripts/bench.py [--smoke] [--workers 4] \
         [--out BENCH_pr5.json] [--require-cached-speedup 1.0] \
         [--require-train-speedup 1.0]
+    PYTHONPATH=src python scripts/bench.py --analytic \
+        --out BENCH_analytic.json --require-analytic-speedup 10
 """
 
 from __future__ import annotations
@@ -366,12 +373,74 @@ def bench_train(workers: int, smoke: bool) -> dict:
     }
 
 
+def bench_analytic(workers: int, smoke: bool) -> dict:
+    """Closed-form analytic error models vs Monte-Carlo characterization.
+
+    Times both engines over the multiplier registry on identical model
+    settings — the paper's 50-simulation sampling protocol against the
+    O(LUT) closed form (``docs/PERFORMANCE.md``) — and cross-validates the
+    two fitted models per candidate. Likewise hardware-independent: the
+    analytic engine strictly removes the sampled-GEMM work, so the ratio
+    is gateable in CI via ``--require-analytic-speedup``. Also times
+    moments-only zoo ranking of the same candidates (``repro zoo``).
+    """
+    from repro.approx import available_multipliers, get_multiplier
+    from repro.ge import cross_validate, rank_multipliers
+    from repro.ge.analytic import analytic_error_model
+    from repro.ge.montecarlo import montecarlo_error_model
+
+    names = available_multipliers()
+    if smoke:
+        names = names[:5]
+    sims = 50  # the paper's characterization protocol
+    # First call builds the shared operand priors and the first LUT out of
+    # the timed region (every later candidate still pays its own LUT).
+    analytic_error_model(get_multiplier(names[0]))
+
+    candidates = []
+    mc_total = analytic_total = 0.0
+    for name in names:
+        mult = get_multiplier(name)
+        analytic_error_model(mult)  # warm this candidate's LUT for both engines
+        analytic_s = min(_timed(lambda: analytic_error_model(mult)) for _ in range(3))
+        mc_s = _timed(
+            lambda: montecarlo_error_model(mult, num_simulations=sims, rng=0, workers=1)
+        )
+        validation = cross_validate(mult, num_simulations=sims, rng=0)
+        mc_total += mc_s
+        analytic_total += analytic_s
+        candidates.append({
+            "name": name,
+            "analytic_s": round(analytic_s, 5),
+            "montecarlo_s": round(mc_s, 5),
+            "speedup": round(mc_s / analytic_s, 2) if analytic_s > 0 else None,
+            "normalized_disagreement": round(validation.normalized_disagreement, 4),
+            "agrees": validation.agrees(),
+        })
+
+    zoo_s = _timed(lambda: rank_multipliers(names))
+    per_candidate = sorted(c["speedup"] for c in candidates)
+    return {
+        "bench": "analytic",
+        "simulations": sims,
+        "candidates": candidates,
+        "montecarlo_total_s": round(mc_total, 4),
+        "analytic_total_s": round(analytic_total, 4),
+        "speedup": round(mc_total / analytic_total, 2) if analytic_total > 0 else None,
+        "median_candidate_speedup": per_candidate[len(per_candidate) // 2],
+        "min_candidate_speedup": per_candidate[0],
+        "all_agree": all(c["agrees"] for c in candidates),
+        "zoo_rank_s": round(zoo_s, 4),
+    }
+
+
 BENCHES = {
     "sweep": bench_sweep,
     "montecarlo": bench_montecarlo,
     "gemm": bench_gemm,
     "eval": bench_eval,
     "train": bench_train,
+    "analytic": bench_analytic,
 }
 
 
@@ -385,6 +454,11 @@ def main(argv: list[str] | None = None) -> int:
         help="run a subset (repeatable; default: all)",
     )
     parser.add_argument(
+        "--analytic", action="store_true",
+        help="shorthand for --only analytic (the closed-form-vs-Monte-Carlo "
+             "characterization bench behind BENCH_analytic.json)",
+    )
+    parser.add_argument(
         "--require-cached-speedup", type=float, default=None, metavar="MIN",
         help="exit nonzero unless the eval bench's cached-vs-uncached "
              "speedup is at least MIN (CI regression gate)",
@@ -395,7 +469,15 @@ def main(argv: list[str] | None = None) -> int:
              "is at least MIN (CI regression gate; the cached-vs-uncached "
              "ratio is reported but not gated)",
     )
+    parser.add_argument(
+        "--require-analytic-speedup", type=float, default=None, metavar="MIN",
+        help="exit nonzero unless the analytic bench's median per-candidate "
+             "analytic-vs-Monte-Carlo speedup is at least MIN and every "
+             "candidate's models cross-validate (CI regression gate)",
+    )
     args = parser.parse_args(argv)
+    if args.analytic:
+        args.only = (args.only or []) + ["analytic"]
 
     from repro.utils.serialization import save_results
 
@@ -414,6 +496,16 @@ def main(argv: list[str] | None = None) -> int:
                 f"  uncached {entry['uncached_s']:.2f}s  prior {entry['prior_s']:.2f}s"
                 f"  cached {entry['cached_s']:.2f}s  speedup {entry['speedup']}x"
                 f" (vs uncached {entry['speedup_vs_uncached']}x)",
+                flush=True,
+            )
+        elif name == "analytic":
+            print(
+                f"  montecarlo {entry['montecarlo_total_s']:.3f}s  analytic "
+                f"{entry['analytic_total_s']:.3f}s over {len(entry['candidates'])} "
+                f"candidates  speedup {entry['speedup']}x (median per-candidate "
+                f"{entry['median_candidate_speedup']}x), zoo rank "
+                f"{entry['zoo_rank_s'] * 1e3:.1f}ms, "
+                f"all_agree={entry['all_agree']}",
                 flush=True,
             )
         else:
@@ -480,6 +572,31 @@ def main(argv: list[str] | None = None) -> int:
             f"train speedup {entry['speedup']}x meets the required "
             f"{args.require_train_speedup}x "
             f"(vs uncached: {entry['speedup_vs_uncached']}x, not gated)"
+        )
+
+    if args.require_analytic_speedup is not None:
+        analytics = [r for r in results if r["bench"] == "analytic"]
+        if not analytics:
+            print("error: --require-analytic-speedup needs the analytic bench to run")
+            return 1
+        entry = analytics[0]
+        # The median per-candidate ratio is gated (robust to one noisy
+        # cell on a loaded runner); the total and minimum are reported.
+        value = entry["median_candidate_speedup"] or 0.0
+        if value < args.require_analytic_speedup:
+            print(
+                f"error: analytic median per-candidate speedup {value}x is below "
+                f"the required {args.require_analytic_speedup}x"
+            )
+            return 1
+        if not entry["all_agree"]:
+            bad = [c["name"] for c in entry["candidates"] if not c["agrees"]]
+            print(f"error: analytic model disagrees with Monte-Carlo for: {bad}")
+            return 1
+        print(
+            f"analytic median per-candidate speedup {value}x meets the required "
+            f"{args.require_analytic_speedup}x (total {entry['speedup']}x, "
+            f"min {entry['min_candidate_speedup']}x), all models cross-validate"
         )
     return 0
 

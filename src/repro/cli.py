@@ -8,7 +8,10 @@ Subcommands mirror the stages of Algorithm 1 plus inspection utilities:
 - ``repro evaluate``     — accuracy of a checkpoint, optionally under an
   approximate multiplier.
 - ``repro multipliers``  — list available multipliers with MRE and savings.
-- ``repro profile``      — Monte-Carlo error model of one multiplier.
+- ``repro profile``      — error model of one multiplier (closed-form
+  analytic by default, Monte-Carlo via ``--error-model-method``).
+- ``repro zoo``          — rank the whole multiplier registry by analytic
+  error statistics in milliseconds (table or ``--json``).
 - ``repro serve``        — micro-batched inference serving of a checkpoint
   (``docs/SERVING.md``): a built-in load run by default, or an HTTP
   front end with ``--port``.
@@ -35,7 +38,10 @@ large approximate GEMMs run row-chunked on threads, with results
 identical to the serial ones on a fixed seed. They also accept
 ``--gemm-backend NAME`` to pick the GEMM execution backend
 (``repro.approx.backend``; also via ``REPRO_GEMM_BACKEND``) — backend
-choice changes speed only, never results.
+choice changes speed only, never results — and
+``--error-model-method {auto,analytic,montecarlo}`` to pick the error
+model estimator (``repro.ge.estimator``; also via
+``REPRO_ERROR_MODEL_METHOD``).
 
 The training subcommands (``train``/``quantize``/``approximate``/``sweep``)
 additionally support the resilience flags (``docs/RESILIENCE.md``):
@@ -323,8 +329,16 @@ def cmd_serve(args, console: obs_console.Console, log: obs_events.EventLog) -> i
                 batch_fraction=args.batch_fraction,
                 batch_size=args.request_batch,
                 slo_p95_ms=args.slo_p95_ms,
+                mode="open" if args.arrival_rate is not None else "closed",
+                offered_rps=args.arrival_rate,
             )
             log.emit("serve_load", **report.to_dict())
+            rate = (
+                f", offered {report.offered_rps:.1f} rps / achieved "
+                f"{report.achieved_rps:.1f} rps"
+                if report.mode == "open"
+                else ""
+            )
             console.result(
                 f"served {report.requests} requests ({report.samples} samples) "
                 f"in {report.duration_s:.2f}s: {report.throughput_sps:.1f} "
@@ -332,7 +346,7 @@ def cmd_serve(args, console: obs_console.Console, log: obs_events.EventLog) -> i
                 f"p95 {report.latency_p95_ms:.1f}ms "
                 f"({'within' if report.slo_met else 'MISSES'} "
                 f"{report.slo_p95_ms:.0f}ms SLO), mean batch "
-                f"{report.server_stats['mean_batch_size']:.1f}"
+                f"{report.server_stats['mean_batch_size']:.1f}{rate}"
             )
     finally:
         server.stop()
@@ -359,6 +373,7 @@ def cmd_sweep(args, console: obs_console.Console, log: obs_events.EventLog) -> i
         state_path=state_path,
         resume=args.resume,
         workers=args.workers,
+        prefilter=args.prefilter,
     )
     console.result(
         f"{'multiplier':16s} {'method':12s} {'T2':>4s} {'init[%]':>8s} {'final[%]':>9s}"
@@ -415,7 +430,11 @@ def cmd_multipliers(args, console: obs_console.Console, log: obs_events.EventLog
 def cmd_profile(args, console: obs_console.Console, log: obs_events.EventLog) -> int:
     mult = get_multiplier(args.multiplier)
     model = estimate_error_model(mult, rng=args.seed, workers=args.workers)
-    console.info(f"multiplier: {mult.name} (MRE {100 * mean_relative_error(mult):.1f}%)")
+    method = config.resolve("error_model_method")
+    console.info(
+        f"multiplier: {mult.name} (MRE {100 * mean_relative_error(mult):.1f}%, "
+        f"method {method})"
+    )
     if model.is_constant:
         console.result(f"error model: constant f(y) = {model.c:.2f} -> GE degenerates to STE")
     else:
@@ -423,6 +442,37 @@ def cmd_profile(args, console: obs_console.Console, log: obs_events.EventLog) ->
             f"error model: f(y) = min({model.upper:.1f}, "
             f"max({model.k:.4f}*y + {model.c:.2f}, {model.lower:.1f}))"
         )
+    return 0
+
+
+def cmd_zoo(args, console: obs_console.Console, log: obs_events.EventLog) -> int:
+    import json
+    import time
+
+    from repro.ge import rank_multipliers
+
+    names = args.multipliers or None
+    started = time.perf_counter()
+    entries = rank_multipliers(names)
+    elapsed_ms = 1000.0 * (time.perf_counter() - started)
+    if args.top:
+        entries = entries[: args.top]
+    console.result(
+        f"{'rank':>4s} {'name':16s} {'score':>8s} {'E[eps]':>9s} {'std[eps]':>9s} "
+        f"{'k':>8s} {'model':>8s} {'savings[%]':>10s}"
+    )
+    for e in entries:
+        console.result(
+            f"{e.rank:4d} {e.name:16s} {e.score:8.4f} {e.eps_mean:9.1f} "
+            f"{e.eps_std:9.1f} {e.k:+8.4f} {'STE' if e.is_constant else 'GE':>8s} "
+            f"{100 * e.energy_savings:10.0f}"
+        )
+    console.info(f"ranked {len(entries)} multiplier(s) analytically in {elapsed_ms:.1f}ms")
+    log.emit("zoo", count=len(entries), elapsed_ms=elapsed_ms)
+    if args.json:
+        payload = {"elapsed_ms": elapsed_ms, "entries": [e.to_dict() for e in entries]}
+        Path(args.json).write_text(json.dumps(payload, indent=2))
+        console.result(f"saved: {args.json}")
     return 0
 
 
@@ -514,6 +564,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="GEMM execution backend (default: REPRO_GEMM_BACKEND or plan-lut); "
         f"one of: {', '.join(approx_backend.available_backends())}. Backend "
         "choice changes speed only — results are bitwise identical",
+    )
+
+    em_flags = argparse.ArgumentParser(add_help=False)
+    em = em_flags.add_argument_group("error model")
+    em.add_argument(
+        "--error-model-method",
+        choices=("auto", "analytic", "montecarlo"),
+        default=None,
+        metavar="NAME",
+        help="error-model estimator (default: REPRO_ERROR_MODEL_METHOD or auto): "
+        "auto = closed-form analytic with Monte-Carlo fallback, analytic = "
+        "closed-form only, montecarlo = the paper's 50-simulation sampling path",
     )
 
     serve_flags = argparse.ArgumentParser(add_help=False)
@@ -627,7 +689,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "approximate",
         help="approximation stage",
-        parents=[obs_flags, res_flags, par_flags, gemm_flags],
+        parents=[obs_flags, res_flags, par_flags, gemm_flags, em_flags],
     )
     _add_data_args(p)
     _add_train_args(p, default_lr=0.02)
@@ -651,7 +713,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "sweep",
         help="multiplier x method sweep on a quantized checkpoint",
-        parents=[obs_flags, res_flags, par_flags, gemm_flags],
+        parents=[obs_flags, res_flags, par_flags, gemm_flags, em_flags],
     )
     _add_data_args(p)
     _add_train_args(p, default_lr=0.02)
@@ -669,6 +731,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--state",
         metavar="PATH",
         help="partial-result file persisted after every cell (default: <out>.partial.json)",
+    )
+    p.add_argument(
+        "--prefilter",
+        type=int,
+        default=None,
+        metavar="N",
+        help="rank the requested multipliers analytically and sweep only the "
+        "N most promising (milliseconds; skips whole train cells)",
     )
     p.set_defaults(func=cmd_sweep)
 
@@ -689,11 +759,36 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "profile",
         help="fit a multiplier's error model",
-        parents=[obs_flags, par_flags, gemm_flags],
+        parents=[obs_flags, par_flags, gemm_flags, em_flags],
     )
     p.add_argument("--multiplier", required=True)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser(
+        "zoo",
+        help="rank the multiplier registry by analytic error statistics",
+        parents=[obs_flags],
+    )
+    p.add_argument(
+        "--multipliers",
+        nargs="+",
+        default=None,
+        help="rank only these multipliers (default: the whole registry)",
+    )
+    p.add_argument(
+        "--top",
+        type=int,
+        default=None,
+        metavar="N",
+        help="show only the N best-ranked multipliers",
+    )
+    p.add_argument(
+        "--json",
+        metavar="PATH",
+        help="also write the full ranking (with model parameters) as JSON",
+    )
+    p.set_defaults(func=cmd_zoo)
 
     p = sub.add_parser(
         "serve",
@@ -757,6 +852,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=250.0,
         metavar="MS",
         help="p95 latency SLO the load report is judged against (default: 250)",
+    )
+    p.add_argument(
+        "--arrival-rate",
+        type=float,
+        default=None,
+        metavar="RPS",
+        help="without --port: open-loop load at this offered request rate "
+        "(Poisson arrivals) instead of the closed-loop client pool",
     )
     p.set_defaults(func=cmd_serve)
 
@@ -822,6 +925,7 @@ def main(argv: list[str] | None = None) -> int:
     previous_cli = config.set_cli_overrides(
         {
             "gemm_backend": getattr(args, "gemm_backend", None),
+            "error_model_method": getattr(args, "error_model_method", None),
             "serve_deadline_ms": getattr(args, "deadline_ms", None),
             "serve_max_batch": getattr(args, "max_batch", None),
             "serve_queue_depth": getattr(args, "queue_depth", None),

@@ -81,6 +81,18 @@ def _parse_str(raw: str) -> str:
     return raw
 
 
+def _parse_choice(name: str, choices: tuple[str, ...]) -> Callable[[str], str]:
+    def parse(raw: str) -> str:
+        value = raw.strip().lower()
+        if value not in choices:
+            raise ConfigError(
+                f"{name} must be one of {', '.join(choices)}; got {raw!r}"
+            )
+        return value
+
+    return parse
+
+
 @dataclass(frozen=True)
 class Knob:
     """One registered runtime knob.
@@ -118,6 +130,16 @@ KNOBS: dict[str, Knob] = {
             False,
             _parse_flag,
             "bypass the small-work amortization guard (testing aid)",
+        ),
+        Knob(
+            "error_model_method",
+            "REPRO_ERROR_MODEL_METHOD",
+            "auto",
+            _parse_choice(
+                "REPRO_ERROR_MODEL_METHOD", ("auto", "analytic", "montecarlo")
+            ),
+            "error-model estimator: analytic (closed-form), montecarlo, or "
+            "auto (analytic with Monte-Carlo fallback)",
         ),
         Knob(
             "gemm_backend",

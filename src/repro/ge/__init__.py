@@ -1,16 +1,36 @@
 """Gradient estimation of approximate GEMMs (section III-B of the paper)."""
 
+from repro.ge.analytic import (
+    AnalyticErrorStats,
+    AnalyticModelError,
+    OperandDistribution,
+    analytic_error_model,
+    analytic_error_stats,
+)
 from repro.ge.error_model import PiecewiseLinearErrorModel, fit_error_model
+from repro.ge.estimator import CrossValidation, cross_validate, estimate_error_model
 from repro.ge.montecarlo import (
     ErrorProfile,
-    estimate_error_model,
+    montecarlo_error_model,
     profile_multiplier_error,
 )
+from repro.ge.zoo import ZooEntry, prefilter_multipliers, rank_multipliers
 
 __all__ = [
     "PiecewiseLinearErrorModel",
     "fit_error_model",
     "ErrorProfile",
     "profile_multiplier_error",
+    "montecarlo_error_model",
     "estimate_error_model",
+    "AnalyticErrorStats",
+    "AnalyticModelError",
+    "OperandDistribution",
+    "analytic_error_model",
+    "analytic_error_stats",
+    "CrossValidation",
+    "cross_validate",
+    "ZooEntry",
+    "rank_multipliers",
+    "prefilter_multipliers",
 ]

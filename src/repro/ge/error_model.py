@@ -113,4 +113,12 @@ def fit_error_model(
         return PiecewiseLinearErrorModel(
             0.0, mean, min(lower, mean), max(upper, mean)
         )
+    if upper <= lower:
+        # With very few distinct error values the percentile band can
+        # collapse to a single point (e.g. ε ∈ {0, -8} at a 90/10 split
+        # puts both the 1st and 99th percentile at 0), which would clip a
+        # significant slope into a constant the fit never chose. Fall back
+        # to the full observed range — saturation then only triggers
+        # beyond errors actually seen.
+        lower, upper = float(eps.min()), float(eps.max())
     return PiecewiseLinearErrorModel(k, c, lower, upper)

@@ -26,7 +26,7 @@ from repro.obs import profiling as prof
 from repro.obs import trace as tr
 from repro.parallel import ParallelConfig, amortized_workers, chunked, map_workers
 from repro.quant.quantizer import qrange
-from repro.utils.rng import new_rng
+from repro.utils.rng import get_rng_state, new_rng, set_rng_state
 
 # Below this many total MACs a worker pool cannot amortise its dispatch and
 # fork cost (measured in docs/PERFORMANCE.md): the paper-default profile
@@ -51,17 +51,52 @@ def _sample_codes(rng, shape, bits: int, sigma_fraction: float) -> np.ndarray:
     return np.clip(codes, lo, hi).astype(np.int32)
 
 
-def _simulate_chunk(
-    multiplier: Multiplier, draws: list[tuple[np.ndarray, np.ndarray]]
-) -> list[tuple[np.ndarray, np.ndarray]]:
-    """Exact/approximate GEMM pairs for one worker's share of the draws.
+@dataclass(frozen=True)
+class _ChunkSpec:
+    """One worker's share of the simulations, by RNG state instead of data.
 
-    Module-level so the process backend can pickle it.
+    ``rng_state`` is the parent generator's bit-generator state captured at
+    this chunk's first draw; regenerating ``count`` draws from it yields
+    exactly the arrays the parent would have produced, so only states cross
+    the process boundary and no worker ever holds more than one draw.
+    """
+
+    rng_state: dict | None
+    count: int
+    gemm_rows: int
+    reduce_dim: int
+    out_dim: int
+    act_bits: int
+    weight_bits: int
+    sigma_fraction: float
+
+
+def _draw_pair(rng, spec: _ChunkSpec) -> tuple[np.ndarray, np.ndarray]:
+    """One simulation's (activation, weight) draw — the canonical order."""
+    a = _sample_codes(rng, (spec.gemm_rows, spec.reduce_dim), spec.act_bits, spec.sigma_fraction)
+    b = _sample_codes(rng, (spec.reduce_dim, spec.out_dim), spec.weight_bits, spec.sigma_fraction)
+    return a, b
+
+
+def _simulate_chunk(
+    multiplier: Multiplier, spec: _ChunkSpec, rng=None
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Exact/approximate GEMM pairs for one chunk of the simulations.
+
+    Module-level so the process backend can pickle it. Draws are generated
+    lazily, one simulation at a time — peak memory is a single (a, b) pair
+    regardless of ``count``. Workers regenerate their draws from the chunk's
+    captured RNG state; the serial path passes the parent generator directly
+    (``rng``) so it advances exactly as if it had drawn everything itself.
     """
     out = []
+    if rng is None:
+        rng = new_rng(0)
+        set_rng_state(rng, spec.rng_state)
     use_plans = plan_caching_enabled() and not multiplier.is_exact
-    with tr.span("mc.chunk", draws=len(draws)):
-        for a, b in draws:
+    with tr.span("mc.chunk", draws=spec.count):
+        for _ in range(spec.count):
+            a, b = _draw_pair(rng, spec)
             draw_started = _time.perf_counter() if met.enabled else 0.0
             exact = exact_int_matmul(a, b)
             # Each draw has fresh weights, so there is nothing to cache across
@@ -96,21 +131,30 @@ def profile_multiplier_error(
     within the quantization range.
 
     With ``workers > 1`` the GEMM evaluations spread over a worker pool.
-    All random codes are drawn in the parent, in simulation order, from the
-    single ``rng`` stream, and results concatenate in that same order — the
-    profile (and any error model fitted from it) is **bit-for-bit
-    identical** to the serial one at every worker count.
+    Draws are never materialized up front: the parent captures its RNG
+    state at each chunk boundary (advancing the stream in simulation order)
+    and each worker regenerates its own chunk's codes from that state, so
+    peak memory is one (a, b) pair per live worker while the profile (and
+    any error model fitted from it) stays **bit-for-bit identical** to the
+    serial one at every worker count — including the final state of a
+    caller-provided ``rng``.
     """
     rng = new_rng(rng)
+
+    def spec_for(state: dict | None, count: int) -> _ChunkSpec:
+        return _ChunkSpec(
+            rng_state=state,
+            count=count,
+            gemm_rows=gemm_rows,
+            reduce_dim=reduce_dim,
+            out_dim=out_dim,
+            act_bits=act_bits,
+            weight_bits=weight_bits,
+            sigma_fraction=sigma_fraction,
+        )
+
     with prof.timer("ge.montecarlo_profile"):
         prof.count("ge.montecarlo_simulations", n=num_simulations)
-        draws = [
-            (
-                _sample_codes(rng, (gemm_rows, reduce_dim), act_bits, sigma_fraction),
-                _sample_codes(rng, (reduce_dim, out_dim), weight_bits, sigma_fraction),
-            )
-            for _ in range(num_simulations)
-        ]
         num_workers = amortized_workers(
             workers,
             tasks=num_simulations,
@@ -119,21 +163,29 @@ def profile_multiplier_error(
         )
         if num_workers > 1 and num_simulations > 1:
             # ~2 chunks per worker keeps the pool busy if chunk costs skew.
-            batches = chunked(draws, 2 * num_workers)
+            # Capture the parent state at each chunk's first simulation and
+            # advance the stream by drawing (and dropping) that chunk's
+            # codes — same consumption order as the serial path.
+            specs = []
+            for batch in chunked(list(range(num_simulations)), 2 * num_workers):
+                spec = spec_for(get_rng_state(rng), len(batch))
+                for _ in batch:
+                    _draw_pair(rng, spec)
+                specs.append(spec)
             results = map_workers(
                 partial(_simulate_chunk, multiplier),
-                batches,
+                specs,
                 ParallelConfig(workers=num_workers),
             )
             pairs = [pair for batch in results for pair in batch]
         else:
-            pairs = _simulate_chunk(multiplier, draws)
+            pairs = _simulate_chunk(multiplier, spec_for(None, num_simulations), rng=rng)
     y = np.concatenate([exact for exact, _ in pairs])
     eps = np.concatenate([err for _, err in pairs])
     return ErrorProfile(y=y, eps=eps, multiplier_name=multiplier.name)
 
 
-def estimate_error_model(
+def montecarlo_error_model(
     multiplier: Multiplier,
     num_simulations: int = 50,
     slope_significance: float = 0.25,
@@ -141,12 +193,13 @@ def estimate_error_model(
     workers: int | None = None,
     **profile_kwargs,
 ) -> PiecewiseLinearErrorModel:
-    """Profile ``multiplier`` and fit the piecewise-linear error model.
+    """Profile ``multiplier`` by sampling and fit the piecewise-linear model.
 
-    This is the one-call entry point used by the approximation stage of
-    Algorithm 1; it takes well under a second at the default settings.
-    ``workers`` parallelises the profiling without changing the fit
-    (see :func:`profile_multiplier_error`).
+    The sampling ground truth behind :func:`repro.ge.estimate_error_model`
+    (which dispatches between this and the closed-form
+    :func:`repro.ge.analytic.analytic_error_model`); it takes well under a
+    second at the default settings. ``workers`` parallelises the profiling
+    without changing the fit (see :func:`profile_multiplier_error`).
     """
     profile = profile_multiplier_error(
         multiplier, num_simulations=num_simulations, rng=rng, workers=workers,

@@ -25,7 +25,7 @@ from repro.data.dataloader import iterate_batches
 from repro.data.synthetic_cifar import Dataset
 from repro.distill.teacher import clone_model, kd_batch_loss, precompute_teacher_logits
 from repro.errors import ConfigError, ReproError
-from repro.ge.montecarlo import estimate_error_model
+from repro.ge.estimator import estimate_error_model
 from repro.nn.module import Module
 from repro.obs import events as obs_events
 from repro.obs import trace as tr

@@ -307,12 +307,19 @@ def run_sweep(
     state_path: str | Path | None = None,
     resume: bool = False,
     workers: int | None = None,
+    prefilter: int | None = None,
 ) -> SweepResult:
     """Run the approximation stage for every grid cell.
 
     ``temperatures=None`` uses the paper's MRE-based policy per multiplier
     (one temperature each); passing a tuple sweeps every temperature for
     every multiplier (the Table III protocol).
+
+    ``prefilter=N`` ranks the requested multipliers by their analytic
+    error statistics (:func:`repro.ge.zoo.prefilter_multipliers`,
+    milliseconds per candidate) and sweeps only the ``N`` most promising —
+    the dropped candidates never cost a training cell. Unresolvable names
+    pass the filter untouched and fail in their cells as usual.
 
     A raising cell is retried ``retries`` times, then recorded as a
     structured failure — the grid always completes. ``state_path``
@@ -331,6 +338,16 @@ def run_sweep(
             raise ConfigError(f"unknown method {method!r}; choose from {METHODS}")
     train_config = train_config or TrainConfig()
     parallel_config = get_default_config().with_workers(workers)
+    log = obs_events.get_event_log()
+    if prefilter is not None:
+        from repro.ge.zoo import prefilter_multipliers
+
+        names = [_item_name(item) for item in multipliers]
+        kept = set(prefilter_multipliers(names, prefilter))
+        dropped = sorted(set(names) - kept)
+        multipliers = [item for item in multipliers if _item_name(item) in kept]
+        if dropped and log.enabled:
+            log.emit("sweep_prefilter", keep=prefilter, dropped=dropped)
     result = SweepResult(
         config={
             "methods": list(methods),
@@ -339,9 +356,9 @@ def run_sweep(
             "batch_size": train_config.batch_size,
             "lr": train_config.lr,
             "workers": parallel_config.workers,
+            "prefilter": prefilter,
         }
     )
-    log = obs_events.get_event_log()
     if resume:
         if state_path is None:
             raise ConfigError("resume=True requires state_path")

@@ -21,9 +21,23 @@ from repro.errors import QuantizationError
 from repro.quant.quantizer import (
     fake_quantize_np,
     qrange,
+    quantize,
     round_step_to_pow2,
     step_from_max,
 )
+
+
+def _code_counts(data: np.ndarray, step: float, bits: int) -> np.ndarray:
+    """Per-code occupancy of ``data`` quantized at ``step``.
+
+    The returned counts cover the full symmetric ``bits``-bit range (one
+    bin per code, ascending) — exactly the layout
+    ``repro.ge.analytic.OperandDistribution.from_histogram`` consumes, so
+    observer statistics feed the analytic error models directly.
+    """
+    lo, hi = qrange(bits)
+    codes = quantize(data, step, bits).reshape(-1)
+    return np.bincount((codes.astype(np.int64) - lo), minlength=hi - lo + 1).astype(np.float64)
 
 
 class ObserverBase:
@@ -48,6 +62,17 @@ class ObserverBase:
 
     def _maybe_pow2(self, step: float) -> float:
         return round_step_to_pow2(step) if self.pow2 else step
+
+    def code_histogram(self, step: float | None = None) -> np.ndarray:
+        """Per-code histogram of the observed data at the calibrated step.
+
+        Sample-retaining observers (MSE, MinPropQE) override this; the
+        running-statistics ones cannot reconstruct a distribution.
+        """
+        raise QuantizationError(
+            f"{type(self).__name__} retains no samples; use an MSE or "
+            "MinPropQE observer to export code histograms"
+        )
 
 
 class MinMaxObserver(ObserverBase):
@@ -106,6 +131,12 @@ class MSEObserver(ObserverBase):
                 best_step, best_err = float(step), err
         return best_step
 
+    def code_histogram(self, step: float | None = None) -> np.ndarray:
+        """Histogram of the observed samples' integer codes."""
+        self._require_data()
+        data = np.concatenate(self._samples)
+        return _code_counts(data, step if step is not None else self.compute_step(), self.bits)
+
 
 class MinPropQEObserver(ObserverBase):
     """MinPropQE: pick the weight step minimising the *layer-output* error.
@@ -163,6 +194,15 @@ class MinPropQEObserver(ObserverBase):
             if err < best_err:
                 best_step, best_err = float(step), err
         return best_step
+
+    def code_histogram(self, step: float | None = None) -> np.ndarray:
+        """Histogram of the registered weight tensor's integer codes."""
+        self._require_data()
+        if self._weight is None:
+            raise QuantizationError("MinPropQE requires set_weight() before code_histogram()")
+        return _code_counts(
+            self._weight, step if step is not None else self.compute_step(), self.bits
+        )
 
 
 OBSERVERS = {

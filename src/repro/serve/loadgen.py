@@ -1,4 +1,4 @@
-"""Closed-loop load generator and SLO reporting for :mod:`repro.serve`.
+"""Load generator and SLO reporting for :mod:`repro.serve`.
 
 Drives a :class:`~repro.serve.server.Server` with a mix of single-sample
 and batch requests drawn from any :class:`repro.data.DatasetProtocol`
@@ -8,6 +8,18 @@ latency quantiles (p50/p95/p99), throughput, whether the p95 SLO held,
 batch occupancy from the server's own stats, and — when reference models
 are supplied — a bitwise comparison of every response against direct
 unbatched evaluation under the weight version it was served with.
+
+Two load models are supported (``mode=``):
+
+- ``"closed"`` (default) — a fixed pool of client threads, each issuing
+  its next request as soon as the previous one returns. Throughput is
+  self-limiting: a slow server slows the clients down.
+- ``"open"`` — requests arrive on a Poisson process at ``offered_rps``,
+  independent of how fast the server answers (each arrival gets its own
+  thread). This is how real traffic behaves: latency under an offered
+  rate the server can't absorb shows up as queueing, not as a politely
+  throttled client. The report carries ``offered_rps`` and the
+  ``achieved_rps`` the dispatcher actually sustained.
 """
 
 from __future__ import annotations
@@ -46,6 +58,9 @@ class LoadReport:
     failed_requests: int
     bitwise_checked: int
     bitwise_mismatches: int
+    mode: str = "closed"
+    offered_rps: float | None = None
+    achieved_rps: float | None = None
     server_stats: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
@@ -75,15 +90,22 @@ def run_load(
     timeout_s: float = 60.0,
     reference_models: dict[int, Module] | None = None,
     seed: int = 0,
+    mode: str = "closed",
+    offered_rps: float | None = None,
 ) -> LoadReport:
-    """Drive ``server`` closed-loop and measure latency/throughput/SLO.
+    """Drive ``server`` under load and measure latency/throughput/SLO.
 
-    ``concurrency`` client threads issue ``requests`` total requests;
-    each request is a batch of ``batch_size`` samples with probability
-    ``batch_fraction``, else a single sample. Samples come from the
-    dataset's held-out split via the protocol. Latency is measured
-    client-side around the blocking call, so it includes queueing,
-    batching wait and backpressure retries — what a caller experiences.
+    In the default closed loop, ``concurrency`` client threads issue
+    ``requests`` total requests, each starting its next as the previous
+    returns. With ``mode="open"``, requests instead arrive on a Poisson
+    process at ``offered_rps`` requests/second regardless of server
+    speed (``concurrency`` is ignored; every arrival is dispatched on
+    its own thread at its scheduled time). Each request is a batch of
+    ``batch_size`` samples with probability ``batch_fraction``, else a
+    single sample. Samples come from the dataset's held-out split via
+    the protocol. Latency is measured client-side around the blocking
+    call, so it includes queueing, batching wait and backpressure
+    retries — what a caller experiences.
 
     ``reference_models`` maps weight version → a model holding exactly
     those weights; every successful response is then re-evaluated alone
@@ -93,6 +115,10 @@ def run_load(
     """
     if requests < 1:
         raise ServeError(f"requests must be >= 1, got {requests}")
+    if mode not in ("closed", "open"):
+        raise ServeError(f"load mode must be 'closed' or 'open', got {mode!r}")
+    if mode == "open" and (offered_rps is None or offered_rps <= 0):
+        raise ServeError(f"open-loop load needs offered_rps > 0, got {offered_rps}")
     pool = dataset_samples(dataset)
     rng = new_rng(seed)
     # Pre-draw the request plan so worker threads only pop.
@@ -112,6 +138,23 @@ def run_load(
     retries_before = server.stats()["rejected"]
     cursor = [0]
 
+    def issue(index: int) -> None:
+        x = plan[index]
+        start = time.perf_counter()
+        try:
+            if x.ndim == pool.ndim:  # batch request
+                prediction = client.predict_batch(x, timeout_s=timeout_s)
+            else:
+                prediction = client.predict(x, timeout_s=timeout_s)
+        except Exception:
+            with lock:
+                failures[0] += 1
+            return
+        elapsed = time.perf_counter() - start
+        with lock:
+            latencies.append(elapsed)
+            outcomes[index] = (x, prediction)
+
     def worker() -> None:
         while True:
             with lock:
@@ -119,29 +162,34 @@ def run_load(
                     return
                 index = cursor[0]
                 cursor[0] += 1
-            x = plan[index]
-            start = time.perf_counter()
-            try:
-                if x.ndim == pool.ndim:  # batch request
-                    prediction = client.predict_batch(x, timeout_s=timeout_s)
-                else:
-                    prediction = client.predict(x, timeout_s=timeout_s)
-            except Exception:
-                with lock:
-                    failures[0] += 1
-                continue
-            elapsed = time.perf_counter() - start
-            with lock:
-                latencies.append(elapsed)
-                outcomes[index] = (x, prediction)
+            issue(index)
 
-    threads = [
-        threading.Thread(target=worker, name=f"repro-loadgen-{i}", daemon=True)
-        for i in range(max(1, concurrency))
-    ]
-    wall_start = time.perf_counter()
-    for thread in threads:
-        thread.start()
+    achieved_rps: float | None = None
+    if mode == "open":
+        # Poisson arrivals: i.i.d. exponential inter-arrival gaps at the
+        # offered rate, dispatched at their absolute schedule times so a
+        # slow server never throttles the arrival process.
+        arrivals = np.cumsum(rng.exponential(1.0 / offered_rps, size=requests))
+        threads = [
+            threading.Thread(target=issue, args=(i,), name=f"repro-loadgen-{i}", daemon=True)
+            for i in range(requests)
+        ]
+        wall_start = time.perf_counter()
+        for index, thread in enumerate(threads):
+            delay = wall_start + arrivals[index] - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            thread.start()
+        dispatch_elapsed = time.perf_counter() - wall_start
+        achieved_rps = requests / dispatch_elapsed if dispatch_elapsed > 0 else 0.0
+    else:
+        threads = [
+            threading.Thread(target=worker, name=f"repro-loadgen-{i}", daemon=True)
+            for i in range(max(1, concurrency))
+        ]
+        wall_start = time.perf_counter()
+        for thread in threads:
+            thread.start()
     for thread in threads:
         thread.join()
     duration = time.perf_counter() - wall_start
@@ -187,5 +235,8 @@ def run_load(
         failed_requests=failures[0],
         bitwise_checked=checked,
         bitwise_mismatches=mismatches,
+        mode=mode,
+        offered_rps=offered_rps,
+        achieved_rps=achieved_rps,
         server_stats=stats,
     )

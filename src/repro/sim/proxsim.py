@@ -21,7 +21,7 @@ from repro.autograd.grad_mode import no_grad
 from repro.autograd.tensor import Tensor
 from repro.data.dataloader import iterate_batches
 from repro.ge.error_model import PiecewiseLinearErrorModel
-from repro.ge.montecarlo import estimate_error_model
+from repro.ge.estimator import estimate_error_model
 from repro.nn.module import Module
 from repro.obs import metrics as met
 from repro.obs import trace as tr

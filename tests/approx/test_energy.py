@@ -1,0 +1,92 @@
+"""Energy accounting (``repro.approx.energy``): pinned numbers per design.
+
+The registry's per-multiplier relative energies come from the paper's
+sources ([20], [21]); pinning them here turns any accidental edit of the
+registry tables into a test failure, and the zoo/sweep energy columns stay
+trustworthy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.approx import (
+    ExactMultiplier,
+    available_multipliers,
+    get_multiplier,
+    network_energy,
+)
+from repro.errors import MultiplierError
+
+# name -> fractional energy savings vs the exact 8x4 design.
+PINNED_SAVINGS = {
+    "exact": 0.0,
+    "truncated1": 0.02,
+    "truncated2": 0.08,
+    "truncated3": 0.16,
+    "truncated4": 0.28,
+    "truncated5": 0.38,
+    "evoapprox29": 0.09,
+    "evoapprox104": 0.18,
+    "evoapprox111": 0.12,
+    "evoapprox145": 0.21,
+    "evoapprox228": 0.19,
+    "evoapprox249": 0.61,
+    "evoapprox469": 0.18,
+    "evoapprox470": 0.01,
+}
+
+
+class TestPinnedEnergyNumbers:
+    def test_registry_covers_exactly_the_pinned_designs(self):
+        assert set(available_multipliers()) == set(PINNED_SAVINGS)
+
+    @pytest.mark.parametrize("name", sorted(PINNED_SAVINGS))
+    def test_multiplier_savings_are_pinned(self, name):
+        assert get_multiplier(name).energy_savings == pytest.approx(PINNED_SAVINGS[name])
+
+    @pytest.mark.parametrize("name", sorted(PINNED_SAVINGS))
+    def test_network_savings_equal_multiplier_savings(self, name):
+        """With multiplier-only accounting (the paper's), network savings
+        equal the design's savings regardless of MAC count."""
+        report = network_energy(41_000_000, get_multiplier(name))
+        assert report.savings == pytest.approx(PINNED_SAVINGS[name])
+        assert report.multiplier_name == name
+        assert report.macs == 41_000_000
+
+
+class TestEnergyReportInvariants:
+    def test_savings_and_relative_energy_are_complements(self):
+        report = network_energy(1000, get_multiplier("truncated4"), adder_fraction=0.3)
+        assert report.savings + report.total_relative_energy == pytest.approx(1.0)
+        assert report.savings_percent == pytest.approx(100.0 * report.savings)
+
+    def test_adder_energy_dilutes_linearly(self):
+        mult = get_multiplier("truncated5")
+        for fraction in (0.0, 0.25, 0.5, 0.75):
+            report = network_energy(1000, mult, adder_fraction=fraction)
+            assert report.savings == pytest.approx((1 - fraction) * mult.energy_savings)
+
+    def test_exact_design_never_saves(self):
+        assert network_energy(123, ExactMultiplier()).savings == 0.0
+
+
+class TestInvalidInputs:
+    def test_unknown_multiplier_name_raises(self):
+        with pytest.raises(MultiplierError):
+            get_multiplier("nosuchdesign")
+        with pytest.raises(MultiplierError):
+            get_multiplier("truncatedx")  # malformed family member
+        with pytest.raises(MultiplierError):
+            get_multiplier("evoapprox9999")  # unknown EvoApprox ident
+
+    def test_adder_fraction_bounds(self):
+        mult = get_multiplier("truncated3")
+        with pytest.raises(ValueError):
+            network_energy(10, mult, adder_fraction=1.0)
+        with pytest.raises(ValueError):
+            network_energy(10, mult, adder_fraction=-0.1)
+
+    def test_negative_macs_rejected(self):
+        with pytest.raises(ValueError):
+            network_energy(-1, get_multiplier("truncated3"))

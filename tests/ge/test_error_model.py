@@ -118,3 +118,26 @@ class TestSkewedConstantCollapse:
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             fit_error_model(y, eps)
+
+
+class TestDegenerateSaturationBand:
+    def test_few_distinct_errors_keep_a_significant_slope(self):
+        # ε takes only two values at a 99.5/0.5 split, so the 1st *and*
+        # 99th error percentiles both land on the common value and the
+        # saturation band collapses to the single point [0, 0]. A
+        # genuinely sloped fit must widen to the observed range instead
+        # of being clipped flat to zero everywhere.
+        y = np.linspace(-400.0, 400.0, 2000)
+        eps = np.where(y > 396.0, -80.0, 0.0)  # strongly y-dependent
+        assert np.percentile(eps, 1.0) == np.percentile(eps, 99.0) == 0.0
+        m = fit_error_model(y, eps, slope_significance=0.25)
+        assert not m.is_constant
+        assert m.lower == -80.0 and m.upper == 0.0
+        # The model still varies with y inside the widened band.
+        assert m(np.array([400.0])) < m(np.array([-400.0]))
+
+    def test_single_valued_error_still_collapses_to_constant(self, rng):
+        y = rng.uniform(-100.0, 100.0, 512)
+        eps = np.full(512, -3.0)
+        m = fit_error_model(y, eps)
+        assert m.is_constant and m.c == -3.0

@@ -61,3 +61,48 @@ class TestFittedModels:
         start = time.perf_counter()
         estimate_error_model(get_multiplier("truncated5"), rng=0)
         assert time.perf_counter() - start < 2.0
+
+
+class TestLazyChunkDraws:
+    """The profiler materializes one simulation's operands at a time.
+
+    Peak memory is one (rows x K) + (K x out) pair per in-flight chunk
+    instead of the whole simulation batch; the observable contract is
+    that the *parent* generator's consumption is identical on every
+    schedule — a caller's generator ends in the same state whether the
+    profile ran serially or fanned out to workers.
+    """
+
+    def test_external_generator_state_is_schedule_independent(self):
+        mult = get_multiplier("truncated3")
+        rng_serial = np.random.default_rng(9)
+        serial = profile_multiplier_error(mult, num_simulations=9, rng=rng_serial)
+        rng_parallel = np.random.default_rng(9)
+        parallel = profile_multiplier_error(
+            mult, num_simulations=9, rng=rng_parallel, workers=3
+        )
+        np.testing.assert_array_equal(serial.eps, parallel.eps)
+        assert rng_serial.random() == rng_parallel.random()
+
+    def test_chunks_of_one_match_one_big_chunk(self):
+        """Draw order is per-simulation, so chunking cannot change it."""
+        from repro.ge.montecarlo import _ChunkSpec, _simulate_chunk
+
+        mult = get_multiplier("truncated4")
+        spec = dict(
+            gemm_rows=8, reduce_dim=16, out_dim=4, act_bits=8, weight_bits=4,
+            sigma_fraction=0.35,
+        )
+        whole = _simulate_chunk(
+            mult, _ChunkSpec(rng_state=None, count=4, **spec),
+            rng=np.random.default_rng(11),
+        )
+        rng = np.random.default_rng(11)
+        pieces = [
+            _simulate_chunk(mult, _ChunkSpec(rng_state=None, count=1, **spec), rng=rng)[0]
+            for _ in range(4)
+        ]
+        assert len(whole) == 4
+        for (y_whole, eps_whole), (y_piece, eps_piece) in zip(whole, pieces):
+            np.testing.assert_array_equal(y_whole, y_piece)
+            np.testing.assert_array_equal(eps_whole, eps_piece)

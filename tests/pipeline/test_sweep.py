@@ -80,3 +80,37 @@ class TestSweepResult:
         loaded = json.loads(path.read_text())
         assert len(loaded["points"]) == len(sweep.points)
         assert loaded["config"]["methods"] == ["normal", "approxkd"]
+
+
+class TestPrefilter:
+    def test_prefilter_drops_weak_candidates_before_training(
+        self, quantized_model, tiny_dataset
+    ):
+        # 'exact' scores 0 analytically; truncated5 is the registry's
+        # worst — the prefiltered grid must train only the keeper.
+        result = run_sweep(
+            quantized_model,
+            tiny_dataset,
+            ["truncated5", "exact"],
+            methods=("normal",),
+            train_config=FAST,
+            prefilter=1,
+        )
+        assert [p.multiplier for p in result.points] == ["exact"]
+        assert result.config["prefilter"] == 1
+
+    def test_prefilter_keeps_unresolvable_names_as_failure_cells(
+        self, quantized_model, tiny_dataset
+    ):
+        result = run_sweep(
+            quantized_model,
+            tiny_dataset,
+            ["nosuchmult", "exact"],
+            methods=("normal",),
+            train_config=FAST,
+            prefilter=1,
+        )
+        by_name = {p.multiplier: p for p in result.points}
+        assert set(by_name) == {"nosuchmult", "exact"}
+        assert not by_name["nosuchmult"].ok
+        assert by_name["exact"].ok

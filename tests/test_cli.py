@@ -175,6 +175,29 @@ class TestInspection:
         assert main(["profile", "--multiplier", "evoapprox228"]) == 0
         assert "STE" in capsys.readouterr().out
 
+    def test_profile_method_flag_reaches_estimator(self, capsys):
+        assert main(
+            ["profile", "--multiplier", "truncated5", "--error-model-method", "montecarlo"]
+        ) == 0
+        assert "method montecarlo" in capsys.readouterr().out
+
+    def test_zoo_ranks_registry(self, capsys, tmp_path):
+        import json
+
+        out_json = tmp_path / "zoo.json"
+        assert main(["zoo", "--top", "3", "--json", str(out_json)]) == 0
+        out = capsys.readouterr().out
+        assert "exact" in out  # the exact design always ranks first
+        payload = json.loads(out_json.read_text())
+        assert payload["entries"][0]["name"] == "exact"
+        assert payload["entries"][0]["rank"] == 1
+
+    def test_zoo_subset(self, capsys):
+        assert main(["zoo", "--multipliers", "truncated3", "truncated5"]) == 0
+        out = capsys.readouterr().out
+        assert "truncated3" in out and "truncated5" in out
+        assert "evoapprox249" not in out
+
     def test_missing_checkpoint_errors_cleanly(self, tmp_path, capsys):
         code = main(["evaluate", "--checkpoint", str(tmp_path / "none.npz"), *FAST_DATA])
         assert code == 1
